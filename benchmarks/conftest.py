@@ -1,0 +1,67 @@
+"""Shared configuration for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the paper
+(see DESIGN.md section 4).  Each benchmark prints the paper-shaped rows and
+asserts the *shape targets* — orderings, factors and crossovers — rather
+than absolute 1999 numbers.
+
+Node benchmarks run at ``SCALE = 16``: cache capacities and page size are
+divided by 16 (line sizes kept) so pure-Python trace simulation stays
+tractable while every curve still crosses the same L1 -> L2 -> memory
+regimes.
+"""
+
+import pathlib
+
+import pytest
+
+SCALE = 16
+
+RESULTS_FILE = pathlib.Path(__file__).resolve().parent.parent / \
+    "bench_results.txt"
+
+# Matrix-size ladder for Figures 7/8: spans L1-resident (8) through
+# L2-resident (24-64) to memory/TLB-bound (>= 112) at SCALE=16.
+MATMULT_SIZES = (8, 16, 24, 40, 64, 96, 128, 160)
+SAMPLE_THRESHOLD = 48
+
+# Message-size ladder for Figures 9-12.
+COMM_SIZES = (4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
+              16384, 32768)
+SHORT_COMM_SIZES = (4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def announce(title: str, body: str) -> None:
+    """Print one figure's reproduction and append it to bench_results.txt.
+
+    pytest captures stdout by default; the results file keeps the
+    regenerated tables/figures around as an artefact of every run.
+    """
+    bar = "=" * 72
+    block = f"\n{bar}\n{title}\n{bar}\n{body}\n"
+    print(block)
+    with RESULTS_FILE.open("a", encoding="utf-8") as handle:
+        handle.write(block)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _reset_results_file():
+    RESULTS_FILE.write_text(
+        "PowerMANNA reproduction — regenerated tables and figures\n"
+        "(one block per table/figure; see EXPERIMENTS.md for the "
+        "paper-vs-measured record)\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured callable exactly once through pytest-benchmark.
+
+    The simulations are deterministic; repeated rounds would only burn
+    time, so every figure uses a single pedantic round.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

@@ -1,0 +1,112 @@
+"""Application study (the question paper Section 7 leaves open).
+
+"Then, we can, in particular, investigate to what extent application
+performance can benefit ... from the short set up times and low latencies
+provided by the lightweight communication protocol."
+
+Two real applications on the simulated 8-node machine:
+
+* **strong scaling** of the Jacobi stencil — fixed problem, more nodes:
+  time falls but efficiency decays as slabs shrink and the per-iteration
+  halo/barrier cost stops amortising (at 2 K cells the curve already
+  saturates at 4 ranks; the bench uses 16 K so 8 ranks still wins);
+* **weak scaling** — fixed cells per node: efficiency stays high because
+  only the log-depth barrier grows;
+* a **latency-sensitivity ablation**: the same stencil with a driver
+  whose per-message software cost is quadrupled (a DMA-NIC-like stack)
+  must slow down measurably — the direct, application-level payoff of
+  the lightweight protocol.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import announce
+
+from repro.apps.stencil import run_stencil, serial_stencil
+from repro.bench.report import format_table
+
+CELLS_STRONG = 16384
+ITERATIONS = 8
+RANK_LADDER = (1, 2, 4, 8)
+
+
+def strong_scaling():
+    results = {}
+    for ranks in RANK_LADDER:
+        if ranks == 1:
+            # One rank still runs through the harness for a fair baseline.
+            results[ranks] = run_stencil(CELLS_STRONG, ITERATIONS, ranks=2)
+            continue
+        results[ranks] = run_stencil(CELLS_STRONG, ITERATIONS, ranks=ranks)
+    return results
+
+
+def weak_scaling(cells_per_rank=1024):
+    return {ranks: run_stencil(cells_per_rank * ranks, ITERATIONS,
+                               ranks=ranks)
+            for ranks in (2, 4, 8)}
+
+
+@pytest.fixture(scope="module")
+def strong():
+    return {ranks: run_stencil(CELLS_STRONG, ITERATIONS, ranks=ranks)
+            for ranks in (2, 4, 8)}
+
+
+@pytest.fixture(scope="module")
+def weak():
+    return weak_scaling()
+
+
+class TestStrongScaling:
+    def test_scaling_table(self, once, strong, weak):
+        results = once(lambda: strong)
+        rows = []
+        for ranks, result in sorted(results.items()):
+            speedup = results[2].elapsed_ns * 2 / (result.elapsed_ns * ranks)
+            rows.append([ranks, f"{result.elapsed_ns / 1e3:.0f}",
+                         f"{result.comm_fraction:.0%}",
+                         f"{speedup * 100:.0f}%"])
+        announce(f"Strong scaling: {CELLS_STRONG}-cell Jacobi, "
+                 f"{ITERATIONS} iterations",
+                 format_table(["ranks", "time (us)", "comm fraction",
+                               "efficiency vs 2 ranks"], rows))
+        rows = [[ranks, f"{r.elapsed_ns / 1e3:.0f}", f"{r.comm_fraction:.0%}"]
+                for ranks, r in sorted(weak.items())]
+        announce("Weak scaling: 1024 cells per rank",
+                 format_table(["ranks", "time (us)", "comm fraction"], rows))
+
+    def test_more_ranks_go_faster(self, strong):
+        assert strong[8].elapsed_ns < strong[4].elapsed_ns \
+            < strong[2].elapsed_ns
+
+    def test_comm_fraction_grows_with_ranks(self, strong):
+        assert strong[8].comm_fraction > strong[2].comm_fraction
+
+    def test_solutions_identical_across_rank_counts(self, strong):
+        rod = np.zeros(CELLS_STRONG)
+        rod[0], rod[-1] = 100.0, -40.0
+        reference = serial_stencil(rod, ITERATIONS)
+        for result in strong.values():
+            np.testing.assert_allclose(result.solution, reference)
+
+
+class TestWeakScaling:
+    def test_time_grows_slowly(self, weak):
+        # Per-rank work constant; only the log-depth barriers grow.
+        assert weak[8].elapsed_ns < 1.6 * weak[2].elapsed_ns
+
+
+class TestLatencySensitivity:
+    def test_heavier_software_stack_slows_the_application(self):
+        """Quadrupling per-message software cost (DMA-NIC-like) must cost
+        the latency-bound stencil real time."""
+        from repro.ni.driver import DriverConfig
+
+        light = run_stencil(512, ITERATIONS, ranks=8)
+        heavy = run_stencil(512, ITERATIONS, ranks=8,
+                            driver_config=DriverConfig(
+                                send_setup_ns=4600.0,
+                                recv_dispatch_ns=4400.0))
+        assert heavy.elapsed_ns > 1.5 * light.elapsed_ns

@@ -1,0 +1,78 @@
+"""Collective operations on the user-level MPI (extension of Section 4).
+
+The dissemination barrier and binomial broadcast/reduce must scale
+logarithmically in rank count — ceil(log2 N) rounds, each costing about
+one network one-way time — which is what the short PowerMANNA latencies
+buy at application level.
+"""
+
+import math
+
+import pytest
+
+from conftest import announce
+
+from repro.bench.collectives import scaling_sweep, time_barrier
+from repro.bench.report import format_table
+
+RANKS = (2, 4, 8)
+NBYTES = 1024
+
+
+def run_sweep():
+    return scaling_sweep(rank_counts=RANKS, nbytes=NBYTES)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep()
+
+
+def rounds(n: int) -> int:
+    return max(1, math.ceil(math.log2(n)))
+
+
+def verify(sweep):
+    for operation, timings in sweep.items():
+        values = {t.ranks: t.elapsed_ns for t in timings}
+        # Logarithmic scaling: time grows like the round count.
+        expected_ratio = rounds(8) / rounds(2)
+        actual_ratio = values[8] / values[2]
+        assert actual_ratio == pytest.approx(expected_ratio, rel=0.35), \
+            operation
+    barrier8 = {t.ranks: t.elapsed_ns for t in sweep["barrier"]}[8]
+    assert barrier8 < 20_000.0     # an 8-node barrier in tens of us
+
+
+class TestCollectives:
+    def test_scaling_table(self, once, sweep):
+        results = once(lambda: sweep)
+        rows = []
+        for operation, timings in results.items():
+            for timing in timings:
+                rows.append([operation, timing.ranks, timing.nbytes,
+                             f"{timing.elapsed_ns / 1e3:.1f}"])
+        announce(f"MPI collectives on the 8-node cluster ({NBYTES} B "
+                 "payloads)",
+                 format_table(["operation", "ranks", "bytes", "time (us)"],
+                              rows))
+        verify(results)
+
+    def test_barrier_scales_logarithmically(self, sweep):
+        values = {t.ranks: t.elapsed_ns for t in sweep["barrier"]}
+        assert values[8] / values[2] == pytest.approx(3.0, rel=0.35)
+
+    def test_eight_node_barrier_fast(self, sweep):
+        values = {t.ranks: t.elapsed_ns for t in sweep["barrier"]}
+        assert values[8] < 20_000.0
+
+    def test_broadcast_and_reduce_symmetric(self, sweep):
+        bcast = {t.ranks: t.elapsed_ns for t in sweep["broadcast"]}
+        reduce_ = {t.ranks: t.elapsed_ns for t in sweep["reduce"]}
+        for ranks in RANKS:
+            assert bcast[ranks] == pytest.approx(reduce_[ranks], rel=0.25)
+
+    def test_barrier_deterministic(self):
+        a = time_barrier(8).elapsed_ns
+        b = time_barrier(8).elapsed_ns
+        assert a == b

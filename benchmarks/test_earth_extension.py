@@ -1,0 +1,75 @@
+"""Extension experiment (paper Section 7 / ref [18]): EARTH on PowerMANNA.
+
+Not a paper figure — the paper names the EARTH port as ongoing future work
+and claims PowerMANNA "can also perform well with multithreaded software".
+This bench quantifies that claim on the reproduction:
+
+* a split-phase remote load costs a few microseconds end to end;
+* K outstanding split-phase loads overlap, beating the blocking
+  one-round-trip-at-a-time pattern by a growing factor;
+* an EARTH operation is cheaper than an MPI-style matched send on the
+  same hardware (slot-addressed active messages skip tag matching).
+"""
+
+import pytest
+
+from conftest import announce
+
+from repro.bench.report import format_table
+from repro.earth.bench import overlap_experiment, remote_load_latency_ns
+from repro.msg.api import build_cluster_world
+
+COUNTS = (2, 4, 8, 16, 32)
+
+
+def run_overlap_sweep():
+    return {count: overlap_experiment(count=count) for count in COUNTS}
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_overlap_sweep()
+
+
+def verify(sweep):
+    factors = [sweep[count].overlap_factor for count in COUNTS]
+    assert all(b >= a * 0.95 for a, b in zip(factors, factors[1:]))
+    assert sweep[16].overlap_factor > 2.0
+
+
+class TestEarthExtension:
+    def test_overlap_table(self, once, sweep):
+        results = once(lambda: sweep)
+        rows = []
+        for count in COUNTS:
+            r = results[count]
+            rows.append([count,
+                         f"{r.blocking_ns / 1e3:.1f}",
+                         f"{r.split_phase_ns / 1e3:.1f}",
+                         f"{r.overlap_factor:.2f}x"])
+        announce("EARTH on PowerMANNA: blocking vs split-phase remote loads",
+                 format_table(["outstanding loads", "blocking (us)",
+                               "split-phase (us)", "overlap win"], rows))
+        verify(results)
+
+    def test_remote_load_latency_single_digit_microseconds(self, once):
+        latency = once(remote_load_latency_ns)
+        assert 2000.0 < latency < 6000.0
+
+    def test_overlap_factor_grows(self, sweep):
+        assert (sweep[32].overlap_factor
+                > sweep[8].overlap_factor
+                > sweep[2].overlap_factor * 0.99)
+
+    def test_split_phase_approaches_gap_bound(self, sweep):
+        """With enough overlap, per-load time approaches the per-message
+        cost rather than the round-trip latency."""
+        per_load_us = sweep[32].split_phase_ns / 32 / 1e3
+        latency_us = remote_load_latency_ns() / 1e3
+        assert per_load_us < 0.6 * latency_us
+
+    def test_earth_cheaper_than_mpi_style_send(self):
+        _, world = build_cluster_world()
+        mpi_one_way_us = world.one_way_latency_ns(0, 1, 16, reps=2) / 1e3
+        earth_half_round_us = remote_load_latency_ns() / 2.0 / 1e3
+        assert earth_half_round_us < mpi_one_way_us

@@ -1,0 +1,68 @@
+"""Figure 10 — message-sending time at the network saturation point.
+
+The metric is the LogP *gap*: the steady-state per-message time at a
+sender pushing back-to-back messages.  Shape targets:
+
+* PowerMANNA has the smallest gap for short messages (no DMA setup, no
+  descriptor ring — one setup, a few register stores).
+* For large messages every system's gap converges to its wire time; the
+  Myrinet systems' higher bandwidth gives them the smaller bulk gap.
+"""
+
+import pytest
+
+from conftest import SHORT_COMM_SIZES, announce
+
+from repro.bench.microbench import comm_sweep, metric_value
+from repro.bench.report import format_series
+
+SIZES = SHORT_COMM_SIZES + (4096, 16384)
+
+
+def run_sweep():
+    return comm_sweep("gap", sizes=SIZES)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep()
+
+
+def values(sweep, system):
+    return {p.nbytes: metric_value(p, "gap") for p in sweep[system]}
+
+
+def verify(sweep):
+    pm = values(sweep, "PowerMANNA")
+    bip = values(sweep, "BIP/Myrinet")
+    fm = values(sweep, "FM/Myrinet")
+    for n in (n for n in SHORT_COMM_SIZES if n <= 128):
+        assert pm[n] < bip[n] < fm[n]
+    # Bulk: wire-time bound; Myrinet's fatter pipe wins.
+    assert bip[16384] < pm[16384]
+    assert pm[16384] == pytest.approx(16384 * 1e3 / 60.0 / 1e3, rel=0.25)
+
+
+class TestFig10:
+    def test_gap_curves(self, once, sweep):
+        results = once(lambda: sweep)
+        series = {system: [metric_value(p, "gap") for p in points]
+                  for system, points in results.items()}
+        announce("Figure 10: message-sending time at saturation (us)",
+                 format_series(series, list(SIZES), "bytes"))
+        verify(results)
+
+    def test_powermanna_smallest_short_gap(self, sweep):
+        pm, bip, fm = (values(sweep, s) for s in
+                       ("PowerMANNA", "BIP/Myrinet", "FM/Myrinet"))
+        for n in (n for n in SHORT_COMM_SIZES if n <= 128):
+            assert pm[n] < bip[n] < fm[n]
+
+    def test_short_gap_is_sub_two_microseconds(self, sweep):
+        pm = values(sweep, "PowerMANNA")
+        assert pm[8] < 2.0
+
+    def test_bulk_gap_wire_bound(self, sweep):
+        pm = values(sweep, "PowerMANNA")
+        wire_us = 16384 * 1e3 / 60.0 / 1e3
+        assert pm[16384] == pytest.approx(wire_us, rel=0.25)

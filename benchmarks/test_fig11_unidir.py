@@ -1,0 +1,70 @@
+"""Figure 11 — unidirectional bandwidth.
+
+Shape targets:
+
+* PowerMANNA's short-message bandwidth is ahead (its per-message cost is
+  tiny), but the curve saturates at the 60 Mbyte/s single-link ceiling —
+  "PowerMANNA's performance is limited by its current network technology".
+* BIP keeps climbing to ~126 Mbyte/s and overtakes PowerMANNA at a
+  mid-size crossover.
+"""
+
+import pytest
+
+from conftest import COMM_SIZES, announce
+
+from repro.bench.microbench import comm_sweep, metric_value
+from repro.bench.report import format_series
+
+
+def run_sweep():
+    return comm_sweep("unidir", sizes=COMM_SIZES)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep()
+
+
+def values(sweep, system):
+    return {p.nbytes: metric_value(p, "unidir") for p in sweep[system]}
+
+
+def verify(sweep):
+    pm = values(sweep, "PowerMANNA")
+    bip = values(sweep, "BIP/Myrinet")
+    assert pm[32768] == pytest.approx(60.0, rel=0.10)   # link ceiling
+    assert bip[32768] > 100.0                           # Myrinet headroom
+    assert pm[64] > bip[64]                             # short messages
+    # There is a crossover somewhere in between.
+    crossed = [n for n in COMM_SIZES if bip[n] > pm[n]]
+    assert crossed and min(crossed) >= 128
+
+
+class TestFig11:
+    def test_bandwidth_curves(self, once, sweep):
+        results = once(lambda: sweep)
+        series = {system: [metric_value(p, "unidir") for p in points]
+                  for system, points in results.items()}
+        announce("Figure 11: unidirectional bandwidth (Mbyte/s)",
+                 format_series(series, list(COMM_SIZES), "bytes"))
+        verify(results)
+
+    def test_powermanna_saturates_at_link_rate(self, sweep):
+        pm = values(sweep, "PowerMANNA")
+        assert pm[16384] == pytest.approx(60.0, rel=0.10)
+        assert pm[32768] == pytest.approx(60.0, rel=0.10)
+
+    def test_powermanna_leads_for_short_messages(self, sweep):
+        pm, bip = values(sweep, "PowerMANNA"), values(sweep, "BIP/Myrinet")
+        for n in (16, 32, 64):
+            assert pm[n] > bip[n]
+
+    def test_bip_overtakes_for_bulk(self, sweep):
+        pm, bip = values(sweep, "PowerMANNA"), values(sweep, "BIP/Myrinet")
+        assert bip[32768] > pm[32768] * 1.5
+
+    def test_bandwidth_nondecreasing_with_size(self, sweep):
+        pm = values(sweep, "PowerMANNA")
+        curve = [pm[n] for n in COMM_SIZES]
+        assert all(b >= a * 0.95 for a, b in zip(curve, curve[1:]))

@@ -1,0 +1,129 @@
+"""Figure 6 — HINT QUIPS-versus-time curves, data types DOUBLE and INT.
+
+Shape targets (paper Section 5.1.1):
+
+* DOUBLE: PowerMANNA above the same-clock Pentium PC while the caches are
+  in effect, the PC above PowerMANNA in the memory-access region (blamed on
+  "the missing load/store pipeline and lower benefits from the cache").
+* INT: PowerMANNA and the PC roughly equal, both above the SUN.
+* Both machines do better on INT than the SUN does generally; every curve
+  decays once the interval table outgrows the caches.
+* The 266 MHz PC sits above the 180 MHz PC throughout the cache region.
+"""
+
+import pytest
+
+from conftest import SCALE, announce
+
+from repro.bench.hint import hint_on_machine
+from repro.bench.report import format_series
+from repro.core.specs import (
+    PC_CLUSTER_180,
+    PC_CLUSTER_266,
+    POWERMANNA,
+    SUN_ULTRA,
+)
+
+MACHINES = (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180, PC_CLUSTER_266)
+MAX_SUBINTERVALS = 16384
+CACHE_REGION = 64          # records; well inside the scaled L1
+L2_REGION = 1024           # inside the scaled L2, beyond L1
+
+
+def run_data_type(data_type):
+    return {spec.key: hint_on_machine(spec, data_type=data_type, scale=SCALE,
+                                      max_subintervals=MAX_SUBINTERVALS)
+            for spec in MACHINES}
+
+
+def print_figure(results, data_type):
+    marks = [p.subintervals for p in results["powermanna"].points]
+    series = {key: [r.quips_at_subintervals(m) for m in marks]
+              for key, r in results.items()}
+    announce(f"Figure 6 ({data_type.upper()}): QUIPS by working set "
+             "(subintervals)",
+             format_series(series, marks, "subintervals"))
+
+
+@pytest.fixture(scope="module")
+def double_results():
+    return run_data_type("double")
+
+
+@pytest.fixture(scope="module")
+def int_results():
+    return run_data_type("int")
+
+
+def verify_double(results):
+    cache_pm = results["powermanna"].quips_at_subintervals(CACHE_REGION)
+    cache_pc = results["pc180"].quips_at_subintervals(CACHE_REGION)
+    assert cache_pm > cache_pc
+    assert results["pc180"].final_quips > results["powermanna"].final_quips
+
+
+def verify_int(results):
+    pm = results["powermanna"].quips_at_subintervals(CACHE_REGION)
+    pc = results["pc266"].quips_at_subintervals(CACHE_REGION)
+    sun = results["sun"].quips_at_subintervals(CACHE_REGION)
+    assert pm == pytest.approx(pc, rel=0.35)
+    assert pm > sun and pc > sun
+
+
+class TestFig6aDouble:
+    def test_curves(self, once, double_results):
+        results = once(lambda: double_results)
+        print_figure(results, "double")
+        verify_double(results)
+
+    def test_powermanna_leads_pc180_in_cache_region(self, double_results):
+        pm = double_results["powermanna"].quips_at_subintervals(CACHE_REGION)
+        pc = double_results["pc180"].quips_at_subintervals(CACHE_REGION)
+        assert pm > pc
+
+    def test_pc180_leads_powermanna_in_memory_region(self, double_results):
+        pm = double_results["powermanna"].final_quips
+        pc = double_results["pc180"].final_quips
+        assert pc > pm
+
+    def test_sun_trails_in_cache_region(self, double_results):
+        sun = double_results["sun"].quips_at_subintervals(CACHE_REGION)
+        pm = double_results["powermanna"].quips_at_subintervals(CACHE_REGION)
+        pc = double_results["pc180"].quips_at_subintervals(CACHE_REGION)
+        assert sun < pm and sun < pc
+
+    def test_faster_pc_clock_lifts_the_cache_region(self, double_results):
+        fast = double_results["pc266"].quips_at_subintervals(CACHE_REGION)
+        slow = double_results["pc180"].quips_at_subintervals(CACHE_REGION)
+        assert fast > slow
+
+    def test_every_curve_decays_out_of_cache(self, double_results):
+        for result in double_results.values():
+            assert result.final_quips < 0.05 * result.peak_quips
+
+
+class TestFig6bInt:
+    def test_curves(self, once, int_results):
+        results = once(lambda: int_results)
+        print_figure(results, "int")
+        verify_int(results)
+
+    def test_powermanna_and_pc_roughly_equal(self, int_results):
+        pm = int_results["powermanna"].quips_at_subintervals(CACHE_REGION)
+        pc = int_results["pc266"].quips_at_subintervals(CACHE_REGION)
+        assert pm == pytest.approx(pc, rel=0.35)
+
+    def test_both_outperform_sun(self, int_results):
+        sun = int_results["sun"].quips_at_subintervals(CACHE_REGION)
+        assert int_results["powermanna"].quips_at_subintervals(CACHE_REGION) > sun
+        assert int_results["pc180"].quips_at_subintervals(CACHE_REGION) > sun
+
+    def test_sun_drops_more_on_int_than_the_others(self, int_results,
+                                                   double_results):
+        def int_over_double(key):
+            i = int_results[key].quips_at_subintervals(CACHE_REGION)
+            d = double_results[key].quips_at_subintervals(CACHE_REGION)
+            return i / d
+
+        assert int_over_double("sun") < int_over_double("pc180")
+        assert int_over_double("sun") < int_over_double("powermanna")

@@ -1,0 +1,112 @@
+"""Figure 7 — single-processor MatMult MFLOPS across matrix sizes.
+
+Shape targets (paper Section 5.1.1):
+
+* Transposed version (b): PowerMANNA clearly outperforms the other
+  machines once matrices exceed the L1 (its 2-Mbyte L2 and 64-byte lines
+  pay off).
+* Naive version (a): every machine is far below its version-(b) numbers;
+  PowerMANNA degrades the most — roughly 2.5x at cache-resident sizes and
+  about 6x at memory/TLB-bound sizes — and the Pentium PC is the best
+  naive performer at large sizes (load pipelining, shorter lines).
+* While caches are effective the naive-case gap between the PC and
+  PowerMANNA stays moderate, whereas PowerMANNA's transposed advantage is
+  large.
+"""
+
+import pytest
+
+from conftest import MATMULT_SIZES, SAMPLE_THRESHOLD, SCALE, announce
+
+from repro.bench.matmult import matmult_sweep
+from repro.bench.report import format_series
+from repro.core.specs import (
+    PC_CLUSTER_180,
+    POWERMANNA,
+    SUN_ULTRA,
+)
+
+MACHINES = (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180)
+SMALL_N = 40      # L2-resident at SCALE=16
+LARGE_N = 160     # memory/TLB-bound at SCALE=16
+
+
+def run_version(version):
+    return {
+        spec.key: {r.n: r.mflops
+                   for r in matmult_sweep(spec, MATMULT_SIZES, version,
+                                          scale=SCALE,
+                                          sample_threshold=SAMPLE_THRESHOLD)}
+        for spec in MACHINES
+    }
+
+
+@pytest.fixture(scope="module")
+def naive():
+    return run_version("naive")
+
+
+@pytest.fixture(scope="module")
+def transposed():
+    return run_version("transposed")
+
+
+def print_figure(results, version):
+    series = {key: [by_n[n] for n in MATMULT_SIZES]
+              for key, by_n in results.items()}
+    announce(f"Figure 7 ({version}): single-CPU MFLOPS by matrix size "
+             f"(odd strides, cache scale 1/{SCALE})",
+             format_series(series, list(MATMULT_SIZES), "N"))
+
+
+def verify_shapes(naive, transposed):
+    # Transposed: PowerMANNA clearly best beyond L1-resident sizes.
+    for n in (SMALL_N, 96, LARGE_N):
+        assert transposed["powermanna"][n] > transposed["sun"][n]
+        assert transposed["powermanna"][n] > transposed["pc180"][n]
+    # Naive degradation factors on PowerMANNA: ~2.5x small, ~6x large.
+    small_ratio = (transposed["powermanna"][SMALL_N]
+                   / naive["powermanna"][SMALL_N])
+    large_ratio = (transposed["powermanna"][LARGE_N]
+                   / naive["powermanna"][LARGE_N])
+    assert 1.8 < small_ratio < 3.5
+    assert 4.0 < large_ratio < 9.0
+    assert large_ratio > small_ratio
+    # The PC is the best naive performer at large sizes.
+    assert naive["pc180"][LARGE_N] > naive["powermanna"][LARGE_N]
+    assert naive["pc180"][LARGE_N] > naive["sun"][LARGE_N]
+
+
+class TestFig7:
+    def test_naive_curves(self, once, naive, transposed):
+        results = once(lambda: naive)
+        print_figure(results, "naive")
+        verify_shapes(naive, transposed)
+
+    def test_transposed_curves(self, once, transposed):
+        results = once(lambda: transposed)
+        print_figure(results, "transposed")
+
+    def test_powermanna_wins_transposed(self, naive, transposed):
+        for n in (SMALL_N, LARGE_N):
+            assert transposed["powermanna"][n] > transposed["pc180"][n]
+            assert transposed["powermanna"][n] > transposed["sun"][n]
+
+    def test_naive_degradation_factors(self, naive, transposed):
+        small = transposed["powermanna"][SMALL_N] / naive["powermanna"][SMALL_N]
+        large = transposed["powermanna"][LARGE_N] / naive["powermanna"][LARGE_N]
+        assert 1.8 < small < 3.5       # paper: "approx. 2.5 for small"
+        assert 4.0 < large < 9.0       # paper: "approx. 6 for large"
+
+    def test_pc_best_for_large_naive(self, naive):
+        assert naive["pc180"][LARGE_N] > naive["powermanna"][LARGE_N]
+
+    def test_naive_gap_moderate_while_caches_effective(self, naive):
+        gap = naive["pc180"][SMALL_N] / naive["powermanna"][SMALL_N]
+        assert gap < 2.0   # "the difference ... is small in case (a)"
+
+    def test_every_machine_worse_naive_than_transposed_at_scale(self,
+                                                                naive,
+                                                                transposed):
+        for key in ("powermanna", "sun", "pc180"):
+            assert naive[key][LARGE_N] < transposed[key][LARGE_N]

@@ -1,0 +1,84 @@
+"""Figure 8 — dual-processor speedup for MatMult.
+
+Shape targets (paper Section 5.1.2):
+
+* PowerMANNA: performance "exactly doubles" — speedup 2.0, no
+  memory-access contention (split transactions + switched data paths).
+* SUN: about a 5% loss — speedup around 1.9.
+* Pentium PC: 15% loss naive / 20% loss transposed — speedups around
+  1.7 and 1.6; notably the *transposed* version loses more (it moves more
+  memory traffic over the one shared bus).
+"""
+
+import pytest
+
+from conftest import SCALE, announce
+
+from repro.bench.matmult import smp_speedup
+from repro.bench.report import format_table
+from repro.core.specs import PC_CLUSTER_180, POWERMANNA, SUN_ULTRA
+
+MACHINES = (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180)
+# Sizes where memory traffic is substantial (L2-resident and beyond).
+SIZES = (40, 96, 128)
+
+
+def run_speedups():
+    return {
+        (spec.key, version, n): smp_speedup(spec, n, version, scale=SCALE)
+        for spec in MACHINES
+        for version in ("naive", "transposed")
+        for n in SIZES
+    }
+
+
+@pytest.fixture(scope="module")
+def speedups():
+    return run_speedups()
+
+
+def worst(speedups, key, version):
+    return min(speedups[(key, version, n)] for n in SIZES)
+
+
+def verify(speedups):
+    for version in ("naive", "transposed"):
+        # PowerMANNA: ideal scaling at every size.
+        assert worst(speedups, "powermanna", version) > 1.96
+        # SUN loses a little, the PC loses the most.
+        assert worst(speedups, "sun", version) > worst(speedups, "pc180",
+                                                       version)
+    # PC: the transposed version (more bus traffic) loses more than naive.
+    assert (worst(speedups, "pc180", "transposed")
+            < worst(speedups, "pc180", "naive"))
+    assert worst(speedups, "pc180", "transposed") < 1.85
+
+
+class TestFig8:
+    def test_speedup_table(self, once, speedups):
+        results = once(lambda: speedups)
+        rows = []
+        for (key, version, n), value in sorted(results.items()):
+            rows.append([key, version, n, round(value, 3)])
+        announce("Figure 8: dual-processor MatMult speedup",
+                 format_table(["machine", "version", "N", "speedup"], rows))
+        verify(results)
+
+    def test_powermanna_exactly_doubles(self, speedups):
+        for version in ("naive", "transposed"):
+            for n in SIZES:
+                assert speedups[("powermanna", version, n)] == pytest.approx(
+                    2.0, abs=0.04)
+
+    def test_sun_loses_about_five_percent(self, speedups):
+        value = worst(speedups, "sun", "transposed")
+        assert 1.80 <= value <= 2.0
+
+    def test_pc_loses_most_and_transposed_worse(self, speedups):
+        naive = worst(speedups, "pc180", "naive")
+        transposed = worst(speedups, "pc180", "transposed")
+        assert transposed < naive < 2.0
+        assert transposed < 1.85
+
+    def test_speedups_never_exceed_cpu_count(self, speedups):
+        assert all(value <= 2.02 for value in speedups.values())

@@ -1,0 +1,71 @@
+"""Figure 9 — one-way latencies: PowerMANNA vs BIP and FM.
+
+Shape targets (paper Section 5.2):
+
+* 8 bytes: PowerMANNA 2.75 us, BIP 6.4 us, FM 9.2 us — PowerMANNA clearly
+  ahead for short messages.
+* For large messages the 60 Mbyte/s link catches up with PowerMANNA: the
+  Myrinet systems (~126 Mbyte/s through PCI) eventually cross below it.
+"""
+
+import pytest
+
+from conftest import COMM_SIZES, announce
+
+from repro.bench.microbench import comm_sweep, metric_value
+from repro.bench.report import format_series
+
+
+def run_sweep():
+    return comm_sweep("latency", sizes=COMM_SIZES)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep()
+
+
+def values(sweep, system):
+    return {p.nbytes: metric_value(p, "latency") for p in sweep[system]}
+
+
+def verify(sweep):
+    pm = values(sweep, "PowerMANNA")
+    bip = values(sweep, "BIP/Myrinet")
+    fm = values(sweep, "FM/Myrinet")
+    assert pm[8] == pytest.approx(2.75, rel=0.15)
+    assert bip[8] == pytest.approx(6.4, rel=0.10)
+    assert fm[8] == pytest.approx(9.2, rel=0.10)
+    for n in (4, 8, 16, 32, 64, 128, 256):
+        assert pm[n] < bip[n] < fm[n]
+    # Crossover: Myrinet's higher wire bandwidth wins for bulk transfers.
+    assert bip[32768] < pm[32768]
+
+
+class TestFig9:
+    def test_latency_curves(self, once, sweep):
+        results = once(lambda: sweep)
+        series = {system: [metric_value(p, "latency") for p in points]
+                  for system, points in results.items()}
+        announce("Figure 9: one-way latency (us) by message size",
+                 format_series(series, list(COMM_SIZES), "bytes"))
+        verify(results)
+
+    def test_paper_anchor_values(self, sweep):
+        assert values(sweep, "PowerMANNA")[8] == pytest.approx(2.75, rel=0.15)
+        assert values(sweep, "BIP/Myrinet")[8] == pytest.approx(6.4, rel=0.10)
+        assert values(sweep, "FM/Myrinet")[8] == pytest.approx(9.2, rel=0.10)
+
+    def test_powermanna_wins_short_messages(self, sweep):
+        pm, bip = values(sweep, "PowerMANNA"), values(sweep, "BIP/Myrinet")
+        for n in (4, 8, 16, 64, 256):
+            assert pm[n] < bip[n]
+
+    def test_myrinet_crosses_below_for_bulk(self, sweep):
+        pm, bip = values(sweep, "PowerMANNA"), values(sweep, "BIP/Myrinet")
+        assert bip[32768] < pm[32768]
+
+    def test_latency_monotone_in_size(self, sweep):
+        for system in sweep:
+            curve = [metric_value(p, "latency") for p in sweep[system]]
+            assert all(a <= b * 1.02 for a, b in zip(curve, curve[1:]))

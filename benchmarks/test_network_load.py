@@ -1,0 +1,81 @@
+"""Network-under-load experiments (extension of paper Section 3).
+
+The paper argues crossbar hierarchies give "the favorable blocking
+behavior of the hypercube at much lower cost" (refs [5], [6]).  Under
+offered load that claim means:
+
+* permutation traffic scales to nearly node-count x link-rate with no
+  output conflicts;
+* uniform random traffic keeps a large fraction of that despite
+  transient conflicts;
+* hotspot traffic is bounded by the single victim link, not by network
+  meltdown — the other flows' wormholes are not blocked (full duplex +
+  per-connection flow control exclude tree saturation here).
+"""
+
+import pytest
+
+from conftest import announce
+
+from repro.bench.report import format_table
+from repro.bench.traffic import pattern_comparison, run_pattern
+from repro.msg.api import build_cluster_world
+
+LINK_MB_S = 60.0
+
+
+def run_comparison():
+    return pattern_comparison(lambda: build_cluster_world()[1],
+                              message_bytes=1024, rounds=4)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_comparison()
+
+
+def verify(comparison):
+    perm = comparison["permutation"]
+    rand = comparison["random"]
+    hot = comparison["hotspot"]
+    assert perm.collisions == 0
+    assert perm.aggregate_mb_s > 0.85 * perm.nodes * LINK_MB_S
+    assert rand.aggregate_mb_s < perm.aggregate_mb_s
+    assert hot.aggregate_mb_s < 1.3 * LINK_MB_S
+    assert hot.collisions > rand.collisions
+
+
+class TestNetworkLoad:
+    def test_pattern_table(self, once, comparison):
+        results = once(lambda: comparison)
+        rows = [[r.pattern, r.messages, f"{r.aggregate_mb_s:.1f}",
+                 f"{r.per_node_mb_s:.1f}", r.collisions]
+                for r in results.values()]
+        announce("Offered-load behaviour of the 8-node cluster "
+                 "(1 KB messages)",
+                 format_table(["pattern", "messages", "aggregate MB/s",
+                               "per-node MB/s", "collisions"], rows))
+        verify(results)
+
+    def test_permutation_is_conflict_free(self, comparison):
+        assert comparison["permutation"].collisions == 0
+
+    def test_permutation_scales_to_node_count(self, comparison):
+        perm = comparison["permutation"]
+        assert perm.aggregate_mb_s > 0.85 * perm.nodes * LINK_MB_S
+
+    def test_hotspot_bounded_by_victim_link(self, comparison):
+        assert comparison["hotspot"].aggregate_mb_s < 1.3 * LINK_MB_S
+
+    def test_random_sits_between(self, comparison):
+        perm = comparison["permutation"].aggregate_mb_s
+        rand = comparison["random"].aggregate_mb_s
+        hot = comparison["hotspot"].aggregate_mb_s
+        assert hot < rand < perm
+
+    def test_victim_receive_order_preserved_under_hotspot(self):
+        """Even a hammered receive FIFO delivers each message intact (the
+        stop signal backpressures senders rather than dropping)."""
+        world = build_cluster_world()[1]
+        result = run_pattern(world, "hotspot", message_bytes=512, rounds=3)
+        assert result.messages == 3 * 8

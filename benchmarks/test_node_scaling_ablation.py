@@ -1,0 +1,133 @@
+"""Design-study ablation (paper Section 2, ref [4]): how many MPC620s fit
+on one PowerMANNA node?
+
+The paper: "detailed simulations ... showed that the actual node design
+would support up to four processors without their significantly hindering
+one another.  We found that the limiting factor is not the bandwidth of
+the node memory (thanks to its efficient implementation) but the
+sequentialization of the address phases enforced by the snoop protocol of
+the MPC620 processor."
+
+This bench reruns that study with a memory-streaming workload (every CPU
+sweeps its own large buffer — the traffic that actually exercises the bus):
+
+* 2 and 4 CPUs scale well (the node design holds);
+* 6 and 8 CPUs lose efficiency;
+* the loss is caused by the serial address phase, shown two ways: the
+  sequencer's utilisation approaches 1 while DRAM banks stay unsaturated,
+  and the counterfactual interventions (faster address phase vs more DRAM
+  banks) recover the loss asymmetrically.
+"""
+
+import dataclasses
+
+import pytest
+
+from conftest import SCALE, announce
+
+from repro.bench.report import format_table
+from repro.core.specs import POWERMANNA
+from repro.cpu.kernels import copy_step
+from repro.memory.dram import DramConfig
+from repro.memory.snoop import SnoopConfig
+from repro.memory.trace_gen import stream_trace
+from repro.node.node import NodeModel
+
+STREAM_BYTES = 512 * 1024     # well beyond the scaled 128 KB L2
+CPU_COUNTS = (1, 2, 4, 6, 8)
+
+
+def node_with(num_cpus, snoop_phase_cycles=None, dram_banks=None):
+    hierarchy = POWERMANNA.hierarchy.scaled(SCALE)
+    fabric = POWERMANNA.fabric
+    if snoop_phase_cycles is not None:
+        fabric = dataclasses.replace(
+            fabric, snoop=SnoopConfig(bus_clock=fabric.snoop.bus_clock,
+                                      phase_cycles=snoop_phase_cycles,
+                                      queue_depth=fabric.snoop.queue_depth))
+    if dram_banks is not None:
+        hierarchy = dataclasses.replace(
+            hierarchy, dram=DramConfig(
+                num_banks=dram_banks,
+                interleave_bytes=hierarchy.dram.interleave_bytes,
+                access_ns=hierarchy.dram.access_ns,
+                bandwidth_mb_s=hierarchy.dram.bandwidth_mb_s))
+    return NodeModel(POWERMANNA.cpu, hierarchy, fabric, num_cpus=num_cpus,
+                     name=f"pm{num_cpus}")
+
+
+def stream_elapsed(node, num_cpus):
+    unit = copy_step()
+    compute = node.pipeline.per_access_compute_ns(unit.mix, unit.memory_refs)
+    traces = [stream_trace(0x1000_0000 * (cpu + 1), STREAM_BYTES)
+              for cpu in range(num_cpus)]
+    return node.run_traces(traces, compute).elapsed_ns
+
+
+def throughput_speedup(num_cpus, **overrides):
+    single = stream_elapsed(node_with(1, **overrides), 1)
+    node = node_with(num_cpus, **overrides)
+    multi = stream_elapsed(node, num_cpus)
+    return num_cpus * single / multi, node
+
+
+def run_study():
+    return {cpus: throughput_speedup(cpus) for cpus in CPU_COUNTS}
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_study()
+
+
+def verify(study):
+    speedups = {cpus: s for cpus, (s, _) in study.items()}
+    assert speedups[2] > 1.9
+    assert speedups[4] > 3.2           # "up to four processors" holds
+    efficiency = {cpus: value / cpus for cpus, value in speedups.items()}
+    assert efficiency[8] < efficiency[4] - 0.1    # beyond 4: clear decay
+
+
+class TestNodeScaling:
+    def test_scaling_table(self, once, study):
+        results = once(lambda: study)
+        rows = []
+        for cpus, (speedup, node) in sorted(results.items()):
+            seq = node.memory.sequencer
+            rows.append([
+                cpus, round(speedup, 2),
+                f"{speedup / cpus * 100:.0f}%",
+                f"{seq.mean_wait_ns():.0f} ns",
+                f"{node.memory.dram.conflict_rate() * 100:.0f}%",
+            ])
+        announce("Node design study (ref [4]): memory-stream throughput "
+                 "speedup vs CPUs per node",
+                 format_table(["CPUs", "speedup", "efficiency",
+                               "mean addr-phase wait", "DRAM conflicts"],
+                              rows))
+        verify(results)
+
+    def test_two_and_four_cpus_scale(self, study):
+        assert study[2][0] > 1.9
+        assert study[4][0] > 3.2
+
+    def test_efficiency_decays_beyond_four(self, study):
+        efficiency = {cpus: s / cpus for cpus, (s, _) in study.items()}
+        assert efficiency[8] < efficiency[4] - 0.05
+
+    def test_address_phase_wait_grows_with_cpus(self, study):
+        waits = {cpus: node.memory.sequencer.mean_wait_ns()
+                 for cpus, (_, node) in study.items()}
+        assert waits[8] > waits[4] > waits[2]
+
+    def test_limiting_factor_is_the_address_phase(self):
+        """The paper's causal claim, tested by intervention: a faster
+        serial address phase must recover the 8-CPU loss; more DRAM banks
+        must not (memory bandwidth was already sufficient)."""
+        base, _ = throughput_speedup(8)
+        faster_snoop, _ = throughput_speedup(8, snoop_phase_cycles=1.0)
+        more_banks, _ = throughput_speedup(8, dram_banks=32)
+        snoop_gain = faster_snoop - base
+        bank_gain = more_banks - base
+        assert snoop_gain > 0.25
+        assert snoop_gain > 3 * max(bank_gain, 0.02)

@@ -1,0 +1,82 @@
+"""Reliability experiment (extension of Section 3.3's CRC claim).
+
+The link chip's CRC makes errors *detectable*; the software retransmit
+protocol makes delivery *reliable*.  This bench injects wire corruption
+at increasing rates and measures what the stop-and-wait recovery costs in
+goodput — plus the invariant that matters: exactly-once, in-order
+delivery at every error rate.
+"""
+
+import pytest
+
+from conftest import announce
+
+from repro.bench.report import format_table
+from repro.msg.api import build_cluster_world
+from repro.msg.reliable import ReliableChannel, ReliableConfig
+
+ERROR_RATES = (0.0, 0.05, 0.1, 0.2, 0.4)
+NBYTES = 4096
+COUNT = 10
+
+
+def run_sweep():
+    results = {}
+    for rate in ERROR_RATES:
+        _, world = build_cluster_world()
+        channel = ReliableChannel(world,
+                                  ReliableConfig(error_rate=rate, seed=12))
+        goodput = channel.goodput_mb_s(0, 1, NBYTES, count=COUNT)
+        results[rate] = (goodput, channel.stats.as_dict())
+    return results
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep()
+
+
+def verify(sweep):
+    clean = sweep[0.0][0]
+    worst = sweep[0.4][0]
+    assert worst < 0.8 * clean
+    for rate, (_, stats) in sweep.items():
+        assert stats["delivered"] == COUNT          # exactly once, always
+        if rate == 0.0:
+            assert stats["transmissions"] == COUNT  # no spurious retries
+
+
+class TestReliability:
+    def test_goodput_table(self, once, sweep):
+        results = once(lambda: sweep)
+        rows = []
+        for rate, (goodput, stats) in sorted(results.items()):
+            rows.append([f"{rate:.0%}", f"{goodput:.1f}",
+                         stats["transmissions"],
+                         stats.get("corrupted", 0),
+                         stats["delivered"]])
+        announce(f"Reliable delivery under wire corruption "
+                 f"({NBYTES} B messages)",
+                 format_table(["error rate", "goodput MB/s",
+                               "transmissions", "corrupted", "delivered"],
+                              rows))
+        verify(results)
+
+    def test_exactly_once_at_every_rate(self, sweep):
+        for _, (_, stats) in sweep.items():
+            assert stats["delivered"] == COUNT
+
+    def test_goodput_monotone_in_error_rate(self, sweep):
+        values = [sweep[rate][0] for rate in ERROR_RATES]
+        # Allow small non-monotonic wiggle from discrete retry counts.
+        assert values[-1] < values[0]
+        assert all(b <= a * 1.1 for a, b in zip(values, values[1:]))
+
+    def test_clean_links_never_retransmit(self, sweep):
+        _, stats = sweep[0.0]
+        assert stats["transmissions"] == COUNT
+        assert stats.get("timeouts", 0) == 0
+
+    def test_retransmissions_match_corruption(self, sweep):
+        _, stats = sweep[0.4]
+        assert stats["transmissions"] == COUNT + stats["corrupted"]

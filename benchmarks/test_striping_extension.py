@@ -1,0 +1,70 @@
+"""Dual-plane striping (paper Section 4 future work, implemented).
+
+"In future work, we will implement a low-level protocol ... so that both
+links are available for application communication and the communication
+bandwidth can be fully exploited."  The headline the paper promises from
+it: the node's full 240 MB/s connectivity (2 planes x full duplex) opened
+to the application.  This bench shows the unidirectional half of that —
+~120 MB/s — with short-message latency unchanged, which also moves the
+Figure-11 crossover against Myrinet far to the right.
+"""
+
+import pytest
+
+from conftest import announce
+
+from repro.bench.report import format_table
+from repro.comparators.models import bip_model
+from repro.msg.api import build_cluster_world
+from repro.msg.striping import StripedChannel
+
+SIZES = (64, 512, 4096, 16384)
+
+
+def run_comparison():
+    rows = {}
+    for nbytes in SIZES:
+        _, world = build_cluster_world()
+        single = world.unidirectional_mb_s(0, 1, nbytes)
+        striped = StripedChannel().unidirectional_mb_s(0, 1, nbytes)
+        bip = bip_model().unidirectional_mb_s(nbytes)
+        rows[nbytes] = (single, striped, bip)
+    return rows
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_comparison()
+
+
+def verify(comparison):
+    single, striped, _ = comparison[16384]
+    assert striped > 1.8 * single
+    assert striped > 100.0
+    # Short-message latency must not regress.
+    latency_us = StripedChannel().one_way_latency_ns(0, 1, 8) / 1e3
+    assert latency_us == pytest.approx(2.75, rel=0.15)
+
+
+class TestStriping:
+    def test_bandwidth_table(self, once, comparison):
+        results = once(lambda: comparison)
+        rows = [[nbytes, f"{single:.1f}", f"{striped:.1f}", f"{bip:.1f}"]
+                for nbytes, (single, striped, bip) in sorted(results.items())]
+        announce("Section 4 future work: dual-plane striping "
+                 "(unidirectional MB/s)",
+                 format_table(["bytes", "one plane", "striped (2 planes)",
+                               "BIP/Myrinet"], rows))
+        verify(results)
+
+    def test_striping_doubles_bulk_bandwidth(self, comparison):
+        single, striped, _ = comparison[16384]
+        assert striped > 1.8 * single
+
+    def test_striping_nearly_closes_the_myrinet_gap(self, comparison):
+        _, striped, bip = comparison[16384]
+        assert striped > 0.9 * bip
+
+    def test_small_messages_not_hurt(self, comparison):
+        single, striped, _ = comparison[64]
+        assert striped > 0.8 * single

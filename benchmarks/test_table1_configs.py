@@ -1,0 +1,43 @@
+"""Table 1 — configuration of the test systems.
+
+Regenerates the paper's Table 1 from the executable machine presets and
+checks every cell the paper states explicitly.
+"""
+
+from conftest import announce
+
+from repro.bench.report import format_config_table
+from repro.core.specs import table1
+
+
+def test_table1(once):
+    rows = once(table1)
+    announce("Table 1. Configuration of test systems",
+             format_config_table(rows))
+    by_type = {row["System Type"]: row for row in rows}
+
+    sun, pm, pc = by_type["SUN"], by_type["PowerMANNA"], by_type["PC"]
+    assert sun["Processor Type"] == "UltraSPARC-I"
+    assert sun["Processor Clock"] == "168 MHz"
+    assert sun["Bus Clock"] == "84 MHz"
+    assert sun["Secondary Cache"] == "512/512 Kbyte"
+    assert sun["Cache line"] == "32 byte"
+    assert sun["Node Memory"] == "576 Mbyte"
+    assert sun["Operating System"] == "Solaris 2.5"
+
+    assert pm["Processor Type"] == "PowerPC MPC620"
+    assert pm["Processor Clock"] == "180 MHz"
+    assert pm["Bus Clock"] == "60 MHz"
+    assert pm["Primary Cache"] == "32/32 Kbyte"
+    assert pm["Secondary Cache"] == "2/2 Mbyte"
+    assert pm["Cache line"] == "64 byte"
+    assert pm["Node Memory"] == "512 Mbyte"
+    assert pm["Operating System"] == "Linux"
+
+    assert pc["Processor Type"].startswith("Pentium II")
+    assert pc["Bus Clock"] == "60 MHz"
+    assert pc["Secondary Cache"] == "512/512 Kbyte"
+    assert pc["Node Memory"] == "128 Mbyte"
+
+    for row in rows:
+        assert row["Processors"] == "2"

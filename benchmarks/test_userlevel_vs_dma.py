@@ -1,0 +1,63 @@
+"""Design-argument bench (paper Section 3.3): why the CPU is the NIC.
+
+"Especially in user-level communication, no system calls are required,
+either to translate logical to physical addresses or to pin pages used
+for communication, as is necessary, e.g., in Myrinet-based systems."
+
+This bench prices both send paths over a sweep of buffer-reuse levels and
+asserts the argument's shape: the MMU-inline path has flat, syscall-free
+cost; the pin-and-DMA path starts several times more expensive and only
+approaches it when applications reuse buffers heavily.
+"""
+
+import pytest
+
+from conftest import announce
+
+from repro.bench.report import format_table
+from repro.software.userlevel import reuse_sweep
+
+REUSE_LEVELS = (1, 2, 4, 16, 64)
+
+
+def run_sweep():
+    return reuse_sweep(reuse_levels=REUSE_LEVELS)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep()
+
+
+def verify(sweep):
+    penalties = [r.dma_penalty for r in sweep]
+    assert penalties[0] > 3.0                      # fresh buffers: DMA pays
+    assert penalties == sorted(penalties, reverse=True)
+    assert all(r.user_level_ns < r.dma_ns for r in sweep)
+    user_costs = [r.user_level_ns for r in sweep]
+    assert max(user_costs) - min(user_costs) < 50.0   # flat, reuse-blind
+
+
+class TestUserLevelVsDma:
+    def test_reuse_table(self, once, sweep):
+        results = once(lambda: sweep)
+        rows = [[r.reuse,
+                 f"{r.user_level_ns / 1e3:.2f}",
+                 f"{r.dma_ns / 1e3:.2f}",
+                 f"{r.dma_penalty:.1f}x"]
+                for r in results]
+        announce("Section 3.3: per-message software cost, MMU-inline PIO "
+                 "vs pin-and-DMA NIC",
+                 format_table(["buffer reuse", "user-level (us)",
+                               "DMA path (us)", "DMA penalty"], rows))
+        verify(results)
+
+    def test_fresh_buffers_heavily_penalise_dma(self, sweep):
+        assert sweep[0].dma_penalty > 3.0
+
+    def test_reuse_amortises_dma_costs(self, sweep):
+        assert sweep[-1].dma_penalty < sweep[0].dma_penalty / 2
+
+    def test_user_level_cost_is_reuse_blind(self, sweep):
+        costs = [r.user_level_ns for r in sweep]
+        assert max(costs) - min(costs) < 50.0

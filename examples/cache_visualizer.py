@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Why the MatMult curves look the way they do: cache/TLB anatomy.
+
+Replays the naive and transposed MatMult traces on each Table-1 machine
+and prints where every access was served (L1 / L2 / memory) plus the TLB
+miss rate — the microscope behind Figure 7.  The naive version's
+column walk of B defeats both the long PowerMANNA cache lines and,
+for large matrices, the TLB; the transposed version turns B into the
+same friendly stream as A.
+
+Run:  python examples/cache_visualizer.py
+"""
+
+from repro.bench.matmult import run_matmult
+from repro.bench.report import format_table
+from repro.core.specs import PC_CLUSTER_180, POWERMANNA, SUN_ULTRA
+
+SCALE = 16
+MACHINES = (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180)
+
+
+def anatomy(spec, n, version):
+    node = spec.node(scale=SCALE)
+    result = run_matmult(node, n, version=version)
+    memory = node.memory
+    l1 = memory.stats["l1_hits"]
+    l2 = memory.stats["l2_hits"]
+    dram = memory.stats["memory_accesses"]
+    tlb = memory.stats["tlb_misses"]
+    total = l1 + l2 + dram
+    return [
+        spec.key, version, n, f"{result.mflops:.1f}",
+        f"{l1 / total:.1%}", f"{l2 / total:.1%}", f"{dram / total:.1%}",
+        f"{tlb / total:.2%}",
+    ]
+
+
+def main() -> None:
+    headers = ["machine", "version", "N", "MFLOPS",
+               "L1", "L2", "memory", "TLB miss"]
+    for n in (24, 48):
+        rows = []
+        for spec in MACHINES:
+            for version in ("naive", "transposed"):
+                rows.append(anatomy(spec, n, version))
+        print(format_table(headers, rows,
+                           title=f"MatMult access anatomy, N={n} "
+                                 f"(caches scaled 1/{SCALE})"))
+        print()
+    print("Reading the tables: the naive column walk turns B's accesses")
+    print("into L1 misses everywhere; PowerMANNA's 64-byte lines fetch")
+    print("8 doubles per miss but the walk uses only one of them, while")
+    print("the transposed version streams whole lines — which is exactly")
+    print("the paper's explanation for Figure 7.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""EARTH fib — the classic fine-grain multithreading demo, on PowerMANNA.
+
+fib(n) as a threaded procedure: each invocation spawns its two children on
+other nodes (round-robin), terminates, and is resumed by a sync slot once
+both results have DataSync'd back into its frame.  No CPU ever blocks on
+communication; the run prints the answer, the fiber/message counts and the
+per-node load balance.
+
+This is the workload family the paper's Section 7 points at when it says
+PowerMANNA "can also perform well with multithreaded software" and names
+the EARTH port as ongoing work (ref [18]).
+
+Run:  python examples/earth_fib.py [n]
+"""
+
+import sys
+
+from repro.bench.report import format_table
+from repro.earth.fibers import Fiber, SyncSlot
+from repro.earth.operations import DataSync, LocalSignal, Spawn
+from repro.earth.runtime import EarthMachine
+
+THRESHOLD = 2   # below this, compute serially inside the fiber
+
+
+def serial_fib(n: int) -> int:
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+def make_fib_fiber(machine, n, reply_node, reply_frame, reply_key,
+                   reply_slot, depth=0):
+    """A fiber computing fib(n), answering via DataSync when done."""
+
+    def start(node, frame):
+        if n < THRESHOLD:
+            return [DataSync(node=reply_node, frame=reply_frame,
+                             key=reply_key, value=serial_fib(n),
+                             slot=reply_slot)]
+        # Continuation fiber: fires when both children answered.
+        def combine(node_, frame_):
+            value = frame_["left"] + frame_["right"]
+            return [DataSync(node=reply_node, frame=reply_frame,
+                             key=reply_key, value=value, slot=reply_slot)]
+
+        continuation = Fiber(combine, frame=frame, work_ns=120.0,
+                             label=f"fib({n}).sync")
+        slot = SyncSlot(2, continuation, label=f"fib({n})")
+        here = node.node_id
+        size = len(machine.nodes)
+        left_node = (here + 1) % size
+        right_node = (here + 2) % size
+        left = make_fib_fiber(machine, n - 1, here, frame, "left", slot,
+                              depth + 1)
+        right = make_fib_fiber(machine, n - 2, here, frame, "right", slot,
+                               depth + 1)
+        return [Spawn(node=left_node, fiber=left),
+                Spawn(node=right_node, fiber=right)]
+
+    return Fiber(start, frame={}, work_ns=180.0, label=f"fib({n})")
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    machine = EarthMachine()
+    result_frame: dict = {}
+    done = Fiber(lambda node, frame: [], label="done")
+    done_slot = SyncSlot(1, done)
+
+    machine.spawn(0, make_fib_fiber(machine, n, 0, result_frame, "result",
+                                    done_slot))
+    finish_ns = machine.run()
+
+    expected = serial_fib(n)
+    value = result_frame["result"]
+    status = "OK" if value == expected else "WRONG"
+    print(f"fib({n}) = {value}  [{status}, expected {expected}]")
+    print(f"simulated time: {finish_ns / 1e6:.3f} ms\n")
+
+    rows = []
+    for node in machine.nodes:
+        rows.append([node.node_id,
+                     node.stats["fibers_run"],
+                     node.stats["remote_ops"],
+                     node.stats["messages_handled"],
+                     f"{node.fiber_latency.mean():.0f}"])
+    print(format_table(
+        ["node", "fibers run", "remote ops", "msgs handled",
+         "mean fiber ns"],
+        rows, title="Per-node EARTH activity"))
+    total_fibers = machine.total("fibers_run")
+    print(f"\ntotal fibers: {total_fibers}, total messages: "
+          f"{machine.total('messages_handled')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Distributed heat diffusion on PowerMANNA — the application payoff.
+
+Solves the 1-D heat equation over the 8-node machine with halo exchange,
+checks the answer against a serial reference, renders the temperature
+profile, and shows the compute/communication balance across problem sizes
+— the application-level study the paper's Section 7 proposes.
+
+Run:  python examples/heat_equation.py
+"""
+
+import numpy as np
+
+from repro.apps import run_stencil, serial_stencil
+from repro.bench.report import format_table
+
+
+def temperature_bar(value: float, lo: float, hi: float, width: int = 40,
+                    ) -> str:
+    filled = int((value - lo) / (hi - lo + 1e-12) * width)
+    return "#" * filled
+
+
+def main() -> None:
+    cells, iterations = 512, 60
+    result = run_stencil(cells, iterations, ranks=8)
+    reference = serial_stencil(
+        np.concatenate(([100.0], np.zeros(cells - 2), [-40.0])), iterations)
+    error = float(np.max(np.abs(result.solution - reference)))
+    print(f"{cells}-cell rod, {iterations} Jacobi iterations on 8 nodes")
+    print(f"max |distributed - serial| = {error:.2e}")
+    print(f"simulated time: {result.elapsed_ns / 1e3:.0f} us "
+          f"({result.comm_fraction:.0%} communication)\n")
+
+    lo, hi = result.solution.min(), result.solution.max()
+    print("temperature profile (sampled):")
+    for index in range(0, cells, cells // 16):
+        value = result.solution[index]
+        print(f"  cell {index:4d}  {value:8.2f}  "
+              f"{temperature_bar(value, lo, hi)}")
+    print()
+
+    rows = []
+    for total in (256, 1024, 4096, 16384):
+        r = run_stencil(total, 8, ranks=8)
+        rows.append([total, total // 8, f"{r.elapsed_ns / 1e3:.0f}",
+                     f"{r.comm_fraction:.0%}"])
+    print(format_table(
+        ["total cells", "cells/node", "time (us)", "comm fraction"], rows,
+        title="Compute/communication balance (8 iterations, 8 nodes)"))
+    print("\nSmall slabs are pure message rate — where the 2.75 us sends")
+    print("of the lightweight protocol decide application performance.")
+
+
+if __name__ == "__main__":
+    main()

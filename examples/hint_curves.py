@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Figure-6 style HINT curves as ASCII plots.
+
+Runs the HINT benchmark (real hierarchical-integration computation,
+trace-driven timing) on all four machine configurations and renders the
+QUIPS-versus-working-set curves as a log-log ASCII chart plus the
+summary table.
+
+Run:  python examples/hint_curves.py
+"""
+
+import math
+
+from repro.bench.hint import hint_on_machine
+from repro.bench.report import format_table
+from repro.core.specs import (
+    PC_CLUSTER_180,
+    PC_CLUSTER_266,
+    POWERMANNA,
+    SUN_ULTRA,
+)
+
+SCALE = 16
+MACHINES = (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180, PC_CLUSTER_266)
+GLYPHS = {"powermanna": "P", "sun": "S", "pc180": "p", "pc266": "2"}
+
+
+def ascii_plot(results, width=64, height=16):
+    """Log-log scatter of QUIPS (y) against runtime (x)."""
+    points = []
+    for key, result in results.items():
+        for point in result.points:
+            points.append((math.log10(point.time_s),
+                           math.log10(point.quips), GLYPHS[key]))
+    xs = [x for x, _, _ in points]
+    ys = [y for _, y, _ in points]
+    x0, x1, y0, y1 = min(xs), max(xs), min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, glyph in points:
+        col = int((x - x0) / (x1 - x0 + 1e-12) * (width - 1))
+        row = height - 1 - int((y - y0) / (y1 - y0 + 1e-12) * (height - 1))
+        grid[row][col] = glyph
+    lines = ["".join(row) for row in grid]
+    legend = "  ".join(f"{glyph}={key}" for key, glyph in GLYPHS.items())
+    return "\n".join(lines) + f"\n(log QUIPS vs log seconds)  {legend}"
+
+
+def main() -> None:
+    for data_type in ("double", "int"):
+        results = {spec.key: hint_on_machine(spec, data_type=data_type,
+                                             scale=SCALE)
+                   for spec in MACHINES}
+        print(f"=== HINT, data type {data_type.upper()} "
+              f"(caches scaled 1/{SCALE}) ===\n")
+        print(ascii_plot(results))
+        print()
+        rows = []
+        for key, result in results.items():
+            rows.append([key,
+                         f"{result.peak_quips:,.0f}",
+                         f"{result.final_quips:,.0f}",
+                         f"{result.points[-1].time_s * 1e3:.1f}"])
+        print(format_table(
+            ["machine", "peak QUIPS", "final QUIPS", "runtime (ms, sim)"],
+            rows))
+        print()
+
+
+if __name__ == "__main__":
+    main()

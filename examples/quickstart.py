@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: build an 8-node PowerMANNA, exchange messages, read LogP.
+
+This is the 5-minute tour of the library:
+
+1. assemble the Figure-5a desk-side system (8 dual-MPC620 nodes, two
+   crossbar planes);
+2. run a ping-pong and a bandwidth sweep over the simulated network;
+3. print the machine's LogP parameters next to the paper's headline
+   numbers (2.75 us for 8 bytes, 60 Mbyte/s per link).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PowerMannaSystem
+from repro.bench.report import format_table
+
+
+def main() -> None:
+    system = PowerMannaSystem.cluster()
+    print(system.describe())
+    print()
+
+    # -- LogP parameters at 8 bytes (the paper's headline) ------------------
+    params = system.logp(a=0, b=1, nbytes=8)
+    print(format_table(
+        ["metric", "measured", "paper"],
+        [
+            ["one-way latency (us)", f"{params.latency_ns / 1e3:.2f}", "2.75"],
+            ["send overhead o_s (us)",
+             f"{params.overhead_send_ns / 1e3:.2f}", "(not separated)"],
+            ["gap g (us)", f"{params.gap_ns / 1e3:.2f}", "(Figure 10)"],
+        ],
+        title="LogP at 8 bytes, nodes 0 -> 1"))
+    print()
+
+    # -- bandwidth sweep ------------------------------------------------------
+    rows = []
+    for nbytes in (64, 512, 4096, 16384):
+        world = PowerMannaSystem.cluster().world(0)
+        bandwidth = world.unidirectional_mb_s(0, 1, nbytes)
+        rows.append([nbytes, f"{bandwidth:.1f}"])
+    print(format_table(["message bytes", "unidirectional MB/s"], rows,
+                       title="Streaming bandwidth (link ceiling: 60 MB/s)"))
+    print()
+
+    # -- the node side ----------------------------------------------------------
+    node = system.node(0)
+    print(f"Node model: {node.describe()}")
+    print(f"CPU peak:   {node.cpu.peak_mflops:.0f} MFLOPS "
+          f"({node.cpu.describe()})")
+
+
+if __name__ == "__main__":
+    main()

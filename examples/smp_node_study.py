@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The ref-[4] design study: how many MPC620s fit on one node?
+
+During the design phase the PowerMANNA team simulated node variants and
+found the snoop protocol's serialised address phases — not memory
+bandwidth — to be the factor limiting a node to about four processors.
+This example reruns that study on the reproduction with a
+memory-streaming workload (each CPU sweeps its own large buffer) and
+prints the evidence: speedups, address-phase waiting and DRAM conflict
+rates side by side, plus the counterfactual with a faster address phase.
+
+Run:  python examples/smp_node_study.py
+"""
+
+import dataclasses
+
+from repro.bench.report import format_table
+from repro.core.specs import POWERMANNA
+from repro.cpu.kernels import copy_step
+from repro.memory.snoop import SnoopConfig
+from repro.memory.trace_gen import stream_trace
+from repro.node.node import NodeModel
+
+SCALE = 16
+STREAM_BYTES = 512 * 1024      # far beyond the scaled 128 KB L2
+
+
+def build_node(num_cpus: int, phase_cycles: float | None = None) -> NodeModel:
+    fabric = POWERMANNA.fabric
+    if phase_cycles is not None:
+        fabric = dataclasses.replace(
+            fabric, snoop=SnoopConfig(bus_clock=fabric.snoop.bus_clock,
+                                      phase_cycles=phase_cycles,
+                                      queue_depth=fabric.snoop.queue_depth))
+    return NodeModel(POWERMANNA.cpu, POWERMANNA.hierarchy.scaled(SCALE),
+                     fabric, num_cpus=num_cpus, name=f"pm{num_cpus}")
+
+
+def stream_elapsed(node: NodeModel, num_cpus: int) -> float:
+    unit = copy_step()
+    compute = node.pipeline.per_access_compute_ns(unit.mix, unit.memory_refs)
+    traces = [stream_trace(0x1000_0000 * (cpu + 1), STREAM_BYTES)
+              for cpu in range(num_cpus)]
+    return node.run_traces(traces, compute).elapsed_ns
+
+
+def study(phase_cycles: float | None = None) -> list[list[object]]:
+    baseline = stream_elapsed(build_node(1, phase_cycles), 1)
+    rows = []
+    for cpus in (1, 2, 4, 6, 8):
+        node = build_node(cpus, phase_cycles)
+        elapsed = stream_elapsed(node, cpus)
+        speedup = cpus * baseline / elapsed
+        sequencer = node.memory.sequencer
+        rows.append([
+            cpus,
+            f"{speedup:.2f}",
+            f"{speedup / cpus * 100:.0f}%",
+            f"{sequencer.mean_wait_ns():.0f} ns",
+            f"{node.memory.dram.conflict_rate() * 100:.0f}%",
+        ])
+    return rows
+
+
+def main() -> None:
+    headers = ["CPUs", "speedup", "efficiency", "mean addr-phase wait",
+               "DRAM bank conflicts"]
+    print(format_table(headers, study(),
+                       title="PowerMANNA node scaling (memory stream, "
+                             f"caches 1/{SCALE})"))
+    print()
+    print("The address phase saturates long before DRAM does — the paper's")
+    print("conclusion.  Counterfactual: halve the address-phase time.")
+    print()
+    print(format_table(headers, study(phase_cycles=1.0),
+                       title="Same study with a 1-cycle address phase"))
+
+
+if __name__ == "__main__":
+    main()

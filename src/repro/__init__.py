@@ -1,0 +1,48 @@
+"""repro — a full reproduction of the PowerMANNA parallel architecture.
+
+PowerMANNA (Behr, Pletner, Sodan; HPCA 2000) is a distributed-memory
+parallel computer built from dual-PowerPC-MPC620 SMP nodes and a
+hierarchical crossbar interconnect with a CPU-driven network interface.
+The hardware is long gone; this library rebuilds the whole system as a
+set of composable simulators — node memory hierarchy, coherence, bus
+fabrics, crossbar network, link protocol, PIO driver, messaging software —
+and regenerates every table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import PowerMannaSystem
+
+    system = PowerMannaSystem.cluster()
+    logp = system.logp(a=0, b=1, nbytes=8)
+    print(f"8-byte one-way latency: {logp.latency_ns / 1e3:.2f} us")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.core import (
+    PC_CLUSTER_180,
+    PC_CLUSTER_266,
+    POWERMANNA,
+    SUN_ULTRA,
+    MachineSpec,
+    PowerMannaSystem,
+    list_machines,
+    machine,
+    table1,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineSpec",
+    "PC_CLUSTER_180",
+    "PC_CLUSTER_266",
+    "POWERMANNA",
+    "PowerMannaSystem",
+    "SUN_ULTRA",
+    "__version__",
+    "list_machines",
+    "machine",
+    "table1",
+]

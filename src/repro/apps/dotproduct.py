@@ -1,0 +1,92 @@
+"""Distributed dot product: local multiply-accumulate plus one reduction.
+
+The collective-bound counterpart to the stencil: per call, each rank does
+n/P fused multiply-adds and then the partial sums combine over a binomial
+tree to rank 0.  Results are real numbers checked against numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.specs import POWERMANNA, MachineSpec
+from repro.cpu.isa import fma_mix, InstructionMix
+from repro.cpu.pipeline import PipelineModel
+from repro.msg.api import build_cluster_world
+from repro.msg.mpi import MiniMpi, RankContext
+
+PARTIAL_BYTES = 8
+_REDUCE_TAG = -600
+
+
+@dataclass(frozen=True)
+class DotProductResult:
+    """Outcome of one distributed dot product."""
+
+    value: float
+    elapsed_ns: float
+    compute_ns: float
+    ranks: int
+    n: int
+
+    @property
+    def comm_fraction(self) -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.compute_ns / self.elapsed_ns)
+
+
+def _per_element_ns(spec: MachineSpec) -> float:
+    """One multiply-accumulate with its two loads and loop overhead."""
+    mix = fma_mix(spec.cpu.has_fma, mults=1.0, adds=1.0) + InstructionMix(
+        int_ops=1.0, loads=2.0, branches=1.0)
+    return PipelineModel(spec.cpu).block_ns(mix, dependent_fp_chain=0.5)
+
+
+def distributed_dot(x: np.ndarray, y: np.ndarray, ranks: int = 8,
+                    machine: MachineSpec = POWERMANNA) -> DotProductResult:
+    """Dot(x, y) over ``ranks`` nodes of a fresh cluster."""
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    n = len(x)
+    if n < ranks:
+        raise ValueError(f"{n} elements cannot split over {ranks} ranks")
+
+    _, world = build_cluster_world()
+    mpi = MiniMpi(world, ranks=list(range(ranks)))
+    element_ns = _per_element_ns(machine)
+
+    bounds = np.linspace(0, n, ranks + 1, dtype=int)
+    partials: List[float] = [0.0] * ranks
+    compute_times = [0.0] * ranks
+
+    def program(ctx: RankContext):
+        rank = ctx.rank
+        lo, hi = bounds[rank], bounds[rank + 1]
+        partials[rank] = float(np.dot(x[lo:hi], y[lo:hi]))
+        work = (hi - lo) * element_ns
+        compute_times[rank] += work
+        yield ctx.compute(work)
+
+        # Binomial-tree combine toward rank 0, summing as values climb.
+        size = ctx.size
+        mask = 1
+        while mask < size:
+            if rank & mask:
+                parent = rank - mask
+                yield ctx.send(parent, PARTIAL_BYTES, tag=_REDUCE_TAG)
+                return None
+            partner = rank | mask
+            if partner < size:
+                yield ctx.recv(partner, tag=_REDUCE_TAG)
+                partials[rank] += partials[partner]
+            mask <<= 1
+        return partials[rank] if rank == 0 else None
+
+    results = mpi.run(program)
+    value = results[0]
+    return DotProductResult(value=value, elapsed_ns=world.sim.now,
+                            compute_ns=max(compute_times), ranks=ranks, n=n)

@@ -1,0 +1,90 @@
+"""Collective-operation timing on the simulated machine.
+
+The optimised user-level MPI of paper Section 4 exists to make exactly
+these fast: with a 2.75 us one-way latency and log2(N) algorithms, an
+8-node barrier should land in the tens of microseconds.  The harness
+times barrier, broadcast and reduce over the rank count and message size,
+and the bench asserts the logarithmic scaling that the dissemination/
+binomial algorithms promise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.msg.api import build_cluster_world
+from repro.msg.mpi import MiniMpi, RankContext
+
+
+@dataclass(frozen=True)
+class CollectiveTiming:
+    """One collective's measured time.
+
+    Attributes:
+        operation: "barrier", "broadcast" or "reduce".
+        ranks: participating rank count.
+        nbytes: payload per message (0 for barrier).
+        elapsed_ns: start to last rank finished.
+    """
+
+    operation: str
+    ranks: int
+    nbytes: int
+    elapsed_ns: float
+
+
+def _fresh_mpi(ranks: int) -> MiniMpi:
+    _, world = build_cluster_world()
+    return MiniMpi(world, ranks=list(range(ranks)))
+
+
+def time_barrier(ranks: int, repetitions: int = 3) -> CollectiveTiming:
+    mpi = _fresh_mpi(ranks)
+
+    def program(ctx: RankContext):
+        yield from ctx.barrier(tag=-900)      # warmup
+        start = ctx.now
+        for rep in range(repetitions):
+            yield from ctx.barrier(tag=-901 - rep)
+        return (ctx.now - start) / repetitions
+
+    per_rank = mpi.run(program)
+    return CollectiveTiming("barrier", ranks, 0, max(per_rank))
+
+
+def time_broadcast(ranks: int, nbytes: int = 1024) -> CollectiveTiming:
+    mpi = _fresh_mpi(ranks)
+
+    def program(ctx: RankContext):
+        yield from ctx.barrier(tag=-910)
+        start = ctx.now
+        yield from ctx.broadcast(root=0, nbytes=nbytes, tag=-911)
+        return ctx.now - start
+
+    per_rank = mpi.run(program)
+    return CollectiveTiming("broadcast", ranks, nbytes, max(per_rank))
+
+
+def time_reduce(ranks: int, nbytes: int = 1024) -> CollectiveTiming:
+    mpi = _fresh_mpi(ranks)
+
+    def program(ctx: RankContext):
+        yield from ctx.barrier(tag=-920)
+        start = ctx.now
+        yield from ctx.reduce_tree(root=0, nbytes=nbytes, tag=-921)
+        return ctx.now - start
+
+    per_rank = mpi.run(program)
+    return CollectiveTiming("reduce", ranks, nbytes, max(per_rank))
+
+
+def scaling_sweep(rank_counts: Sequence[int] = (2, 4, 8),
+                  nbytes: int = 1024,
+                  ) -> Dict[str, List[CollectiveTiming]]:
+    """All three collectives across rank counts (fresh machine each run)."""
+    return {
+        "barrier": [time_barrier(r) for r in rank_counts],
+        "broadcast": [time_broadcast(r, nbytes) for r in rank_counts],
+        "reduce": [time_reduce(r, nbytes) for r in rank_counts],
+    }

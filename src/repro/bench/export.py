@@ -1,0 +1,83 @@
+"""Structured export of benchmark results.
+
+Turns the harness's result objects into JSON- and CSV-serialisable rows so
+downstream tooling (plotting notebooks, regression dashboards) can consume
+a run without parsing text tables.  Every exporter accepts the dataclasses
+the benchmarks already produce.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+
+def record(obj: Any) -> Dict[str, Any]:
+    """One result object as a flat dict.
+
+    Dataclasses export their fields; computed properties that matter for
+    analysis (anything ending in ``_mb_s``, ``_factor``, ``fraction``) are
+    included when present.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        row = dataclasses.asdict(obj)
+    elif isinstance(obj, Mapping):
+        row = dict(obj)
+    else:
+        raise TypeError(f"cannot export {type(obj).__name__}")
+    for name in dir(type(obj)):
+        if name.startswith("_"):
+            continue
+        attr = getattr(type(obj), name, None)
+        if isinstance(attr, property):
+            try:
+                value = getattr(obj, name)
+            except Exception:
+                continue
+            if isinstance(value, (int, float, str, bool)):
+                row[name] = value
+    return {key: _plain(value) for key, value in row.items()
+            if _is_plain(value)}
+
+
+def _plain(value: Any) -> Any:
+    if isinstance(value, float):
+        return value
+    return value
+
+
+def _is_plain(value: Any) -> bool:
+    return isinstance(value, (int, float, str, bool, type(None)))
+
+
+def to_json(results: Iterable[Any], indent: int = 2) -> str:
+    """A list of result objects as a JSON array."""
+    return json.dumps([record(r) for r in results], indent=indent,
+                      sort_keys=True)
+
+
+def to_csv(results: Sequence[Any]) -> str:
+    """A list of result objects as CSV (union of columns, sorted)."""
+    rows = [record(r) for r in results]
+    if not rows:
+        raise ValueError("nothing to export")
+    columns: List[str] = sorted({key for row in rows for key in row})
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_json(path: str, results: Iterable[Any]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(results))
+
+
+def write_csv(path: str, results: Sequence[Any]) -> None:
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(to_csv(results))

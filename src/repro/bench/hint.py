@@ -1,0 +1,252 @@
+"""The HINT benchmark (Figure 6).
+
+HINT (Gustafson & Snell, ref [11]) approximates the integral of
+(1-x)/(1+x) over [0, 1] by hierarchical interval refinement: at each step
+the interval with the largest removable error is split in two, tightening
+the upper and lower Riemann bounds.  Quality is the reciprocal of the
+bound gap; the reported metric is QUIPS — quality improvements per second —
+plotted against runtime.  Because memory grows linearly with quality, the
+QUIPS-versus-time curve maps out the memory hierarchy: the curve drops as
+the interval table outgrows the L1, then the L2.
+
+The *computation* here is the real algorithm (both a floating-point DOUBLE
+and a fixed-point INT variant).  The *timing* is the reproduction's model:
+each refinement scans the live interval records (the paper: data "accessed
+in more complex ways than just a consecutive order"), and the scan's
+address trace is replayed through the machine's cache simulator at
+checkpoint sizes.  The Python implementation selects the split interval
+with a heap for speed but charges time for the scan the benchmark actually
+performs; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.specs import MachineSpec
+from repro.cpu.kernels import hint_scan_step, hint_split_step
+from repro.memory.address import AddressMap
+from repro.memory.trace_gen import hint_sweep_trace
+from repro.node.node import NodeModel
+
+RECORD_BYTES = 32  # x0, x1, f(x0), f(x1) — 4 words per interval record
+_FIXED_POINT_SCALE = 1 << 30
+
+
+@dataclass(frozen=True)
+class HintPoint:
+    """One checkpoint of the QUIPS curve."""
+
+    time_s: float
+    quips: float
+    subintervals: int
+    quality: float
+
+
+@dataclass(frozen=True)
+class HintResult:
+    """A full HINT run on one machine.
+
+    Attributes:
+        machine: machine key.
+        data_type: "double" or "int".
+        points: the QUIPS-versus-time curve.
+        peak_quips: maximum of the curve (cache-resident performance).
+        final_quips: last point (memory-bound performance).
+    """
+
+    machine: str
+    data_type: str
+    points: Tuple[HintPoint, ...]
+
+    @property
+    def peak_quips(self) -> float:
+        return max(p.quips for p in self.points)
+
+    @property
+    def final_quips(self) -> float:
+        return self.points[-1].quips
+
+    def quips_at_subintervals(self, m: int) -> float:
+        best: Optional[HintPoint] = None
+        for point in self.points:
+            if point.subintervals <= m:
+                best = point
+        if best is None:
+            raise ValueError(f"no checkpoint at or below {m} subintervals")
+        return best.quips
+
+
+# ---------------------------------------------------------------------------
+# The algorithm itself (real computation, heap-accelerated selection)
+# ---------------------------------------------------------------------------
+
+
+def _f_double(x: float) -> float:
+    return (1.0 - x) / (1.0 + x)
+
+
+def _f_int(x_scaled: int) -> int:
+    """(1-x)/(1+x) in fixed point with scale 2**30."""
+    num = (_FIXED_POINT_SCALE - x_scaled) * _FIXED_POINT_SCALE
+    den = _FIXED_POINT_SCALE + x_scaled
+    return num // den
+
+
+def hint_qualities(max_subintervals: int,
+                   checkpoints: Sequence[int],
+                   data_type: str = "double") -> List[Tuple[int, float]]:
+    """Run the refinement and report quality at each checkpoint.
+
+    Returns ``[(subintervals, quality), ...]``.  Quality is
+    1 / (upper bound - lower bound); f is decreasing on [0, 1] so each
+    interval's removable error is (f(x0) - f(x1)) * (x1 - x0).
+    """
+    if data_type not in ("double", "int"):
+        raise ValueError(f"data_type must be 'double' or 'int', got {data_type!r}")
+    targets = sorted(set(checkpoints))
+    if not targets or targets[-1] > max_subintervals:
+        raise ValueError("checkpoints must be nonempty and <= max_subintervals")
+
+    out: List[Tuple[int, float]] = []
+    if data_type == "double":
+        x0, x1 = 0.0, 1.0
+        f0, f1 = _f_double(x0), _f_double(x1)
+        err = (f0 - f1) * (x1 - x0)
+        heap = [(-err, x0, x1, f0, f1)]
+        total_err = err
+        count = 1
+        target_idx = 0
+        while count <= max_subintervals and target_idx < len(targets):
+            if count >= targets[target_idx]:
+                out.append((count, 1.0 / total_err if total_err > 0 else float("inf")))
+                target_idx += 1
+                continue
+            neg_err, x0, x1, f0, f1 = heapq.heappop(heap)
+            total_err += neg_err  # remove the split interval's error
+            xm = 0.5 * (x0 + x1)
+            fm = _f_double(xm)
+            left = (f0 - fm) * (xm - x0)
+            right = (fm - f1) * (x1 - xm)
+            heapq.heappush(heap, (-left, x0, xm, f0, fm))
+            heapq.heappush(heap, (-right, xm, x1, fm, f1))
+            total_err += left + right
+            count += 1
+    else:
+        x0, x1 = 0, _FIXED_POINT_SCALE
+        f0, f1 = _f_int(x0), _f_int(x1)
+        err = (f0 - f1) * (x1 - x0)
+        heap_i = [(-err, x0, x1, f0, f1)]
+        total_i = err
+        count = 1
+        target_idx = 0
+        while count <= max_subintervals and target_idx < len(targets):
+            if count >= targets[target_idx]:
+                quality = (_FIXED_POINT_SCALE ** 2 / total_i
+                           if total_i > 0 else float("inf"))
+                out.append((count, quality))
+                target_idx += 1
+                continue
+            neg_err, x0, x1, f0, f1 = heapq.heappop(heap_i)
+            total_i += neg_err
+            xm = (x0 + x1) // 2
+            fm = _f_int(xm)
+            left = (f0 - fm) * (xm - x0)
+            right = (fm - f1) * (x1 - xm)
+            heapq.heappush(heap_i, (-left, x0, xm, f0, fm))
+            heapq.heappush(heap_i, (-right, xm, x1, fm, f1))
+            total_i += left + right
+            count += 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Timing on a machine model
+# ---------------------------------------------------------------------------
+
+
+def default_checkpoints(max_subintervals: int, start: int = 16) -> List[int]:
+    """Geometric checkpoint ladder: 16, 32, 64, ... max."""
+    points = []
+    m = start
+    while m < max_subintervals:
+        points.append(m)
+        m *= 2
+    points.append(max_subintervals)
+    return points
+
+
+def run_hint(node: NodeModel, data_type: str = "double",
+             max_subintervals: int = 16384,
+             checkpoints: Optional[Sequence[int]] = None,
+             machine_key: str = "") -> HintResult:
+    """Run HINT on a node model and build the Figure-6 curve.
+
+    Per refinement at table size *m* the benchmark pays one scan over the
+    m live records plus the split arithmetic.  Scan memory behaviour is
+    replayed through the cache simulator at each checkpoint; between
+    checkpoints the per-record cost is interpolated from the bracketing
+    measurements, and the cumulative runtime integrates
+    ``sum_m (m * per_record(m) + split)``.
+    """
+    marks = list(checkpoints) if checkpoints is not None else \
+        default_checkpoints(max_subintervals)
+    qualities = dict(hint_qualities(max_subintervals, marks, data_type))
+
+    node.reset()
+    allocator = AddressMap().allocator()
+    base = allocator.alloc("hint_records", max_subintervals * RECORD_BYTES)
+
+    scan_unit = hint_scan_step(data_type)
+    split_unit = hint_split_step(data_type)
+    scan_compute_ns = node.pipeline.per_access_compute_ns(
+        scan_unit.mix, scan_unit.memory_refs)
+    split_ns = node.pipeline.block_ns(split_unit.mix)
+
+    # Measure the per-record scan cost at each checkpoint size.
+    per_record_at: List[Tuple[int, float]] = []
+    for mark in marks:
+        trace = hint_sweep_trace(base, mark, RECORD_BYTES, seed=mark)
+        elapsed = node.run_traces([trace], scan_compute_ns).elapsed_ns
+        refs = mark + max(1, int(mark * 0.25))  # scan reads + split writes
+        per_record_at.append((mark, elapsed / refs))
+
+    def per_record(m: int) -> float:
+        prev_mark, prev_cost = per_record_at[0]
+        for mark, cost in per_record_at:
+            if m <= mark:
+                if mark == prev_mark:
+                    return cost
+                frac = (m - prev_mark) / (mark - prev_mark)
+                return prev_cost + frac * (cost - prev_cost)
+            prev_mark, prev_cost = mark, cost
+        return per_record_at[-1][1]
+
+    # Integrate cumulative runtime across all refinements.
+    points: List[HintPoint] = []
+    cumulative_ns = 0.0
+    mark_idx = 0
+    for m in range(1, max_subintervals + 1):
+        cumulative_ns += m * per_record(m) + split_ns
+        if mark_idx < len(marks) and m == marks[mark_idx]:
+            time_s = cumulative_ns / 1e9
+            quality = qualities[m]
+            quips = quality / time_s if time_s > 0 else 0.0
+            points.append(HintPoint(time_s=time_s, quips=quips,
+                                    subintervals=m, quality=quality))
+            mark_idx += 1
+
+    return HintResult(machine=machine_key or node.name,
+                      data_type=data_type, points=tuple(points))
+
+
+def hint_on_machine(spec: MachineSpec, data_type: str = "double",
+                    scale: int = 16,
+                    max_subintervals: int = 16384) -> HintResult:
+    """Convenience: HINT on a fresh single-machine node."""
+    node = spec.node(scale=scale)
+    return run_hint(node, data_type=data_type,
+                    max_subintervals=max_subintervals,
+                    machine_key=spec.key)

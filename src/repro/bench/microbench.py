@@ -1,0 +1,119 @@
+"""Communication microbenchmarks (Figures 9-12).
+
+For PowerMANNA the numbers come from the full discrete-event simulation
+(driver + link interface + links + crossbar); for BIP/FM they come from the
+calibrated comparator models, mirroring the paper's use of published
+measurements.  One :class:`CommPoint` is one (system, size) cell of a
+figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.comparators.models import bip_model, fm_model
+from repro.msg.api import CommWorld, build_cluster_world
+from repro.ni.dma import DmaNicModel
+from repro.ni.driver import DriverConfig
+
+DEFAULT_SIZES = (4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
+                 8192, 16384, 32768, 65536)
+SHORT_SIZES = (4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class CommPoint:
+    """One (system, message-size) measurement."""
+
+    system: str
+    nbytes: int
+    latency_us: Optional[float] = None
+    gap_us: Optional[float] = None
+    unidir_mb_s: Optional[float] = None
+    bidir_mb_s: Optional[float] = None
+
+
+def _fresh_world(fifo_words: int = 32,
+                 driver_config: DriverConfig = DriverConfig()) -> CommWorld:
+    _, world = build_cluster_world(fifo_words=fifo_words,
+                                   driver_config=driver_config)
+    return world
+
+
+def _streams_count(nbytes: int) -> int:
+    """Back-to-back message count: enough for steady state, bounded for
+    simulation cost on large messages."""
+    if nbytes <= 1024:
+        return 12
+    if nbytes <= 8192:
+        return 8
+    return 4
+
+
+def powermanna_point(nbytes: int, metric: str,
+                     fifo_words: int = 32,
+                     driver_config: DriverConfig = DriverConfig()) -> CommPoint:
+    """Measure one metric at one size on a fresh 8-node cluster.
+
+    A fresh world per point keeps measurements independent (no warm FIFO
+    or in-flight state leaks between sizes).
+    """
+    world = _fresh_world(fifo_words, driver_config)
+    if metric == "latency":
+        value = world.one_way_latency_ns(0, 1, nbytes) / 1e3
+        return CommPoint("PowerMANNA", nbytes, latency_us=value)
+    if metric == "gap":
+        value = world.send_gap_ns(0, 1, nbytes,
+                                  count=_streams_count(nbytes)) / 1e3
+        return CommPoint("PowerMANNA", nbytes, gap_us=value)
+    if metric == "unidir":
+        value = world.unidirectional_mb_s(0, 1, nbytes,
+                                          count=_streams_count(nbytes))
+        return CommPoint("PowerMANNA", nbytes, unidir_mb_s=value)
+    if metric == "bidir":
+        value = world.bidirectional_mb_s(0, 1, nbytes,
+                                         rounds=max(2, _streams_count(nbytes) // 2))
+        return CommPoint("PowerMANNA", nbytes, bidir_mb_s=value)
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def comparator_point(model: DmaNicModel, nbytes: int) -> CommPoint:
+    return CommPoint(
+        system=model.name,
+        nbytes=nbytes,
+        latency_us=model.one_way_latency_ns(nbytes) / 1e3,
+        gap_us=model.gap_ns(nbytes) / 1e3,
+        unidir_mb_s=model.unidirectional_mb_s(nbytes),
+        bidir_mb_s=model.bidirectional_mb_s(nbytes))
+
+
+def comm_sweep(metric: str, sizes: Sequence[int] = DEFAULT_SIZES,
+               fifo_words: int = 32,
+               driver_config: DriverConfig = DriverConfig(),
+               include_comparators: bool = True,
+               ) -> Dict[str, List[CommPoint]]:
+    """One figure's worth of data: metric across sizes and systems.
+
+    ``metric`` is one of "latency" (Fig. 9), "gap" (Fig. 10), "unidir"
+    (Fig. 11), "bidir" (Fig. 12).
+    """
+    result: Dict[str, List[CommPoint]] = {}
+    result["PowerMANNA"] = [
+        powermanna_point(n, metric, fifo_words, driver_config) for n in sizes]
+    if include_comparators:
+        for model in (bip_model(), fm_model()):
+            result[model.name] = [comparator_point(model, n) for n in sizes]
+    return result
+
+
+def metric_value(point: CommPoint, metric: str) -> float:
+    value = {
+        "latency": point.latency_us,
+        "gap": point.gap_us,
+        "unidir": point.unidir_mb_s,
+        "bidir": point.bidir_mb_s,
+    }[metric]
+    if value is None:
+        raise ValueError(f"point {point} lacks metric {metric!r}")
+    return value

@@ -1,0 +1,88 @@
+"""ASCII plotting for figures in a terminal.
+
+Keeps the examples and the bench harness free of plotting dependencies:
+log-log scatter charts and horizontal bar charts rendered as text.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+
+def ascii_xy(series: Mapping[str, Sequence[Tuple[float, float]]],
+             width: int = 64, height: int = 16,
+             log_x: bool = True, log_y: bool = True,
+             glyphs: Optional[Dict[str, str]] = None,
+             caption: str = "") -> str:
+    """Scatter chart of one or more (x, y) series.
+
+    Each series gets a one-character glyph (first letter by default);
+    later series overwrite earlier ones on collisions.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small to render")
+    glyphs = dict(glyphs or {})
+    used = set(glyphs.values())
+    for name in series:
+        if name not in glyphs:
+            candidate = next((ch for ch in name if ch.isalnum()), "*")
+            while candidate in used:
+                candidate = chr(ord(candidate) + 1)
+            glyphs[name] = candidate
+            used.add(candidate)
+
+    def tx(value: float, log: bool) -> float:
+        if log:
+            if value <= 0:
+                raise ValueError("log axis requires positive values")
+            return math.log10(value)
+        return value
+
+    points = []
+    for name, data in series.items():
+        for x, y in data:
+            points.append((tx(x, log_x), tx(y, log_y), glyphs[name]))
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, glyph in points:
+        col = int((x - x0) / (x1 - x0 + 1e-12) * (width - 1))
+        row = height - 1 - int((y - y0) / (y1 - y0 + 1e-12) * (height - 1))
+        grid[row][col] = glyph
+    lines = ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    legend = "  ".join(f"{glyph}={name}" for name, glyph in glyphs.items())
+    axes = (f"x: {'log ' if log_x else ''}[{10**x0 if log_x else x0:g}"
+            f" .. {10**x1 if log_x else x1:g}]  "
+            f"y: {'log ' if log_y else ''}[{10**y0 if log_y else y0:g}"
+            f" .. {10**y1 if log_y else y1:g}]")
+    lines.append(axes)
+    lines.append(legend)
+    if caption:
+        lines.append(caption)
+    return "\n".join(lines)
+
+
+def ascii_bars(values: Mapping[str, float], width: int = 40,
+               unit: str = "") -> str:
+    """Horizontal bar chart, one row per labelled value."""
+    if not values:
+        raise ValueError("need at least one value")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("bar chart needs a positive maximum")
+    label_width = max(len(name) for name in values)
+    lines = []
+    for name, value in values.items():
+        filled = int(value / peak * width)
+        lines.append(f"{name.ljust(label_width)}  "
+                     f"{'#' * filled}{' ' if filled else ''}"
+                     f"{value:g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Plain-text rendering of benchmark results.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep the formatting consistent across tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned text table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_series(series: Mapping[str, Sequence[float]],
+                  x_values: Sequence[object], x_label: str,
+                  title: Optional[str] = None) -> str:
+    """Render a figure as a table: one x column, one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name in series:
+            row.append(series[name][i])
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_config_table(columns: Sequence[Dict[str, str]],
+                        title: str = "Table 1. Configuration of test systems",
+                        ) -> str:
+    """Render Table-1-style configuration columns (attributes as rows)."""
+    if not columns:
+        raise ValueError("need at least one machine column")
+    attributes = list(columns[0].keys())
+    headers = ["" ] + [col["System Type"] for col in columns]
+    rows = []
+    for attr in attributes:
+        rows.append([attr] + [col.get(attr, "-") for col in columns])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,141 @@
+"""Offered-load experiments on the crossbar network.
+
+The paper's communication numbers are two-node microbenchmarks; a machine
+with 128 nodes lives or dies by how the interconnect behaves under *load*.
+This harness drives classic traffic patterns through a CommWorld:
+
+* **permutation** — every node sends to a fixed distinct partner;
+  crossbars see no output conflicts, so aggregate throughput should scale
+  with node count (the "favorable blocking behavior" the paper claims for
+  crossbar networks over meshes);
+* **random** — destinations drawn uniformly; transient output conflicts
+  appear but the 16x16 crossbar absorbs them;
+* **hotspot** — everyone sends to node 0; the single output port and the
+  one receive FIFO bound aggregate throughput at one link's rate, however
+  many senders pile on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.msg.api import CommWorld
+
+
+@dataclass(frozen=True)
+class TrafficResult:
+    """One pattern's outcome.
+
+    Attributes:
+        pattern: pattern name.
+        nodes: participating node count.
+        messages: total messages delivered.
+        message_bytes: payload size used.
+        elapsed_ns: first send to last delivery.
+        aggregate_mb_s: total delivered payload over elapsed time.
+        collisions: output-port conflicts observed in the crossbars.
+    """
+
+    pattern: str
+    nodes: int
+    messages: int
+    message_bytes: int
+    elapsed_ns: float
+    aggregate_mb_s: float
+    collisions: int
+
+    @property
+    def per_node_mb_s(self) -> float:
+        return self.aggregate_mb_s / self.nodes if self.nodes else 0.0
+
+
+def _destinations(pattern: str, nodes: Sequence[int], rounds: int,
+                  seed: int) -> List[List[int]]:
+    """Per-round destination of every node."""
+    rng = random.Random(seed)
+    plan: List[List[int]] = []
+    n = len(nodes)
+    for round_index in range(rounds):
+        if pattern == "permutation":
+            shift = (round_index % (n - 1)) + 1
+            plan.append([nodes[(i + shift) % n] for i in range(n)])
+        elif pattern == "random":
+            row = []
+            for i in range(n):
+                choices = [d for d in nodes if d != nodes[i]]
+                row.append(rng.choice(choices))
+            plan.append(row)
+        elif pattern == "hotspot":
+            target = nodes[0]
+            plan.append([target if nodes[i] != target else nodes[1]
+                         for i in range(n)])
+        else:
+            raise ValueError(f"unknown pattern {pattern!r}")
+    return plan
+
+
+def run_pattern(world: CommWorld, pattern: str, message_bytes: int = 1024,
+                rounds: int = 4, seed: int = 7,
+                nodes: Optional[Sequence[int]] = None) -> TrafficResult:
+    """Drive one pattern to completion and measure aggregate throughput."""
+    sim = world.sim
+    nodes = list(nodes if nodes is not None else world.fabric.node_ids())
+    if len(nodes) < 2:
+        raise ValueError("traffic needs at least two nodes")
+    plan = _destinations(pattern, nodes, rounds, seed)
+
+    expected: Dict[int, int] = {node: 0 for node in nodes}
+    for row in plan:
+        for dst in row:
+            expected[dst] += 1
+
+    start = sim.now
+    deliveries: List[float] = []
+
+    def receiver(node: int, count: int):
+        for _ in range(count):
+            message = yield world.recv(node)
+            deliveries.append(message.delivered_at or sim.now)
+
+    receiver_procs = [sim.process(receiver(node, count))
+                      for node, count in expected.items() if count]
+
+    def sender(node_index: int):
+        node = nodes[node_index]
+        for row in plan:
+            yield sim.process(
+                world.endpoint(node).driver.send_message(
+                    world.make_message(node, row[node_index],
+                                       message_bytes)))
+
+    for index in range(len(nodes)):
+        sim.process(sender(index))
+    sim.run()
+    unfinished = [p for p in receiver_procs if not p.finished]
+    if unfinished:
+        raise AssertionError(
+            f"{pattern}: {len(unfinished)} receivers never finished")
+
+    elapsed = max(deliveries) - start if deliveries else 0.0
+    total = len(deliveries)
+    total_bytes = total * message_bytes
+    aggregate = total_bytes * 1e3 / elapsed if elapsed > 0 else 0.0
+    collisions = sum(xbar.stats["collisions"]
+                     for xbar in world.fabric.crossbars.values())
+    return TrafficResult(pattern=pattern, nodes=len(nodes), messages=total,
+                         message_bytes=message_bytes, elapsed_ns=elapsed,
+                         aggregate_mb_s=aggregate, collisions=collisions)
+
+
+def pattern_comparison(make_world, message_bytes: int = 1024,
+                       rounds: int = 4) -> Dict[str, TrafficResult]:
+    """Run all three patterns, each on a fresh world from ``make_world``."""
+    results = {}
+    for pattern in ("permutation", "random", "hotspot"):
+        world = make_world()
+        results[pattern] = run_pattern(world, pattern,
+                                       message_bytes=message_bytes,
+                                       rounds=rounds)
+    return results

@@ -1,0 +1,192 @@
+"""Command-line interface: regenerate any table or figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1
+    python -m repro fig9 --sizes 8 64 1024
+    python -m repro logp
+    python -m repro fig7 --scale 32 --sizes 8 24 64
+
+Each command prints the same rows the benchmark harness produces; the
+heavier figures accept ``--scale``/``--sizes`` to trade fidelity for
+speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench.hint import hint_on_machine
+from repro.bench.matmult import matmult_sweep, smp_speedup
+from repro.bench.microbench import comm_sweep, metric_value
+from repro.bench.report import format_config_table, format_series, format_table
+from repro.core.machine import PowerMannaSystem
+from repro.core.specs import (
+    PC_CLUSTER_180,
+    PC_CLUSTER_266,
+    POWERMANNA,
+    SUN_ULTRA,
+    table1,
+)
+
+NODE_MACHINES = (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180, PC_CLUSTER_266)
+DEFAULT_COMM_SIZES = (8, 64, 512, 4096, 16384)
+DEFAULT_MATMULT_SIZES = (8, 24, 48, 96)
+
+
+def _emit(text: str) -> None:
+    print(text)
+    print()
+
+
+def cmd_list(_args) -> None:
+    rows = [
+        ["table1", "configuration of the test systems"],
+        ["fig6", "HINT QUIPS curves (double + int)"],
+        ["fig7", "MatMult MFLOPS by size (naive + transposed)"],
+        ["fig8", "dual-processor MatMult speedup"],
+        ["fig9", "one-way latency vs BIP/FM"],
+        ["fig10", "send gap at saturation"],
+        ["fig11", "unidirectional bandwidth"],
+        ["fig12", "bidirectional bandwidth"],
+        ["logp", "LogP parameters of the 8-node cluster"],
+    ]
+    _emit(format_table(["command", "regenerates"], rows,
+                       title="Available experiments"))
+
+
+def cmd_table1(_args) -> None:
+    _emit(format_config_table(table1()))
+
+
+def cmd_fig6(args) -> None:
+    for data_type in ("double", "int"):
+        results = {spec.key: hint_on_machine(
+            spec, data_type=data_type, scale=args.scale,
+            max_subintervals=args.subintervals)
+            for spec in NODE_MACHINES}
+        marks = [p.subintervals for p in results["powermanna"].points]
+        series = {key: [r.quips_at_subintervals(m) for m in marks]
+                  for key, r in results.items()}
+        _emit(format_series(series, marks, "subintervals",
+                            title=f"Figure 6 ({data_type.upper()}): QUIPS"))
+
+
+def cmd_fig7(args) -> None:
+    sizes = args.sizes or list(DEFAULT_MATMULT_SIZES)
+    for version in ("naive", "transposed"):
+        series = {}
+        for spec in (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180):
+            results = matmult_sweep(spec, sizes, version, scale=args.scale)
+            series[spec.key] = [r.mflops for r in results]
+        _emit(format_series(series, sizes, "N",
+                            title=f"Figure 7 ({version}): MFLOPS"))
+
+
+def cmd_fig8(args) -> None:
+    sizes = args.sizes or [40, 96]
+    rows = []
+    for spec in (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180):
+        for version in ("naive", "transposed"):
+            for n in sizes:
+                rows.append([spec.key, version, n,
+                             round(smp_speedup(spec, n, version,
+                                               scale=args.scale), 3)])
+    _emit(format_table(["machine", "version", "N", "speedup"], rows,
+                       title="Figure 8: dual-processor speedup"))
+
+
+def _comm_figure(metric: str, title: str, args) -> None:
+    sizes = tuple(args.sizes) if args.sizes else DEFAULT_COMM_SIZES
+    sweep = comm_sweep(metric, sizes=sizes)
+    series = {system: [metric_value(p, metric) for p in points]
+              for system, points in sweep.items()}
+    _emit(format_series(series, list(sizes), "bytes", title=title))
+
+
+def cmd_fig9(args) -> None:
+    _comm_figure("latency", "Figure 9: one-way latency (us)", args)
+
+
+def cmd_fig10(args) -> None:
+    _comm_figure("gap", "Figure 10: send gap at saturation (us)", args)
+
+
+def cmd_fig11(args) -> None:
+    _comm_figure("unidir", "Figure 11: unidirectional bandwidth (MB/s)",
+                 args)
+
+
+def cmd_fig12(args) -> None:
+    _comm_figure("bidir", "Figure 12: bidirectional bandwidth (MB/s)", args)
+
+
+def cmd_logp(args) -> None:
+    system = PowerMannaSystem.cluster()
+    params = system.logp(0, 1, args.nbytes)
+    _emit(format_table(
+        ["parameter", "value"],
+        [["message size", f"{params.nbytes} B"],
+         ["one-way latency", f"{params.latency_ns / 1e3:.2f} us"],
+         ["send overhead o_s", f"{params.overhead_send_ns / 1e3:.2f} us"],
+         ["gap g", f"{params.gap_ns / 1e3:.2f} us"],
+         ["implied bandwidth", f"{params.bandwidth_mb_s:.1f} MB/s"]],
+        title="LogP parameters, 8-node PowerMANNA"))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate PowerMANNA (HPCA 2000) tables and figures.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("table1", help="Table 1: system configurations")
+
+    fig6 = sub.add_parser("fig6", help="HINT QUIPS curves")
+    fig6.add_argument("--scale", type=int, default=16)
+    fig6.add_argument("--subintervals", type=int, default=4096)
+
+    for name, helptext in (("fig7", "MatMult MFLOPS"),
+                           ("fig8", "SMP speedup")):
+        p = sub.add_parser(name, help=helptext)
+        p.add_argument("--scale", type=int, default=16)
+        p.add_argument("--sizes", type=int, nargs="*", default=None)
+
+    for name, helptext in (("fig9", "one-way latency"),
+                           ("fig10", "send gap"),
+                           ("fig11", "unidirectional bandwidth"),
+                           ("fig12", "bidirectional bandwidth")):
+        p = sub.add_parser(name, help=helptext)
+        p.add_argument("--sizes", type=int, nargs="*", default=None)
+
+    logp = sub.add_parser("logp", help="LogP parameters")
+    logp.add_argument("--nbytes", type=int, default=8)
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "table1": cmd_table1,
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "fig8": cmd_fig8,
+    "fig9": cmd_fig9,
+    "fig10": cmd_fig10,
+    "fig11": cmd_fig11,
+    "fig12": cmd_fig12,
+    "logp": cmd_logp,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Comparator communication systems: BIP, FM and GM on Myrinet.
+
+The paper compares PowerMANNA's measured communication performance against
+BIP and FM numbers *quoted from the literature* (ref [9], measured on a
+Pentium Pro 200 cluster with Myrinet) because its own Linux 2.2 GM stack
+"was too slow for a fair comparison".  The reproduction does the same:
+these are parametric :class:`~repro.ni.dma.DmaNicModel` instances whose
+calibration constants live in :mod:`repro.comparators.calibration` with
+their provenance.
+"""
+
+from repro.comparators.calibration import (
+    BIP_CALIBRATION,
+    FM_CALIBRATION,
+    GM_CALIBRATION,
+    CalibrationPoint,
+)
+from repro.comparators.models import bip_model, comparator, fm_model, gm_model
+
+__all__ = [
+    "BIP_CALIBRATION",
+    "CalibrationPoint",
+    "FM_CALIBRATION",
+    "GM_CALIBRATION",
+    "bip_model",
+    "comparator",
+    "fm_model",
+    "gm_model",
+]

@@ -1,0 +1,63 @@
+"""Calibration anchors for the comparator models.
+
+Every number here is traceable: either quoted in the PowerMANNA paper
+itself (Section 5.2) or taken from the user-level-communication literature
+it cites — Bhoedjang/Ruhl/Bal, "User-Level Network Interface Protocols",
+IEEE Computer 31(11), 1998 (ref [9]) and Araki et al., "User-Space
+Communication: A Quantitative Study", SC'98 (ref [12]).  The DMA-NIC model
+parameters in :mod:`repro.comparators.models` are chosen so the model
+reproduces these anchors; the tests assert that it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One published measurement the model must reproduce.
+
+    Attributes:
+        metric: "latency_us", "gap_us" or "bandwidth_mb_s".
+        nbytes: message size of the measurement.
+        value: the published value.
+        tolerance: acceptable relative error of the model at this anchor.
+        source: citation string.
+    """
+
+    metric: str
+    nbytes: int
+    value: float
+    tolerance: float
+    source: str
+
+
+_PAPER = "Behr/Pletner/Sodan, HPCA 2000, Section 5.2"
+_REF9 = "Bhoedjang/Ruhl/Bal, IEEE Computer 31(11), 1998 (paper ref [9])"
+_REF12 = "Araki et al., SC'98 (paper ref [12])"
+
+BIP_CALIBRATION: Tuple[CalibrationPoint, ...] = (
+    CalibrationPoint("latency_us", 8, 6.4, 0.10, _PAPER),
+    CalibrationPoint("bandwidth_mb_s", 65536, 126.0, 0.10, _REF9),
+    CalibrationPoint("latency_us", 4096, 41.0, 0.30, _REF9),
+)
+
+FM_CALIBRATION: Tuple[CalibrationPoint, ...] = (
+    CalibrationPoint("latency_us", 8, 9.2, 0.10, _PAPER),
+    CalibrationPoint("bandwidth_mb_s", 65536, 70.0, 0.15, _REF12),
+)
+
+GM_CALIBRATION: Tuple[CalibrationPoint, ...] = (
+    CalibrationPoint("latency_us", 8, 13.0, 0.20, _REF9),
+    CalibrationPoint("bandwidth_mb_s", 65536, 100.0, 0.15, _REF9),
+)
+
+POWERMANNA_ANCHORS: Tuple[CalibrationPoint, ...] = (
+    # The machine's own published behaviour, used to sanity-check the
+    # full-fidelity simulation rather than a parametric model.
+    CalibrationPoint("latency_us", 8, 2.75, 0.15, _PAPER),
+    CalibrationPoint("bandwidth_mb_s", 65536, 60.0, 0.10,
+                     _PAPER + " (single-link 60 Mbyte/s ceiling)"),
+)

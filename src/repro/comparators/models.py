@@ -1,0 +1,81 @@
+"""Parametric models of BIP, FM and GM on Myrinet.
+
+Each factory returns a :class:`~repro.ni.dma.DmaNicModel` whose constants
+are fitted to the calibration anchors in
+:mod:`repro.comparators.calibration`; ``tests/comparators`` assert the fit.
+BIP is the raw-hardware path (zero copy, minimal protocol); FM adds
+software flow control (a per-byte host copy); GM is the stock
+driver-based stack the paper found "too slow for a fair comparison".
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ni.dma import DmaNicModel
+
+
+def bip_model() -> DmaNicModel:
+    """BIP (Basic Interface for Parallelism) on Myrinet/Pentium Pro 200."""
+    return DmaNicModel(
+        name="BIP/Myrinet",
+        host_overhead_send_ns=2300.0,   # descriptor build + doorbell
+        host_overhead_recv_ns=1300.0,
+        dma_setup_ns=1200.0,
+        pci_mb_s=132.0,          # 32-bit/33 MHz PCI ceiling
+        link_mb_s=126.0,         # what BIP extracts from the 1.28 Gb/s link
+        wire_ns=900.0,
+        pipelined=True,
+        per_byte_software_ns=0.0,  # zero-copy user-level path
+    )
+
+
+def fm_model() -> DmaNicModel:
+    """FM (Fast Messages): adds software flow control and a receive copy."""
+    return DmaNicModel(
+        name="FM/Myrinet",
+        host_overhead_send_ns=2600.0,
+        host_overhead_recv_ns=2600.0,
+        dma_setup_ns=1400.0,
+        pci_mb_s=132.0,
+        link_mb_s=132.0,
+        wire_ns=900.0,
+        pipelined=True,
+        per_byte_software_ns=14.2,  # the flow-control copy: ~70 Mbyte/s host path
+    )
+
+
+def gm_model() -> DmaNicModel:
+    """GM, the stock Myrinet driver stack under Linux 2.2."""
+    return DmaNicModel(
+        name="GM/Myrinet",
+        host_overhead_send_ns=3500.0,
+        host_overhead_recv_ns=3500.0,
+        dma_setup_ns=2000.0,
+        pci_mb_s=132.0,
+        link_mb_s=100.0,
+        wire_ns=900.0,
+        pipelined=True,
+        per_byte_software_ns=0.0,
+    )
+
+
+_FACTORIES = {
+    "bip": bip_model,
+    "fm": fm_model,
+    "gm": gm_model,
+}
+
+
+def comparator(name: str) -> DmaNicModel:
+    """Look up a comparator model by short name ('bip', 'fm', 'gm')."""
+    try:
+        return _FACTORIES[name.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown comparator {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+
+
+def all_comparators() -> Dict[str, DmaNicModel]:
+    return {name: factory() for name, factory in _FACTORIES.items()}

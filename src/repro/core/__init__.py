@@ -1,0 +1,33 @@
+"""Public façade of the PowerMANNA reproduction.
+
+Most users need only:
+
+* :class:`~repro.core.machine.PowerMannaSystem` — build and measure a
+  PowerMANNA configuration;
+* :func:`~repro.core.specs.machine` and the Table-1 presets — the paper's
+  three test systems as executable specifications.
+"""
+
+from repro.core.machine import PowerMannaSystem
+from repro.core.specs import (
+    PC_CLUSTER_180,
+    PC_CLUSTER_266,
+    POWERMANNA,
+    SUN_ULTRA,
+    MachineSpec,
+    list_machines,
+    machine,
+    table1,
+)
+
+__all__ = [
+    "MachineSpec",
+    "PC_CLUSTER_180",
+    "PC_CLUSTER_266",
+    "POWERMANNA",
+    "PowerMannaSystem",
+    "SUN_ULTRA",
+    "list_machines",
+    "machine",
+    "table1",
+]

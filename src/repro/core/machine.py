@@ -1,0 +1,133 @@
+"""The top-level PowerMANNA system façade.
+
+A :class:`PowerMannaSystem` is what the examples and benchmarks hold in
+their hands: N dual-MPC620 nodes (compute models) embedded in the
+duplicated crossbar network (a discrete-event fabric with one CommWorld per
+plane).  The two time scales of DESIGN.md section 5 meet here: node
+benchmarks replay traces on the :class:`~repro.node.node.NodeModel`s,
+communication benchmarks run on the event-driven fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.specs import POWERMANNA, MachineSpec
+from repro.msg.api import CommWorld
+from repro.msg.logp import LogPParameters, measure_logp
+from repro.network.crossbar import CrossbarConfig
+from repro.network.link import LinkConfig
+from repro.network.topology import (
+    Fabric,
+    build_cluster,
+    build_power_manna_256,
+)
+from repro.ni.driver import DriverConfig
+from repro.ni.interface import LinkInterfaceConfig
+from repro.node.node import NodeModel
+from repro.sim.engine import Simulator
+
+
+class PowerMannaSystem:
+    """N nodes + duplicated network + per-plane user-level comm worlds."""
+
+    def __init__(self, n_nodes: int = 8,
+                 machine: MachineSpec = POWERMANNA,
+                 fifo_words: int = 32,
+                 link_config: LinkConfig = LinkConfig(),
+                 crossbar_config: CrossbarConfig = CrossbarConfig(),
+                 driver_config: DriverConfig = DriverConfig(),
+                 planes: int = 2,
+                 node_scale: int = 1,
+                 fabric_builder=None):
+        self.machine = machine
+        self.sim = Simulator()
+        self.ni_config = LinkInterfaceConfig(fifo_words=fifo_words)
+        builder = fabric_builder or (
+            lambda sim: build_cluster(sim, n_nodes=n_nodes,
+                                      link_config=link_config,
+                                      crossbar_config=crossbar_config,
+                                      planes=planes))
+        fabric = builder(self.sim)
+        if fabric.node_rx_fifo_bytes != self.ni_config.fifo_bytes:
+            # Rebuild with matching receive FIFOs (the Figure-12 knob).
+            self.sim = Simulator()
+            fabric = builder(self.sim)
+            raise ValueError(
+                "fabric receive FIFOs do not match the link-interface "
+                f"config ({fabric.node_rx_fifo_bytes} B vs "
+                f"{self.ni_config.fifo_bytes} B); pass a fabric_builder "
+                "that sets node_rx_fifo_bytes=fifo_words*8")
+        self.fabric = fabric
+        self.worlds: List[CommWorld] = [
+            CommWorld(self.sim, fabric, plane=plane,
+                      ni_config=self.ni_config, driver_config=driver_config)
+            for plane in range(planes)
+        ]
+        self._node_models: Dict[int, NodeModel] = {}
+        self.node_scale = node_scale
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def cluster(cls, fifo_words: int = 32,
+                driver_config: DriverConfig = DriverConfig(),
+                node_scale: int = 1) -> "PowerMannaSystem":
+        """The Figure-5a eight-node desk-side system."""
+        node_rx = fifo_words * 8
+
+        def builder(sim: Simulator) -> Fabric:
+            fabric = Fabric(sim, LinkConfig(), CrossbarConfig(),
+                            node_rx_fifo_bytes=node_rx)
+            for plane in range(2):
+                fabric.add_crossbar(f"plane{plane}")
+                for node in range(8):
+                    fabric.attach_node(node, plane, f"plane{plane}", node)
+            return fabric
+
+        return cls(n_nodes=8, fifo_words=fifo_words,
+                   driver_config=driver_config, node_scale=node_scale,
+                   fabric_builder=builder)
+
+    @classmethod
+    def system_256(cls, driver_config: DriverConfig = DriverConfig(),
+                   ) -> "PowerMannaSystem":
+        """The Figure-5b 256-processor (128-node) configuration."""
+        return cls(fabric_builder=lambda sim: build_power_manna_256(sim),
+                   driver_config=driver_config)
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.fabric.node_ids())
+
+    @property
+    def num_processors(self) -> int:
+        return self.num_nodes * self.machine.num_cpus
+
+    def node(self, node_id: int) -> NodeModel:
+        """The compute model of one node (built lazily, cached)."""
+        if node_id not in self.fabric.node_ids():
+            raise KeyError(f"no node {node_id} in this system")
+        model = self._node_models.get(node_id)
+        if model is None:
+            model = self.machine.node(scale=self.node_scale,
+                                      name=f"node{node_id}")
+            self._node_models[node_id] = model
+        return model
+
+    def world(self, plane: int = 0) -> CommWorld:
+        return self.worlds[plane]
+
+    # -- headline measurements --------------------------------------------------
+
+    def logp(self, a: int = 0, b: int = 1, nbytes: int = 8,
+             plane: int = 0) -> LogPParameters:
+        return measure_logp(self.world(plane), a, b, nbytes)
+
+    def describe(self) -> str:
+        return (f"PowerMANNA: {self.num_nodes} nodes "
+                f"({self.num_processors} x {self.machine.cpu.name}), "
+                f"{len(self.worlds)} network planes, "
+                f"{self.ni_config.fifo_words}-word NI FIFOs")

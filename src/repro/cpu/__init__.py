@@ -1,0 +1,35 @@
+"""CPU timing models.
+
+A :class:`~repro.cpu.model.CpuSpec` captures the microarchitectural
+parameters the paper's evaluation turns on — issue width, floating-point
+pipelining, the MPC620's *missing load pipelining*, and per-operation
+latencies.  :mod:`repro.cpu.pipeline` converts instruction mixes to compute
+cycles and memory latencies to pipeline stalls; :mod:`repro.cpu.presets`
+holds the MPC620, UltraSPARC-I and Pentium II parameter sets with their
+Table-1 configurations.
+"""
+
+from repro.cpu.isa import InstructionMix
+from repro.cpu.model import CpuSpec
+from repro.cpu.pipeline import PipelineModel, make_stall_model
+from repro.cpu.presets import (
+    MPC620,
+    PENTIUM_II_180,
+    PENTIUM_II_266,
+    ULTRASPARC_I,
+    cpu_preset,
+    list_presets,
+)
+
+__all__ = [
+    "CpuSpec",
+    "InstructionMix",
+    "MPC620",
+    "PENTIUM_II_180",
+    "PENTIUM_II_266",
+    "PipelineModel",
+    "ULTRASPARC_I",
+    "cpu_preset",
+    "list_presets",
+    "make_stall_model",
+]

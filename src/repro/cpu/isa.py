@@ -1,0 +1,99 @@
+"""Abstract instruction mixes.
+
+The timing models do not execute machine code; benchmark kernels are
+described as *instruction mixes* — counts of abstract operation classes per
+kernel unit (e.g. per inner-product step of MatMult).  This is the level at
+which the paper's node benchmarks differentiate the machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Operation counts for one unit of kernel work.
+
+    Attributes:
+        fp_ops: floating-point results produced (an FMA counts as 2).
+        fp_instructions: FP instructions issued (an FMA counts as 1).
+        int_ops: simple integer ALU operations (address arithmetic, compares).
+        int_muls: integer multiplies (slow on the UltraSPARC-I).
+        int_divs: integer divides.
+        loads: memory loads.
+        stores: memory stores.
+        branches: conditional branches.
+    """
+
+    fp_ops: float = 0.0
+    fp_instructions: float = 0.0
+    int_ops: float = 0.0
+    int_muls: float = 0.0
+    int_divs: float = 0.0
+    loads: float = 0.0
+    stores: float = 0.0
+    branches: float = 0.0
+
+    def __post_init__(self):
+        for name in ("fp_ops", "fp_instructions", "int_ops", "int_muls",
+                     "int_divs", "loads", "stores", "branches"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be nonnegative")
+        if self.fp_instructions > self.fp_ops:
+            raise ValueError("fp_instructions cannot exceed fp_ops "
+                             "(an instruction yields >= 1 op)")
+
+    @property
+    def memory_ops(self) -> float:
+        return self.loads + self.stores
+
+    @property
+    def total_instructions(self) -> float:
+        return (self.fp_instructions + self.int_ops + self.int_muls
+                + self.int_divs + self.loads + self.stores + self.branches)
+
+    def scaled(self, factor: float) -> "InstructionMix":
+        """The mix repeated ``factor`` times (factor may be fractional)."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be nonnegative, got {factor}")
+        return InstructionMix(
+            fp_ops=self.fp_ops * factor,
+            fp_instructions=self.fp_instructions * factor,
+            int_ops=self.int_ops * factor,
+            int_muls=self.int_muls * factor,
+            int_divs=self.int_divs * factor,
+            loads=self.loads * factor,
+            stores=self.stores * factor,
+            branches=self.branches * factor)
+
+    def __add__(self, other: "InstructionMix") -> "InstructionMix":
+        return InstructionMix(
+            fp_ops=self.fp_ops + other.fp_ops,
+            fp_instructions=self.fp_instructions + other.fp_instructions,
+            int_ops=self.int_ops + other.int_ops,
+            int_muls=self.int_muls + other.int_muls,
+            int_divs=self.int_divs + other.int_divs,
+            loads=self.loads + other.loads,
+            stores=self.stores + other.stores,
+            branches=self.branches + other.branches)
+
+    def without_memory(self) -> "InstructionMix":
+        """The mix with loads/stores removed (their time is modelled by the
+        memory hierarchy; the slot they occupy stays via total counts)."""
+        return replace(self, loads=0.0, stores=0.0)
+
+
+def fma_mix(uses_fma: bool, mults: float, adds: float) -> InstructionMix:
+    """FP mix for ``mults`` multiplies feeding ``adds`` adds.
+
+    On FMA machines (the MPC620's PowerPC ``fmadd``) each mul+add pair fuses
+    into one instruction producing two ops.
+    """
+    ops = mults + adds
+    if uses_fma:
+        fused = min(mults, adds)
+        instructions = ops - fused
+    else:
+        instructions = ops
+    return InstructionMix(fp_ops=ops, fp_instructions=instructions)

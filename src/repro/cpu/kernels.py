@@ -1,0 +1,101 @@
+"""Instruction-mix descriptions of the paper's benchmark kernels.
+
+Each function returns the :class:`~repro.cpu.isa.InstructionMix` for one
+unit of kernel work plus how many memory references that unit makes, so
+benchmark drivers can charge compute time per trace reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.isa import InstructionMix, fma_mix
+from repro.cpu.model import CpuSpec
+
+
+@dataclass(frozen=True)
+class KernelUnit:
+    """One repeating unit of a kernel.
+
+    Attributes:
+        mix: instruction mix of the unit.
+        memory_refs: trace references the unit emits.
+        dependent_fp_chain: serially dependent FP instructions per unit.
+        flops: floating-point results credited to the unit (for MFLOPS).
+    """
+
+    mix: InstructionMix
+    memory_refs: int
+    dependent_fp_chain: float = 0.0
+    flops: float = 0.0
+
+
+def matmult_inner_step(spec: CpuSpec) -> KernelUnit:
+    """One k-iteration of the MatMult inner product: c += a[k] * b[k].
+
+    Two loads, one multiply feeding one add (fused on FMA machines), index
+    increment and loop branch.  The running sum is a dependent FP chain —
+    one chain link per iteration unless the compiler's unrolling splits it;
+    we charge half a link to model 2-way unrolled accumulators.
+    """
+    fp = fma_mix(spec.has_fma, mults=1.0, adds=1.0)
+    mix = fp + InstructionMix(int_ops=1.0, loads=2.0, branches=1.0)
+    chain = 0.5 if spec.has_fma else 0.5
+    return KernelUnit(mix=mix, memory_refs=2, dependent_fp_chain=chain,
+                      flops=2.0)
+
+
+def matmult_store_step() -> KernelUnit:
+    """The per-(i, j) epilogue: store C[i][j], bump j, branch."""
+    mix = InstructionMix(int_ops=2.0, stores=1.0, branches=1.0)
+    return KernelUnit(mix=mix, memory_refs=1)
+
+
+def transpose_step() -> KernelUnit:
+    """One element move of the transposition pass: load + store + index."""
+    mix = InstructionMix(int_ops=2.0, loads=1.0, stores=1.0, branches=0.5)
+    return KernelUnit(mix=mix, memory_refs=2)
+
+
+def hint_scan_step(data_type: str) -> KernelUnit:
+    """One record visit of HINT's error scan.
+
+    The scan compares each interval's removable error against the current
+    maximum: one load of the error field, a compare, loop overhead.  The
+    DOUBLE variant compares FP values; INT compares integers.
+    """
+    if data_type == "double":
+        mix = InstructionMix(fp_ops=1.0, fp_instructions=1.0, int_ops=1.0,
+                             loads=1.0, branches=1.0)
+    elif data_type == "int":
+        mix = InstructionMix(int_ops=2.0, loads=1.0, branches=1.0)
+    else:
+        raise ValueError(f"HINT data type must be 'double' or 'int', got {data_type!r}")
+    return KernelUnit(mix=mix, memory_refs=1, flops=1.0 if data_type == "double" else 0.0)
+
+
+def hint_split_step(data_type: str) -> KernelUnit:
+    """Splitting the chosen interval: recompute bounds for two halves.
+
+    Per the HINT paper this is a handful of arithmetic operations — the
+    function evaluation (1-x)/(1+x) at the midpoint, upper/lower rectangle
+    counts, log updates.  The division dominates; INT mode uses integer
+    divide/multiply, DOUBLE uses FP.
+    """
+    if data_type == "double":
+        mix = InstructionMix(fp_ops=8.0, fp_instructions=8.0, int_ops=4.0,
+                             loads=4.0, stores=4.0, branches=2.0)
+        flops = 8.0
+    elif data_type == "int":
+        mix = InstructionMix(int_ops=8.0, int_muls=2.0, int_divs=1.0,
+                             loads=4.0, stores=4.0, branches=2.0)
+        flops = 0.0
+    else:
+        raise ValueError(f"HINT data type must be 'double' or 'int', got {data_type!r}")
+    return KernelUnit(mix=mix, memory_refs=8, flops=flops)
+
+
+def copy_step(word_bytes: int = 8) -> KernelUnit:
+    """One word of a memory copy loop (used by the PIO message driver)."""
+    mix = InstructionMix(int_ops=1.0, loads=1.0, stores=1.0, branches=0.25)
+    return KernelUnit(mix=mix, memory_refs=2)

@@ -1,0 +1,84 @@
+"""CPU microarchitecture parameter sets.
+
+:class:`CpuSpec` is the single place where the machines of Table 1 differ
+as *processors* (cache geometry lives in the memory configs).  The fields
+the paper's analysis leans on:
+
+* ``load_pipelining`` — False on the MPC620 ("it does not support load
+  pipelining ... thus the available memory bandwidth of PowerMANNA cannot
+  be fully exploited"); True on the Pentium II and UltraSPARC-I.
+* ``fp_pipelined`` / ``has_fma`` — the MPC620 is "specially designed to
+  support floating-point pipelining" and has PowerPC fused multiply-add.
+* ``issue_width`` and per-class units — the superscalar envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.clock import Clock
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Timing-relevant microarchitecture of one processor.
+
+    Throughputs are results per cycle; latencies are cycles.
+    """
+
+    name: str
+    clock: Clock
+    issue_width: int = 4
+    # Floating point.
+    fp_pipelined: bool = True
+    has_fma: bool = False
+    fp_throughput: float = 1.0      # FP instructions retired per cycle
+    fp_latency: float = 3.0         # dependent-chain latency
+    # Integer.
+    int_units: int = 2
+    int_mul_cycles: float = 4.0
+    int_div_cycles: float = 20.0
+    # Memory ports and behaviour.
+    load_store_units: int = 1
+    load_pipelining: bool = True    # can misses overlap with further work?
+    overlap_efficiency: float = 1.0  # fraction of compute that hides misses
+    miss_stall_fraction: float = 1.0  # share of miss latency that stalls the
+    # core; < 1 models memory-level parallelism (overlapping outstanding
+    # misses, e.g. the Pentium II's fill buffers).  Meaningless without
+    # load pipelining — the MPC620 blocks on every miss.
+    # Branches.
+    branch_mispredict_rate: float = 0.05
+    branch_penalty_cycles: float = 4.0
+
+    def __post_init__(self):
+        if self.issue_width < 1:
+            raise ValueError("issue width must be >= 1")
+        if self.fp_throughput <= 0:
+            raise ValueError("fp throughput must be positive")
+        if self.int_units < 1 or self.load_store_units < 1:
+            raise ValueError("unit counts must be >= 1")
+        if not 0.0 <= self.overlap_efficiency <= 1.0:
+            raise ValueError("overlap_efficiency must be in [0, 1]")
+        if not 0.0 < self.miss_stall_fraction <= 1.0:
+            raise ValueError("miss_stall_fraction must be in (0, 1]")
+        if not 0.0 <= self.branch_mispredict_rate <= 1.0:
+            raise ValueError("branch_mispredict_rate must be in [0, 1]")
+
+    @property
+    def effective_fp_throughput(self) -> float:
+        """FP instructions per cycle given pipelining."""
+        if self.fp_pipelined:
+            return self.fp_throughput
+        return self.fp_throughput / self.fp_latency
+
+    @property
+    def peak_mflops(self) -> float:
+        """Peak FP results per second in MFLOPS (FMA counts double)."""
+        per_instr = 2.0 if self.has_fma else 1.0
+        return self.effective_fp_throughput * per_instr * self.clock.mhz
+
+    def describe(self) -> str:
+        return (f"{self.name}: {self.clock}, {self.issue_width}-issue, "
+                f"FP {'pipelined' if self.fp_pipelined else 'unpipelined'}"
+                f"{' +FMA' if self.has_fma else ''}, "
+                f"load pipelining {'yes' if self.load_pipelining else 'NO'}")

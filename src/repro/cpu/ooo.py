@@ -1,0 +1,352 @@
+"""A detailed MPC620-style out-of-order engine.
+
+Section 2 of the paper describes the microarchitecture this models: "The
+superscalar processor is capable of issuing four instructions
+simultaneously.  Its six execution units can operate in parallel, and as
+many as six instructions can complete execution in parallel.  The
+MPC620's rename buffers, reservation stations, dynamic branch prediction
+and completion unit increase instruction throughput, guarantee in-order
+completion and ensure a precise exception model."
+
+The engine is a scoreboard-style timing simulator over abstract
+instructions: register renaming removes WAW/WAR hazards (only true RAW
+dependences delay issue), reservation stations and the completion
+(reorder) buffer are finite, execution units have per-class counts,
+latencies and initiation intervals, completion is strictly in order, and
+exceptions are precise (everything older completes, everything younger is
+squashed).  Loads can take their latency from a callable, which is how the
+detailed model plugs into the memory-hierarchy simulator.
+
+It complements the analytic :class:`repro.cpu.pipeline.PipelineModel`:
+the analytic model prices millions of kernel iterations cheaply; this one
+executes short streams faithfully and is used to validate the analytic
+bounds (see ``benchmarks/test_pipeline_validation.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cpu.model import CpuSpec
+
+
+class UnitClass(enum.Enum):
+    INT = "int"
+    FP = "fp"
+    LOAD_STORE = "load_store"
+    BRANCH = "branch"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One abstract instruction.
+
+    Attributes:
+        unit: execution-unit class.
+        dest: architectural destination register name (None for stores
+            and branches).
+        sources: architectural source register names.
+        latency: execution latency in cycles; None uses the unit default.
+        mispredicted: for branches — a mispredicted branch squashes the
+            younger instructions and refetch costs the penalty.
+        raises: the instruction raises a (precise) exception at completion.
+        label: for traces and error messages.
+    """
+
+    unit: UnitClass
+    dest: Optional[str] = None
+    sources: Tuple[str, ...] = ()
+    latency: Optional[float] = None
+    mispredicted: bool = False
+    raises: bool = False
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class OooConfig:
+    """Engine geometry, defaulting to the paper's MPC620 description."""
+
+    issue_width: int = 4            # four instructions dispatched per cycle
+    retire_width: int = 6           # six complete in parallel
+    rob_entries: int = 16           # completion buffer
+    rename_registers: int = 8       # rename buffers per class (pooled here)
+    reservation_stations: int = 2   # per execution unit
+    unit_counts: Dict[UnitClass, int] = field(default_factory=lambda: {
+        UnitClass.INT: 3,           # 6 units total: 3 int,
+        UnitClass.FP: 1,            # 1 fp,
+        UnitClass.LOAD_STORE: 1,    # 1 load/store,
+        UnitClass.BRANCH: 1,        # 1 branch
+    })
+    unit_latency: Dict[UnitClass, float] = field(default_factory=lambda: {
+        UnitClass.INT: 1.0,
+        UnitClass.FP: 3.0,
+        UnitClass.LOAD_STORE: 1.0,  # L1-hit latency; misses via load_latency
+        UnitClass.BRANCH: 1.0,
+    })
+    unit_pipelined: Dict[UnitClass, bool] = field(default_factory=lambda: {
+        UnitClass.INT: True,
+        UnitClass.FP: True,         # "FP pipelining"
+        UnitClass.LOAD_STORE: False,  # NO load pipelining on the MPC620
+        UnitClass.BRANCH: True,
+    })
+    mispredict_penalty: float = 4.0
+
+    def __post_init__(self):
+        if self.issue_width < 1 or self.retire_width < 1:
+            raise ValueError("widths must be >= 1")
+        if self.rob_entries < 1:
+            raise ValueError("completion buffer needs >= 1 entry")
+        for klass in UnitClass:
+            if self.unit_counts.get(klass, 0) < 1:
+                raise ValueError(f"need at least one {klass.value} unit")
+
+
+def config_from_spec(spec: CpuSpec) -> OooConfig:
+    """Derive an engine config from a coarse :class:`CpuSpec`."""
+    return OooConfig(
+        issue_width=spec.issue_width,
+        unit_counts={
+            UnitClass.INT: spec.int_units,
+            UnitClass.FP: max(1, round(spec.fp_throughput)),
+            UnitClass.LOAD_STORE: spec.load_store_units,
+            UnitClass.BRANCH: 1,
+        },
+        unit_latency={
+            UnitClass.INT: 1.0,
+            UnitClass.FP: spec.fp_latency,
+            UnitClass.LOAD_STORE: 1.0,
+            UnitClass.BRANCH: 1.0,
+        },
+        unit_pipelined={
+            UnitClass.INT: True,
+            UnitClass.FP: spec.fp_pipelined,
+            UnitClass.LOAD_STORE: spec.load_pipelining,
+            UnitClass.BRANCH: True,
+        },
+        mispredict_penalty=spec.branch_penalty_cycles,
+    )
+
+
+class PreciseException(Exception):
+    """Raised by :meth:`OooEngine.run` when an instruction faults.
+
+    Attributes:
+        completed: instructions that completed before the faulting one —
+            exactly its program-order index, proving precision.
+        at_cycle: completion time of the faulting instruction.
+    """
+
+    def __init__(self, completed: int, at_cycle: float, label: str):
+        super().__init__(
+            f"precise exception at {label!r}: {completed} older "
+            f"instructions completed, state at cycle {at_cycle:g}")
+        self.completed = completed
+        self.at_cycle = at_cycle
+        self.label = label
+
+
+@dataclass
+class RunResult:
+    """Timing of one instruction stream.
+
+    Attributes:
+        cycles: total cycles until the last instruction completed.
+        instructions: instructions completed.
+        completions: per-instruction completion cycles (program order).
+        squashed: instructions discarded by branch misprediction.
+    """
+
+    cycles: float
+    instructions: int
+    completions: List[float]
+    squashed: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles > 0 else 0.0
+
+
+LoadLatency = Callable[[int], float]
+"""Maps the load's index in the stream to its latency in cycles."""
+
+
+class OooEngine:
+    """Scoreboard-style OoO timing over one instruction stream."""
+
+    def __init__(self, config: OooConfig = OooConfig()):
+        self.config = config
+
+    def run(self, stream: Iterable[Instruction],
+            load_latency: Optional[LoadLatency] = None) -> RunResult:
+        """Execute ``stream``; returns timing or raises PreciseException."""
+        config = self.config
+        instructions = list(stream)
+
+        # Renaming: architectural register -> cycle its newest value is
+        # ready.  Renaming means writes never wait for older readers.
+        reg_ready: Dict[str, float] = {}
+        # Unit initiation bookkeeping: per class, next-free cycles of each
+        # physical unit (length = unit count).
+        unit_free: Dict[UnitClass, List[float]] = {
+            klass: [0.0] * config.unit_counts[klass] for klass in UnitClass}
+        # Reservation stations: per class, completion cycles of in-flight
+        # occupants (entry frees when execution *starts*; we approximate
+        # with start times, the classic Tomasulo behaviour).
+        rs_capacity = {klass: config.reservation_stations
+                       * config.unit_counts[klass] for klass in UnitClass}
+        rs_busy: Dict[UnitClass, List[float]] = {k: [] for k in UnitClass}
+
+        completions: List[float] = []
+        rob: List[float] = []          # completion cycles of in-flight ROB
+        dispatched_in_cycle: Dict[int, int] = {}
+        dispatch_cursor = 0.0          # earliest dispatch for next instr
+        refetch_at = 0.0               # set by mispredicted branches
+        load_index = 0
+        squashed = 0
+        last_complete = 0.0
+
+        for index, instr in enumerate(instructions):
+            # ---- dispatch ---------------------------------------------------
+            dispatch = max(dispatch_cursor, refetch_at)
+            # Issue-width: at most issue_width dispatches share a cycle.
+            while dispatched_in_cycle.get(int(dispatch), 0) >= config.issue_width:
+                dispatch = float(int(dispatch) + 1)
+            # ROB space: the oldest in-flight entry must have completed.
+            while len(rob) >= config.rob_entries:
+                dispatch = max(dispatch, rob.pop(0))
+            # Reservation-station space for this class.
+            station = rs_busy[instr.unit]
+            station.sort()
+            while len(station) >= rs_capacity[instr.unit]:
+                dispatch = max(dispatch, station.pop(0))
+
+            dispatched_in_cycle[int(dispatch)] = \
+                dispatched_in_cycle.get(int(dispatch), 0) + 1
+            dispatch_cursor = dispatch
+
+            # ---- issue/execute ------------------------------------------------
+            operands_ready = max(
+                (reg_ready.get(reg, 0.0) for reg in instr.sources),
+                default=0.0)
+            units = unit_free[instr.unit]
+            unit_slot = min(range(len(units)), key=units.__getitem__)
+            start = max(dispatch + 1.0, operands_ready, units[unit_slot])
+
+            latency = instr.latency
+            if latency is None:
+                latency = self.config.unit_latency[instr.unit]
+            if instr.unit == UnitClass.LOAD_STORE and load_latency is not None:
+                latency = max(latency, load_latency(load_index))
+                load_index += 1
+            finish = start + latency
+
+            if config.unit_pipelined[instr.unit]:
+                units[unit_slot] = start + 1.0
+            else:
+                units[unit_slot] = finish
+            station.append(start)      # RS frees at issue
+
+            # ---- in-order completion -----------------------------------------
+            complete = max(finish, last_complete)
+            # Retire-width: at most retire_width completions per cycle.
+            same_cycle = sum(1 for c in completions
+                             if int(c) == int(complete))
+            if same_cycle >= config.retire_width:
+                complete = float(int(complete) + 1)
+            last_complete = complete
+            completions.append(complete)
+            rob.append(complete)
+
+            if instr.dest is not None:
+                reg_ready[instr.dest] = finish
+
+            if instr.raises:
+                raise PreciseException(completed=index, at_cycle=complete,
+                                       label=instr.label or f"instr{index}")
+
+            if instr.unit == UnitClass.BRANCH and instr.mispredicted:
+                # Squash younger work; refetch after resolution + penalty.
+                refetch_at = finish + config.mispredict_penalty
+                squashed += self._count_squashed(instructions, index)
+
+        cycles = completions[-1] if completions else 0.0
+        return RunResult(cycles=cycles, instructions=len(completions),
+                         completions=completions, squashed=squashed)
+
+    @staticmethod
+    def _count_squashed(instructions: Sequence[Instruction],
+                        branch_index: int) -> int:
+        """Younger instructions already fetched when the branch resolves.
+
+        The model charges the refetch delay via ``refetch_at``; the count
+        here only feeds statistics (how much work a flush discards).
+        """
+        lookahead = 0
+        for instr in instructions[branch_index + 1:branch_index + 5]:
+            lookahead += 1
+        return lookahead
+
+
+# ---------------------------------------------------------------------------
+# Stream builders
+# ---------------------------------------------------------------------------
+
+
+def independent_stream(unit: UnitClass, count: int) -> List[Instruction]:
+    """``count`` independent instructions of one class."""
+    return [Instruction(unit=unit, dest=f"r{i}", label=f"{unit.value}{i}")
+            for i in range(count)]
+
+
+def dependent_chain(unit: UnitClass, count: int) -> List[Instruction]:
+    """A pure RAW chain: each instruction consumes its predecessor."""
+    stream = [Instruction(unit=unit, dest="r0", label=f"{unit.value}0")]
+    for i in range(1, count):
+        stream.append(Instruction(unit=unit, dest=f"r{i}",
+                                  sources=(f"r{i-1}",),
+                                  label=f"{unit.value}{i}"))
+    return stream
+
+
+def matmult_stream(n: int, has_fma: bool,
+                   accumulators: int = 2) -> List[Instruction]:
+    """One MatMult inner product of length ``n`` as instructions.
+
+    ``accumulators`` models compiler unrolling: the running sum rotates
+    over that many registers, shortening the dependent FP chain exactly as
+    the analytic model's ``dependent_fp_chain`` assumes (its default of
+    half a link per iteration corresponds to two accumulators).
+    """
+    if accumulators < 1:
+        raise ValueError("need at least one accumulator")
+    stream: List[Instruction] = []
+    seen_acc = [False] * accumulators
+    for k in range(n):
+        acc = f"acc{k % accumulators}"
+        stream.append(Instruction(UnitClass.LOAD_STORE, dest=f"a{k}",
+                                  label=f"lda{k}"))
+        stream.append(Instruction(UnitClass.LOAD_STORE, dest=f"b{k}",
+                                  label=f"ldb{k}"))
+        acc_src = (acc,) if seen_acc[k % accumulators] else ()
+        seen_acc[k % accumulators] = True
+        if has_fma:
+            stream.append(Instruction(
+                UnitClass.FP, dest=acc,
+                sources=(f"a{k}", f"b{k}") + acc_src, label=f"fmadd{k}"))
+        else:
+            stream.append(Instruction(UnitClass.FP, dest=f"p{k}",
+                                      sources=(f"a{k}", f"b{k}"),
+                                      label=f"mul{k}"))
+            stream.append(Instruction(UnitClass.FP, dest=acc,
+                                      sources=(f"p{k}",) + acc_src,
+                                      label=f"add{k}"))
+        stream.append(Instruction(UnitClass.INT, dest="idx",
+                                  sources=("idx",), label=f"bump{k}"))
+        stream.append(Instruction(UnitClass.BRANCH, sources=("idx",),
+                                  label=f"loop{k}"))
+    final_sources = tuple(f"acc{i}" for i in range(accumulators))
+    stream.append(Instruction(UnitClass.LOAD_STORE, sources=final_sources,
+                              label="store"))
+    return stream

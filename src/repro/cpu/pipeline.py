@@ -1,0 +1,97 @@
+"""Superscalar issue and memory-stall models.
+
+Two questions are answered here:
+
+1. *How long does a block of non-memory work take?* — the bottleneck
+   analysis of :class:`PipelineModel`: a block's cycle count is the worst
+   of the issue-width bound, the FP-throughput bound, the integer bound,
+   the load/store-port bound and the dependent-FP-chain bound.
+2. *How much of a memory access's latency stalls the pipeline?* —
+   :func:`make_stall_model`.  With load pipelining, independent work
+   between accesses hides latency; without it (the MPC620), every miss is
+   fully exposed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cpu.isa import InstructionMix
+from repro.cpu.model import CpuSpec
+
+
+class PipelineModel:
+    """Analytic cycle model of one superscalar core."""
+
+    def __init__(self, spec: CpuSpec):
+        self.spec = spec
+
+    def block_cycles(self, mix: InstructionMix,
+                     dependent_fp_chain: float = 0.0) -> float:
+        """Cycles to execute ``mix``, excluding memory wait time.
+
+        ``dependent_fp_chain`` is the number of *serially dependent* FP
+        instructions in the block (e.g. a running-sum accumulation); each
+        link costs the FP latency unless the hardware fuses it away.
+        """
+        spec = self.spec
+        issue_bound = mix.total_instructions / spec.issue_width
+        fp_bound = mix.fp_instructions / spec.effective_fp_throughput
+        int_instr = mix.int_ops + mix.int_muls + mix.int_divs
+        int_bound = (int_instr / spec.int_units
+                     + mix.int_muls * (spec.int_mul_cycles - 1)
+                     + mix.int_divs * (spec.int_div_cycles - 1))
+        mem_bound = mix.memory_ops / spec.load_store_units
+        branch_cost = (mix.branches * spec.branch_mispredict_rate
+                       * spec.branch_penalty_cycles)
+        chain_bound = dependent_fp_chain * spec.fp_latency
+        return max(issue_bound, fp_bound, int_bound, mem_bound,
+                   chain_bound) + branch_cost
+
+    def block_ns(self, mix: InstructionMix,
+                 dependent_fp_chain: float = 0.0) -> float:
+        return self.spec.clock.cycles_to_ns(
+            self.block_cycles(mix, dependent_fp_chain))
+
+    def per_access_compute_ns(self, mix: InstructionMix, accesses: float,
+                              dependent_fp_chain: float = 0.0) -> float:
+        """Average compute time charged before each of ``accesses`` refs."""
+        if accesses <= 0:
+            raise ValueError(f"accesses must be positive, got {accesses}")
+        return self.block_ns(mix, dependent_fp_chain) / accesses
+
+
+StallModel = Callable[[float, float], float]
+
+
+def make_stall_model(spec: CpuSpec, l1_hit_ns: float) -> StallModel:
+    """Build ``stall(latency_ns, compute_ns) -> ns`` for one CPU.
+
+    The pipeline hides L1-hit latency entirely.  Beyond that:
+
+    * **No load pipelining** (MPC620): the core blocks until the data
+      returns — the exposed latency is the full miss latency.
+    * **Load pipelining**: only ``miss_stall_fraction`` of the exposed
+      latency stalls the core (outstanding misses overlap — memory-level
+      parallelism), and the independent compute preceding the *next*
+      access hides some of the rest (``compute_ns`` times the spec's
+      overlap efficiency).
+
+    The returned stall is the *memory* portion of the CPU's clock advance —
+    the caller has already charged ``compute_ns`` of execution time.
+    """
+
+    if spec.load_pipelining:
+        efficiency = spec.overlap_efficiency
+        fraction = spec.miss_stall_fraction
+
+        def stall(latency_ns: float, compute_ns: float) -> float:
+            exposed = max(0.0, latency_ns - l1_hit_ns) * fraction
+            hidden = compute_ns * efficiency
+            return max(0.0, exposed - hidden)
+    else:
+
+        def stall(latency_ns: float, compute_ns: float) -> float:
+            return max(0.0, latency_ns - l1_hit_ns)
+
+    return stall

@@ -1,0 +1,98 @@
+"""Processor parameter sets for the three Table-1 machines.
+
+Values are taken from the paper where it states them (clocks, issue width,
+FP/load pipelining, FMA) and from the processors' public documentation for
+the rest.  These are *timing-model* parameters: they are chosen to place
+each machine's compute envelope where the paper's measurements put it, and
+every one of them is an explicit, documented knob rather than silicon truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cpu.model import CpuSpec
+from repro.sim.clock import Clock
+
+MPC620 = CpuSpec(
+    name="PowerPC MPC620",
+    clock=Clock(180.0),
+    issue_width=4,           # "capable of issuing four instructions simultaneously"
+    fp_pipelined=True,       # "specially designed to support FP pipelining"
+    has_fma=True,            # PowerPC fmadd
+    fp_throughput=1.0,
+    fp_latency=3.0,
+    int_units=2,
+    int_mul_cycles=3.0,
+    int_div_cycles=20.0,
+    load_store_units=1,
+    load_pipelining=False,   # "it does not support load pipelining"
+    overlap_efficiency=0.0,
+    branch_mispredict_rate=0.05,
+    branch_penalty_cycles=4.0,
+)
+
+ULTRASPARC_I = CpuSpec(
+    name="UltraSPARC-I",
+    clock=Clock(168.0),
+    issue_width=4,
+    fp_pipelined=True,
+    has_fma=False,
+    fp_throughput=2.0,       # independent add and multiply pipes
+    fp_latency=3.0,
+    int_units=2,
+    int_mul_cycles=12.0,     # SPARC V9 mulx is microcoded-slow on US-I
+    int_div_cycles=36.0,
+    load_store_units=1,
+    load_pipelining=True,    # non-blocking loads with a load buffer
+    overlap_efficiency=0.7,  # in-order issue limits run-ahead
+    miss_stall_fraction=0.8,  # shallow MLP: one extra outstanding miss
+    branch_mispredict_rate=0.05,
+    branch_penalty_cycles=4.0,
+)
+
+
+def _pentium_ii(mhz: float) -> CpuSpec:
+    return CpuSpec(
+        name=f"Pentium II {mhz:g} MHz",
+        clock=Clock(mhz),
+        issue_width=3,
+        fp_pipelined=True,
+        has_fma=False,
+        fp_throughput=0.5,   # x87 multiply issues every other cycle
+        fp_latency=3.0,
+        int_units=2,
+        int_mul_cycles=4.0,
+        int_div_cycles=25.0,
+        load_store_units=1,
+        load_pipelining=True,     # out-of-order core, fill buffers
+        overlap_efficiency=1.0,
+        miss_stall_fraction=0.55,  # ~2 misses overlapped via fill buffers
+        branch_mispredict_rate=0.05,
+        branch_penalty_cycles=10.0,  # deeper pipe than the RISC parts
+    )
+
+
+PENTIUM_II_180 = _pentium_ii(180.0)
+PENTIUM_II_266 = _pentium_ii(266.0)
+
+_PRESETS: Dict[str, CpuSpec] = {
+    "mpc620": MPC620,
+    "ultrasparc-i": ULTRASPARC_I,
+    "pentium-ii-180": PENTIUM_II_180,
+    "pentium-ii-266": PENTIUM_II_266,
+}
+
+
+def cpu_preset(name: str) -> CpuSpec:
+    """Look up a processor preset by key (see :func:`list_presets`)."""
+    try:
+        return _PRESETS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown CPU preset {name!r}; available: {sorted(_PRESETS)}"
+        ) from None
+
+
+def list_presets() -> List[str]:
+    return sorted(_PRESETS)

@@ -1,0 +1,49 @@
+"""EARTH — an Efficient Architecture for Running THreads, on PowerMANNA.
+
+The paper closes with: "for the forerunner MANNA machine, the EARTH system
+was shown to offer low communication cost close to the hardware limits
+[18].  In a cooperation project with the University of Delaware, EARTH is
+currently being ported to the PowerMANNA machine."  This package *is* that
+port, for the simulated machine: a fine-grain multithreading runtime in
+the EARTH-MANNA style (Hum/Maquelin/Theobald/Tian/Gao/Hendren, IJPP 1996).
+
+The programming model:
+
+* programs are **threaded procedures** decomposed into **fibers** —
+  short, non-preemptive code sequences;
+* a fiber becomes ready when its **sync slot** counts down to zero;
+* fibers issue **split-phase operations** — remote loads/stores, remote
+  fiber spawns, data-sync sends — and terminate without blocking; the
+  reply decrements the sync slot of whichever fiber consumes the result.
+
+Each node runs an **EU** (execution unit: pops ready fibers and runs
+them) and an **SU** (synchronisation unit: fields network messages,
+services remote requests, counts down sync slots).  On PowerMANNA both
+are node CPUs driving the lightweight link interface — exactly the
+machine's "can also perform well with multithreaded software" claim,
+which :mod:`repro.earth.bench` quantifies against round-trip-style
+blocking communication.
+"""
+
+from repro.earth.runtime import EarthConfig, EarthMachine, EarthNode
+from repro.earth.fibers import Fiber, SyncSlot
+from repro.earth.operations import (
+    DataSync,
+    Operation,
+    RemoteLoad,
+    RemoteStore,
+    Spawn,
+)
+
+__all__ = [
+    "DataSync",
+    "EarthConfig",
+    "EarthMachine",
+    "EarthNode",
+    "Fiber",
+    "Operation",
+    "RemoteLoad",
+    "RemoteStore",
+    "Spawn",
+    "SyncSlot",
+]

@@ -1,0 +1,137 @@
+"""EARTH measurement harness.
+
+Ref [18] showed EARTH on MANNA delivering communication cost close to the
+hardware limits; the paper ports it to PowerMANNA to exploit multithreaded
+software.  Two experiments quantify that here:
+
+* :func:`remote_load_latency_ns` — one split-phase remote load, request to
+  sync-fire, the EARTH analogue of half a ping-pong;
+* :func:`overlap_experiment` — K remote loads issued *blocking* (one
+  round trip at a time, what a naive message-passing code does) versus
+  *split-phase* (all in flight, one sync slot counts them down).  The
+  ratio is the latency-tolerance win of the threaded model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.earth.fibers import Fiber, SyncSlot
+from repro.earth.operations import RemoteLoad
+from repro.earth.runtime import EarthConfig, EarthMachine
+
+
+@dataclass(frozen=True)
+class OverlapResult:
+    count: int
+    blocking_ns: float
+    split_phase_ns: float
+
+    @property
+    def overlap_factor(self) -> float:
+        if self.split_phase_ns <= 0:
+            return float("inf")
+        return self.blocking_ns / self.split_phase_ns
+
+
+def _populate(machine: EarthMachine, node: int, count: int) -> None:
+    for index in range(count):
+        machine.node(node).memory[index * 8] = index * 11
+
+
+def remote_load_latency_ns(machine: EarthMachine | None = None,
+                           src: int = 0, dst: int = 1) -> float:
+    """Time from issuing one remote load to its sync slot firing."""
+    machine = machine or EarthMachine()
+    _populate(machine, dst, 1)
+    times = {}
+
+    def done_body(node, frame):
+        times["done"] = node.sim.now
+        return []
+
+    done = Fiber(done_body, work_ns=0.0, label="done")
+    slot = SyncSlot(1, done, label="load")
+    frame: dict = {}
+
+    def issue_body(node, frame_):
+        times["start"] = node.sim.now
+        return [RemoteLoad(node=dst, addr=0, frame=frame, key="x", slot=slot)]
+
+    machine.spawn(src, Fiber(issue_body, work_ns=0.0, label="issue"))
+    machine.run()
+    if frame.get("x") != 0:
+        raise AssertionError(f"remote load returned {frame.get('x')!r}")
+    return times["done"] - times["start"]
+
+
+def overlap_experiment(count: int = 16, src: int = 0,
+                       dst: int = 1,
+                       config: EarthConfig = EarthConfig()) -> OverlapResult:
+    """Blocking versus split-phase remote loads (fresh machine each arm)."""
+
+    # -- blocking arm: each load's sync fires the next load's fiber --------
+    machine = EarthMachine(config=config)
+    _populate(machine, dst, count)
+    times = {}
+    frame: dict = {}
+
+    def make_chain(index: int) -> Fiber:
+        def body(node, frame_):
+            if index == count:
+                times["end"] = node.sim.now
+                return []
+            follow = make_chain(index + 1)
+            slot = SyncSlot(1, follow, label=f"chain{index}")
+            return [RemoteLoad(node=dst, addr=index * 8, frame=frame,
+                               key=f"v{index}", slot=slot)]
+
+        return Fiber(body, work_ns=0.0, label=f"chain{index}")
+
+    def root_blocking(node, frame_):
+        times["start"] = node.sim.now
+        follow = make_chain(1)
+        slot = SyncSlot(1, follow, label="chain0")
+        return [RemoteLoad(node=dst, addr=0, frame=frame, key="v0",
+                           slot=slot)]
+
+    machine.spawn(src, Fiber(root_blocking, work_ns=0.0, label="root"))
+    machine.run()
+    blocking_ns = times["end"] - times["start"]
+    _check_values(frame, count)
+
+    # -- split-phase arm: all loads in flight, one slot counts them -------
+    machine = EarthMachine(config=config)
+    _populate(machine, dst, count)
+    times = {}
+    frame = {}
+
+    def finish(node, frame_):
+        times["end"] = node.sim.now
+        return []
+
+    slot = SyncSlot(count, Fiber(finish, work_ns=0.0, label="finish"),
+                    label="all-loads")
+
+    def root_split(node, frame_):
+        times["start"] = node.sim.now
+        return [RemoteLoad(node=dst, addr=index * 8, frame=frame,
+                           key=f"v{index}", slot=slot)
+                for index in range(count)]
+
+    machine.spawn(src, Fiber(root_split, work_ns=0.0, label="root"))
+    machine.run()
+    split_ns = times["end"] - times["start"]
+    _check_values(frame, count)
+
+    return OverlapResult(count=count, blocking_ns=blocking_ns,
+                         split_phase_ns=split_ns)
+
+
+def _check_values(frame: dict, count: int) -> None:
+    for index in range(count):
+        expected = index * 11
+        if frame.get(f"v{index}") != expected:
+            raise AssertionError(
+                f"load {index} returned {frame.get(f'v{index}')!r}, "
+                f"expected {expected}")

@@ -1,0 +1,99 @@
+"""Fibers and sync slots — the units of EARTH's fine-grain threading.
+
+A *fiber* is a short, non-preemptive piece of work plus the split-phase
+operations it issues when it runs.  A *sync slot* is a countdown: every
+inbound datum or signal decrements it, and when it reaches zero the
+associated fiber is enqueued for execution.  This is the whole EARTH
+scheduling contract — no blocking, no preemption, no stacks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.earth.operations import Operation
+    from repro.earth.runtime import EarthNode
+
+_fiber_ids = itertools.count(1)
+
+Frame = Dict[str, Any]
+FiberBody = Callable[["EarthNode", Frame], List["Operation"]]
+
+
+@dataclass
+class Fiber:
+    """One schedulable unit.
+
+    Attributes:
+        body: the code — runs atomically, returns the split-phase
+            operations to issue.  It may read/write its ``frame`` and the
+            node's local memory.
+        frame: the activation frame shared by the fibers of one threaded
+            procedure invocation.
+        work_ns: simulated execution time of the body (the model's stand-in
+            for the fiber's instruction stream).
+        label: debugging/tracing name.
+    """
+
+    body: FiberBody
+    frame: Frame = field(default_factory=dict)
+    work_ns: float = 200.0
+    label: str = ""
+    fiber_id: int = field(default_factory=lambda: next(_fiber_ids))
+
+    def __post_init__(self):
+        if self.work_ns < 0:
+            raise ValueError("fiber work time must be nonnegative")
+        if not callable(self.body):
+            raise TypeError("fiber body must be callable")
+
+    def run(self, node: "EarthNode") -> List["Operation"]:
+        ops = self.body(node, self.frame)
+        return list(ops) if ops else []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Fiber {self.label or self.body.__name__}#{self.fiber_id}>"
+
+
+class SyncSlot:
+    """A countdown gate in front of a fiber.
+
+    ``count`` arrivals are needed before ``fiber`` fires.  Slots may be
+    reusable (``reset=True``: the count reloads after firing, as in loop
+    bodies) or one-shot.
+    """
+
+    def __init__(self, count: int, fiber: Fiber, reset: bool = False,
+                 label: str = ""):
+        if count < 1:
+            raise ValueError("sync count must be >= 1")
+        self.initial_count = count
+        self.count = count
+        self.fiber = fiber
+        self.reset = reset
+        self.label = label
+        self.fired = 0
+
+    def signal(self) -> Optional[Fiber]:
+        """One arrival; returns the fiber if this one released it."""
+        if self.count <= 0:
+            raise RuntimeError(
+                f"sync slot {self.label!r} signalled after exhaustion")
+        self.count -= 1
+        if self.count > 0:
+            return None
+        self.fired += 1
+        if self.reset:
+            self.count = self.initial_count
+        return self.fiber
+
+    @property
+    def pending(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<SyncSlot {self.label!r} {self.count}/"
+                f"{self.initial_count}>")

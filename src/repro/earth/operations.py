@@ -1,0 +1,96 @@
+"""Split-phase operations — EARTH's replacement for blocking communication.
+
+Every operation is fire-and-forget from the issuing fiber's perspective:
+the fiber terminates, and the *effect* (a value landing in a frame, a sync
+count reaching zero, a fiber appearing on a remote ready queue) later
+re-enables whatever consumes it.  On PowerMANNA these map directly onto
+short messages through the CPU-driven link interface, which is why the
+machine suits the model so well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.earth.fibers import Fiber, Frame, SyncSlot
+
+
+class Operation:
+    """Marker base class for split-phase operations."""
+
+    #: payload bytes the operation occupies on the wire (request side).
+    wire_bytes: int = 16
+
+
+@dataclass
+class Spawn(Operation):
+    """INVOKE: enqueue ``fiber`` on ``node``'s ready queue."""
+
+    node: int
+    fiber: Fiber
+    wire_bytes: int = 32
+
+
+@dataclass
+class RemoteLoad(Operation):
+    """GET_SYNC: fetch ``addr`` from ``node``'s memory; on reply, store the
+    value into ``frame[key]`` and signal ``slot`` (both on the *issuing*
+    node).
+
+    ``origin`` is stamped by the issuing EU so the reply can find its way
+    home; programs never set it.
+    """
+
+    node: int
+    addr: int
+    frame: Frame
+    key: str
+    slot: SyncSlot
+    origin: int = -1
+    wire_bytes: int = 16
+
+
+@dataclass
+class RemoteStore(Operation):
+    """Write ``value`` to ``node``'s memory at ``addr``; optionally signal
+    a slot on the destination node afterwards."""
+
+    node: int
+    addr: int
+    value: Any
+    slot: Optional[SyncSlot] = None
+    wire_bytes: int = 24
+
+
+@dataclass
+class DataSync(Operation):
+    """SYNC with data: deposit ``value`` into a (possibly remote) frame and
+    signal its slot — the canonical way a child returns its result."""
+
+    node: int
+    frame: Frame
+    key: str
+    value: Any
+    slot: SyncSlot
+    wire_bytes: int = 24
+
+
+@dataclass
+class LocalSignal(Operation):
+    """A purely local sync arrival (no network traffic)."""
+
+    slot: SyncSlot
+    wire_bytes: int = 0
+
+
+@dataclass
+class _LoadReply(Operation):
+    """Internal: the response half of a RemoteLoad."""
+
+    node: int            # issuing node, where frame/slot live
+    frame: Frame
+    key: str
+    value: Any
+    slot: SyncSlot
+    wire_bytes: int = 24

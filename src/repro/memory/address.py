@@ -1,0 +1,79 @@
+"""Address arithmetic helpers.
+
+The MPC620 has a 40-bit physical address space; all addresses in the
+library are plain Python ints interpreted as byte addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MPC620_PHYSICAL_BITS = 40
+MPC620_PHYSICAL_LIMIT = 1 << MPC620_PHYSICAL_BITS
+
+
+def is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def line_address(addr: int, line_bytes: int) -> int:
+    """The address of the cache line containing ``addr``."""
+    return addr & ~(line_bytes - 1)
+
+
+def line_offset(addr: int, line_bytes: int) -> int:
+    return addr & (line_bytes - 1)
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """A simple allocator of non-overlapping address regions.
+
+    Benchmarks allocate their arrays through an AddressMap so that traces
+    use realistic, page-aligned, non-aliasing addresses.
+    """
+
+    base: int = 0x1000_0000
+    page_bytes: int = 4096
+
+    def __post_init__(self):
+        if not is_power_of_two(self.page_bytes):
+            raise ValueError(f"page size must be a power of two, got {self.page_bytes}")
+
+    def allocator(self) -> "RegionAllocator":
+        return RegionAllocator(self.base, self.page_bytes)
+
+
+class RegionAllocator:
+    """Bump allocator returning page-aligned regions."""
+
+    def __init__(self, base: int, page_bytes: int):
+        self._next = base
+        self._page = page_bytes
+        self.regions: dict[str, tuple[int, int]] = {}
+
+    def alloc(self, name: str, size_bytes: int, align: int | None = None) -> int:
+        """Allocate ``size_bytes``; returns the base address."""
+        if size_bytes <= 0:
+            raise ValueError(f"allocation size must be positive, got {size_bytes}")
+        if name in self.regions:
+            raise ValueError(f"region {name!r} already allocated")
+        align = self._page if align is None else align
+        if not is_power_of_two(align):
+            raise ValueError(f"alignment must be a power of two, got {align}")
+        base = (self._next + align - 1) & ~(align - 1)
+        self._next = base + size_bytes
+        if self._next >= MPC620_PHYSICAL_LIMIT:
+            raise MemoryError("allocator exhausted the 40-bit physical space")
+        self.regions[name] = (base, size_bytes)
+        return base
+
+    def region(self, name: str) -> tuple[int, int]:
+        return self.regions[name]
+
+    def contains(self, addr: int) -> str | None:
+        """Name of the region containing ``addr``, or None."""
+        for name, (base, size) in self.regions.items():
+            if base <= addr < base + size:
+                return name
+        return None

@@ -1,0 +1,101 @@
+"""Interleaved, pipelined DRAM model.
+
+The PowerMANNA node memory uses cheap standard DRAM modules organised into
+interleaved banks, pipelined to deliver 640 Mbyte/s.  The model tracks a
+next-free time per bank so that consecutive line fetches to different banks
+overlap (pipelining) while same-bank accesses serialise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.memory.address import is_power_of_two
+from repro.sim.stats import Counter
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """DRAM organisation and timing.
+
+    Attributes:
+        num_banks: interleave factor (power of two).
+        interleave_bytes: consecutive address stride mapped to the next
+            bank — the node interleaves on cache-line granularity.
+        access_ns: time from request to first data word (row access).
+        bandwidth_mb_s: sustained per-module burst bandwidth; a line
+            transfer occupies its bank for line_bytes / bandwidth.
+    """
+
+    num_banks: int = 4
+    interleave_bytes: int = 64
+    access_ns: float = 60.0
+    bandwidth_mb_s: float = 640.0
+
+    def __post_init__(self):
+        if not is_power_of_two(self.num_banks):
+            raise ValueError(f"bank count must be a power of two, got {self.num_banks}")
+        if not is_power_of_two(self.interleave_bytes):
+            raise ValueError(
+                f"interleave granularity must be a power of two, "
+                f"got {self.interleave_bytes}")
+        if self.access_ns <= 0 or self.bandwidth_mb_s <= 0:
+            raise ValueError("DRAM timing parameters must be positive")
+
+    def transfer_ns(self, nbytes: int) -> float:
+        """Time the bank is busy streaming ``nbytes``."""
+        return nbytes * 1e3 / self.bandwidth_mb_s
+
+    def line_service_ns(self, line_bytes: int) -> float:
+        """Unloaded latency of one full line fetch."""
+        return self.access_ns + self.transfer_ns(line_bytes)
+
+
+class InterleavedDram:
+    """Bank-level timing: per-bank next-free bookkeeping.
+
+    ``service(now, addr, nbytes)`` returns the completion time of a fetch
+    issued at ``now``, queueing behind earlier work on the same bank but
+    overlapping with other banks.
+    """
+
+    def __init__(self, config: DramConfig, name: str = "dram"):
+        self.config = config
+        self.name = name
+        self._bank_free: List[float] = [0.0] * config.num_banks
+        self._bank_shift = config.interleave_bytes.bit_length() - 1
+        self._bank_mask = config.num_banks - 1
+        self.stats = Counter(name)
+
+    def bank_of(self, addr: int) -> int:
+        return (addr >> self._bank_shift) & self._bank_mask
+
+    def service(self, now: float, addr: int, nbytes: int) -> float:
+        """Issue a fetch/writeback; returns its completion time (ns)."""
+        if nbytes <= 0:
+            raise ValueError(f"transfer size must be positive, got {nbytes}")
+        bank = self.bank_of(addr)
+        start = max(now, self._bank_free[bank])
+        queued = start - now
+        done = start + self.config.access_ns + self.config.transfer_ns(nbytes)
+        self._bank_free[bank] = done
+        self.stats.incr("requests")
+        if queued > 0:
+            self.stats.incr("bank_conflicts")
+        return done
+
+    def peek_service(self, now: float, addr: int, nbytes: int) -> float:
+        """Completion time a fetch *would* get, without issuing it."""
+        bank = self.bank_of(addr)
+        start = max(now, self._bank_free[bank])
+        return start + self.config.access_ns + self.config.transfer_ns(nbytes)
+
+    def reset(self) -> None:
+        self._bank_free = [0.0] * self.config.num_banks
+        self.stats.reset()
+
+    def conflict_rate(self) -> float:
+        if self.stats["requests"] == 0:
+            return 0.0
+        return self.stats["bank_conflicts"] / self.stats["requests"]

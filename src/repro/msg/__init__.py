@@ -1,0 +1,27 @@
+"""User-level messaging software.
+
+PowerMANNA's communication stack is all software on the node CPUs: the
+driver (:mod:`repro.ni.driver`) moves bytes, and this package provides the
+layers above it — a point-to-point user-level API (:mod:`repro.msg.api`),
+a small MPI-flavoured library (:mod:`repro.msg.mpi`) and LogP parameter
+measurement (:mod:`repro.msg.logp`).
+"""
+
+from repro.msg.api import CommWorld, build_cluster_world
+from repro.msg.logp import LogPParameters, measure_logp
+from repro.msg.mpi import MiniMpi, RankContext
+from repro.msg.reliable import ReliableChannel, ReliableConfig
+from repro.msg.striping import StripedChannel, StripingConfig
+
+__all__ = [
+    "CommWorld",
+    "LogPParameters",
+    "MiniMpi",
+    "RankContext",
+    "ReliableChannel",
+    "ReliableConfig",
+    "StripedChannel",
+    "StripingConfig",
+    "build_cluster_world",
+    "measure_logp",
+]

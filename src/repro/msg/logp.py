@@ -1,0 +1,88 @@
+"""LogP parameter measurement.
+
+The paper reports its communication results in LogP terms (ref [13]):
+one-way latency as half the ping-pong time and the *gap* as the
+message-sending time at the network saturation point.  This module runs
+those experiments on a simulated machine and packages the parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.msg.api import CommWorld
+
+
+@dataclass(frozen=True)
+class LogPParameters:
+    """The LogP model of one machine, measured at one message size.
+
+    Attributes:
+        latency_ns: end-to-end one-way latency (L + o_s + o_r combined, as
+            the paper plots it).
+        overhead_send_ns: sender CPU occupancy per message (o_s).
+        gap_ns: inter-message time at saturation (g).
+        nbytes: message size the parameters were measured at.
+    """
+
+    latency_ns: float
+    overhead_send_ns: float
+    gap_ns: float
+    nbytes: int
+
+    @property
+    def bandwidth_mb_s(self) -> float:
+        """Implied streaming bandwidth n/g."""
+        if self.gap_ns <= 0:
+            return float("inf")
+        return self.nbytes * 1e3 / self.gap_ns
+
+    @property
+    def network_latency_ns(self) -> float:
+        """The wire share of latency: L ~ latency - o_s (receiver overhead
+        cannot be separated without hardware timestamps; the paper has the
+        same limitation)."""
+        return max(0.0, self.latency_ns - self.overhead_send_ns)
+
+
+def measure_send_overhead_ns(world: CommWorld, a: int, b: int, nbytes: int,
+                             count: int = 8) -> float:
+    """Sender CPU time per message: how long send_message occupies the CPU."""
+    times = []
+
+    def bench():
+        for _ in range(count):
+            message = world.make_message(a, b, nbytes)
+            start = world.sim.now
+            yield world.sim.process(
+                world.endpoint(a).driver.send_message(message))
+            times.append(world.sim.now - start)
+
+    def drain():
+        for _ in range(count):
+            yield world.recv(b)
+
+    proc = world.sim.process(bench())
+    drain_proc = world.sim.process(drain())
+    world.sim.run_until_complete(drain_proc)
+    if not proc.finished:
+        raise AssertionError("send-overhead bench did not finish")
+    times.sort()
+    return times[len(times) // 2]  # median: steady-state, not cold route
+
+
+def measure_logp(world: CommWorld, a: int, b: int, nbytes: int,
+                 reps: int = 4) -> LogPParameters:
+    """Measure all LogP parameters between nodes ``a`` and ``b``."""
+    latency = world.one_way_latency_ns(a, b, nbytes, reps=reps)
+    overhead = measure_send_overhead_ns(world, a, b, nbytes)
+    gap = world.send_gap_ns(a, b, nbytes)
+    return LogPParameters(latency_ns=latency, overhead_send_ns=overhead,
+                          gap_ns=gap, nbytes=nbytes)
+
+
+def logp_sweep(world: CommWorld, a: int, b: int,
+               sizes: Sequence[int]) -> Dict[int, LogPParameters]:
+    """LogP parameters across message sizes (the Figures 9-11 x-axis)."""
+    return {size: measure_logp(world, a, b, size) for size in sizes}

@@ -1,0 +1,247 @@
+"""A small MPI-flavoured message-passing library over the CommWorld.
+
+The paper ships PVM and MPI on LinuxPPC with an optimised user-level MPI.
+This module is the reproduction's equivalent: rank programs are written as
+generators against a :class:`RankContext` (``yield ctx.send(...)``,
+``yield ctx.recv(...)``) and :class:`MiniMpi` runs one program per rank on
+the simulated machine.  Point-to-point matching is by source and tag;
+collectives (barrier, broadcast, gather, allreduce-style combine) are
+implemented as message algorithms on top, exactly as a user-level MPI
+would be.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
+
+from repro.msg.api import CommWorld
+from repro.network.message import Message
+from repro.sim.engine import Event, Simulator
+from repro.sim.process import Process
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Metadata of a received message."""
+
+    source: int
+    tag: int
+    nbytes: int
+    delivered_at: float
+
+
+class RankContext:
+    """The per-rank API surface handed to MPI programs."""
+
+    def __init__(self, mpi: "MiniMpi", rank: int):
+        self._mpi = mpi
+        self.rank = rank
+        self.size = mpi.size
+
+    # -- point to point ------------------------------------------------------
+
+    def send(self, dest: int, nbytes: int, tag: int = 0) -> Process:
+        """Blocking-ish send: the returned process finishes when the
+        message has left this rank's driver."""
+        return self._mpi._send(self.rank, dest, nbytes, tag)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Process:
+        """Receive one matching message; the process value is an Envelope."""
+        return self._mpi._recv(self.rank, source, tag)
+
+    def sendrecv(self, dest: int, nbytes: int,
+                 source: int = ANY_SOURCE, tag: int = 0):
+        """Combined send+receive (safe exchange)."""
+        send_proc = self.send(dest, nbytes, tag)
+        recv_proc = self.recv(source, tag)
+        yield send_proc
+        envelope = yield recv_proc
+        return envelope
+
+    # -- collectives ------------------------------------------------------------
+
+    def barrier(self, tag: int = -101):
+        """Dissemination barrier: ceil(log2(size)) rounds of 0-byte pairs."""
+        size, rank = self.size, self.rank
+        distance = 1
+        while distance < size:
+            peer_up = (rank + distance) % size
+            peer_down = (rank - distance) % size
+            send_proc = self.send(peer_up, 0, tag)
+            recv_proc = self.recv(peer_down, tag)
+            yield send_proc
+            yield recv_proc
+            distance *= 2
+        return None
+
+    def broadcast(self, root: int, nbytes: int, tag: int = -102):
+        """Binomial-tree broadcast rooted at ``root``.
+
+        In relative-rank space the parent of r is r minus its highest set
+        bit; children are r + m for each m above that bit (recursive
+        doubling: the reached set doubles every round).
+        """
+        size = self.size
+        relative = (self.rank - root) % size
+        if relative == 0:
+            mask = 1
+        else:
+            msb = 1 << (relative.bit_length() - 1)
+            parent = ((relative - msb) + root) % size
+            yield self.recv(parent, tag)
+            mask = msb << 1
+        while mask < size:
+            if relative + mask < size:
+                child = (relative + mask + root) % size
+                yield self.send(child, nbytes, tag)
+            mask <<= 1
+        return None
+
+    def gather(self, root: int, nbytes: int, tag: int = -103):
+        """Flat gather of ``nbytes`` from every rank to ``root``."""
+        if self.rank == root:
+            envelopes = []
+            for _ in range(self.size - 1):
+                envelope = yield self.recv(ANY_SOURCE, tag)
+                envelopes.append(envelope)
+            return envelopes
+        yield self.send(root, nbytes, tag)
+        return None
+
+    def reduce_tree(self, root: int, nbytes: int, tag: int = -104):
+        """Binomial-tree reduction (combine) toward ``root``."""
+        size = self.size
+        relative = (self.rank - root) % size
+        mask = 1
+        while mask < size:
+            if relative & mask:
+                parent = (self.rank - mask) % size
+                yield self.send(parent, nbytes, tag)
+                return None
+            partner = relative | mask
+            if partner < size:
+                yield self.recv((root + partner) % size, tag)
+            mask <<= 1
+        return None
+
+    def compute(self, duration_ns: float) -> Event:
+        """Model local computation: an event firing after ``duration_ns``.
+
+        Rank programs charge their CPU time this way so communication and
+        computation interleave on the simulated clock.
+        """
+        return self._mpi.sim.timeout(duration_ns)
+
+    @property
+    def now(self) -> float:
+        return self._mpi.sim.now
+
+
+RankProgram = Callable[[RankContext], Generator]
+
+
+class MiniMpi:
+    """Runs one generator program per rank on a CommWorld."""
+
+    def __init__(self, world: CommWorld, ranks: Optional[List[int]] = None):
+        self.world = world
+        self.sim: Simulator = world.sim
+        self.ranks = ranks if ranks is not None else world.fabric.node_ids()
+        self.size = len(self.ranks)
+        if self.size < 1:
+            raise ValueError("MiniMpi needs at least one rank")
+        self._rank_of_node = {node: i for i, node in enumerate(self.ranks)}
+        # Per rank: queue of unexpected envelopes + waiters with filters.
+        self._inbox: Dict[int, Deque[Envelope]] = {r: deque()
+                                                   for r in range(self.size)}
+        self._waiters: Dict[int, List[Tuple[int, int, Event]]] = {
+            r: [] for r in range(self.size)}
+        for rank in range(self.size):
+            self.sim.process(self._pump(rank))
+
+    # -- rank/node mapping ---------------------------------------------------
+
+    def node_of(self, rank: int) -> int:
+        if not 0 <= rank < self.size:
+            raise IndexError(f"rank {rank} out of range 0..{self.size - 1}")
+        return self.ranks[rank]
+
+    # -- internals ---------------------------------------------------------------
+
+    def _send(self, src_rank: int, dst_rank: int, nbytes: int,
+              tag: int) -> Process:
+        src, dst = self.node_of(src_rank), self.node_of(dst_rank)
+        message = self.world.make_message(src, dst, nbytes,
+                                          tag={"mpi_tag": tag,
+                                               "src_rank": src_rank})
+        driver = self.world.endpoint(src).driver
+        return self.sim.process(driver.send_message(message))
+
+    def _recv(self, rank: int, source: int, tag: int) -> Process:
+        def waiter():
+            envelope = self._match(rank, source, tag)
+            if envelope is None:
+                event = Event(self.sim, name=f"mpi.recv.r{rank}")
+                self._waiters[rank].append((source, tag, event))
+                envelope = yield event
+            return envelope
+
+        return self.sim.process(waiter())
+
+    def _pump(self, rank: int):
+        """Continuously receive from the driver and match/queue envelopes."""
+        node = self.node_of(rank)
+        driver = self.world.endpoint(node).driver
+        while True:
+            message: Message = yield self.sim.process(driver.receive_message())
+            meta = message.tag if isinstance(message.tag, dict) else {}
+            envelope = Envelope(
+                source=meta.get("src_rank", self._rank_of_node.get(
+                    message.source, -1)),
+                tag=meta.get("mpi_tag", 0),
+                nbytes=message.payload_bytes,
+                delivered_at=message.delivered_at or self.sim.now)
+            self._deliver(rank, envelope)
+
+    def _deliver(self, rank: int, envelope: Envelope) -> None:
+        for idx, (source, tag, event) in enumerate(self._waiters[rank]):
+            if self._matches(envelope, source, tag):
+                del self._waiters[rank][idx]
+                event.trigger(envelope)
+                return
+        self._inbox[rank].append(envelope)
+
+    def _match(self, rank: int, source: int, tag: int) -> Optional[Envelope]:
+        inbox = self._inbox[rank]
+        for idx, envelope in enumerate(inbox):
+            if self._matches(envelope, source, tag):
+                del inbox[idx]
+                return envelope
+        return None
+
+    @staticmethod
+    def _matches(envelope: Envelope, source: int, tag: int) -> bool:
+        if source != ANY_SOURCE and envelope.source != source:
+            return False
+        if tag != ANY_TAG and envelope.tag != tag:
+            return False
+        return True
+
+    # -- running programs -------------------------------------------------------------
+
+    def run(self, program: RankProgram, until: Optional[float] = None,
+            ) -> List[Any]:
+        """Run ``program`` on every rank; returns per-rank return values."""
+        processes = [self.sim.process(program(RankContext(self, rank)))
+                     for rank in range(self.size)]
+        self.sim.run(until=until)
+        unfinished = [i for i, p in enumerate(processes) if not p.finished]
+        if unfinished:
+            raise RuntimeError(
+                f"MPI program deadlocked: ranks {unfinished} never finished")
+        return [p.value for p in processes]

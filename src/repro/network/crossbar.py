@@ -1,0 +1,156 @@
+"""The 16x16 PowerMANNA crossbar ASIC.
+
+One chip integrates, per input channel, a FIFO buffer and the command/
+address decoding logic, and per output channel an arbiter.  The routing
+protocol is wormhole: the first byte after idle is a *route* command naming
+the output channel; it is consumed by this crossbar.  All further flits are
+forwarded on the established connection until a *close* command tears it
+down (the close itself is forwarded so downstream crossbars also close).
+
+Unlike the CM-5's 8x8 fat-tree switch, every input can route to every
+output — the property the paper credits for the topology flexibility of
+Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.network.link import ByteFifo, Link
+from repro.network.message import Flit, FlitKind
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+from repro.sim.stats import Counter
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+@dataclass(frozen=True)
+class CrossbarConfig:
+    """Crossbar geometry and timing.
+
+    Attributes:
+        ports: square radix (16 on PowerMANNA, 8 on the CM-5 switch).
+        input_fifo_bytes: per-input buffering inside the ASIC.
+        route_setup_ns: collision-free through-routing time — "if there are
+            no collisions, this through-routing takes only 0.2 microseconds".
+        forward_ns: per-flit pass-through latency once the wormhole is open.
+    """
+
+    ports: int = 16
+    input_fifo_bytes: int = 64
+    route_setup_ns: float = 200.0
+    forward_ns: float = 16.7  # one 60 MHz cycle through the switch core
+
+    def __post_init__(self):
+        if self.ports < 2:
+            raise ValueError(f"crossbar needs >= 2 ports, got {self.ports}")
+        if self.input_fifo_bytes < 8:
+            raise ValueError("input FIFO must hold at least one word")
+        if self.route_setup_ns < 0 or self.forward_ns < 0:
+            raise ValueError("timing parameters must be nonnegative")
+
+
+class RoutingError(RuntimeError):
+    """Protocol violation observed by the crossbar (bad route byte, data
+    with no open connection)."""
+
+
+class Crossbar:
+    """A single crossbar chip: input FIFOs, per-output arbiters, wormholes."""
+
+    def __init__(self, sim: Simulator, config: CrossbarConfig = CrossbarConfig(),
+                 name: str = "xbar", tracer: Tracer = NULL_TRACER):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.tracer = tracer
+        self.inputs: List[ByteFifo] = [
+            ByteFifo(sim, config.input_fifo_bytes, name=f"{name}.in{i}")
+            for i in range(config.ports)
+        ]
+        self.output_links: List[Optional[Link]] = [None] * config.ports
+        self._output_arbiters = [
+            Resource(sim, capacity=1, name=f"{name}.out{i}")
+            for i in range(config.ports)
+        ]
+        self.stats = Counter(name)
+        for i in range(config.ports):
+            sim.process(self._input_channel(i))
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach_output(self, port: int, link: Link) -> None:
+        """Connect output channel ``port`` to an outgoing link."""
+        self._check_port(port)
+        if self.output_links[port] is not None:
+            raise ValueError(f"{self.name} output {port} already wired")
+        self.output_links[port] = link
+
+    def input_fifo(self, port: int) -> ByteFifo:
+        """The FIFO an incoming link should deliver into."""
+        self._check_port(port)
+        return self.inputs[port]
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.config.ports:
+            raise ValueError(
+                f"{self.name} has ports 0..{self.config.ports - 1}, got {port}")
+
+    # -- the per-input wormhole engine ----------------------------------------
+
+    def _input_channel(self, port: int):
+        fifo = self.inputs[port]
+        while True:
+            flit = yield fifo.get()
+            if flit.kind != FlitKind.ROUTE:
+                raise RoutingError(
+                    f"{self.name} input {port}: expected a route command at "
+                    f"connection start, got {flit.kind} "
+                    f"(message {flit.message_id})")
+            out_port = flit.route_port
+            self._check_route(port, out_port, flit)
+            arbiter = self._output_arbiters[out_port]
+            waited = yield arbiter.acquire()
+            if waited > 0:
+                self.stats.incr("collisions")
+            # Collision-free through-routing costs route_setup_ns; the route
+            # byte is consumed here and never forwarded.
+            yield self.sim.timeout(self.config.route_setup_ns)
+            self.stats.incr("connections")
+            self.tracer.record(self.sim.now, self.name, "route",
+                               (port, out_port, flit.message_id))
+            link = self.output_links[out_port]
+            try:
+                while True:
+                    flit = yield fifo.get()
+                    yield self.sim.timeout(self.config.forward_ns)
+                    yield link.send(flit)
+                    self.stats.incr("forwarded_bytes", flit.nbytes)
+                    if flit.kind == FlitKind.CLOSE:
+                        break
+            finally:
+                arbiter.release()
+                self.tracer.record(self.sim.now, self.name, "close",
+                                   (port, out_port, flit.message_id))
+
+    def _check_route(self, in_port: int, out_port: Optional[int],
+                     flit: Flit) -> None:
+        if out_port is None or not 0 <= out_port < self.config.ports:
+            raise RoutingError(
+                f"{self.name} input {in_port}: route byte {out_port!r} does "
+                f"not name an output channel (message {flit.message_id})")
+        if self.output_links[out_port] is None:
+            raise RoutingError(
+                f"{self.name} input {in_port}: route to unwired output "
+                f"{out_port} (message {flit.message_id})")
+
+    # -- statistics ------------------------------------------------------------
+
+    def collision_rate(self) -> float:
+        conns = self.stats["connections"]
+        return self.stats["collisions"] / conns if conns else 0.0
+
+    def output_utilization(self, port: int) -> float:
+        self._check_port(port)
+        return self._output_arbiters[port].utilization()

@@ -1,0 +1,222 @@
+"""The PowerMANNA link: byte-parallel pipe with stop-signal flow control.
+
+Physically each link direction is a 9-bit channel (8 data + 1 control) at
+60 MHz — 60 Mbyte/s — plus a *stop* wire back from the receiver.  The model
+is a process that serialises flits at the link rate and delivers them into
+the receiver's FIFO; when that FIFO is full the process blocks, which is
+exactly the stop signal asserting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.network.message import Flit
+from repro.sim.clock import Clock
+from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.resources import FifoStore
+from repro.sim.stats import Counter
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class ByteFifo:
+    """A FIFO whose capacity is accounted in *bytes* of flit payload.
+
+    Hardware FIFOs (crossbar input buffers, NI send/receive FIFOs,
+    transceiver buffers) are sized in bytes while the simulator moves
+    multi-byte flits; this store blocks a put until the whole flit fits.
+    """
+
+    def __init__(self, sim: Simulator, capacity_bytes: int, name: str = "bytefifo"):
+        if capacity_bytes <= 0:
+            raise SimulationError(f"FIFO capacity must be positive, got {capacity_bytes}")
+        self.sim = sim
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+        self.items: Deque[Flit] = deque()
+        self.level_bytes = 0
+        self._putters: Deque[tuple[Event, Flit]] = deque()
+        self._getters: Deque[Event] = deque()
+        self.total_bytes_in = 0
+        self.total_bytes_out = 0
+        self.high_water_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.level_bytes
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.items
+
+    def put(self, flit: Flit) -> Event:
+        if flit.nbytes > self.capacity_bytes:
+            raise SimulationError(
+                f"flit of {flit.nbytes} B can never fit FIFO {self.name!r} "
+                f"of {self.capacity_bytes} B")
+        event = Event(self.sim, name=f"{self.name}.put")
+        self._putters.append((event, flit))
+        self._settle()
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.sim, name=f"{self.name}.get")
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def try_put(self, flit: Flit) -> bool:
+        """Non-blocking put; returns False when the flit does not fit."""
+        if flit.nbytes > self.free_bytes:
+            return False
+        self.items.append(flit)
+        self.level_bytes += flit.nbytes
+        self.total_bytes_in += flit.nbytes
+        self.high_water_bytes = max(self.high_water_bytes, self.level_bytes)
+        self._settle()
+        return True
+
+    def try_get(self) -> tuple[bool, Optional[Flit]]:
+        """Non-blocking get; returns (ok, flit)."""
+        if not self.items:
+            return False, None
+        flit = self.items.popleft()
+        self.level_bytes -= flit.nbytes
+        self.total_bytes_out += flit.nbytes
+        self._settle()
+        return True, flit
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                event, flit = self._putters[0]
+                if flit.nbytes <= self.free_bytes:
+                    self._putters.popleft()
+                    self.items.append(flit)
+                    self.level_bytes += flit.nbytes
+                    self.total_bytes_in += flit.nbytes
+                    self.high_water_bytes = max(self.high_water_bytes,
+                                                self.level_bytes)
+                    event.trigger(flit)
+                    progressed = True
+            if self._getters and self.items:
+                event = self._getters.popleft()
+                flit = self.items.popleft()
+                self.level_bytes -= flit.nbytes
+                self.total_bytes_out += flit.nbytes
+                event.trigger(flit)
+                progressed = True
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Link timing.
+
+    Attributes:
+        clock: the link clock (60 MHz on PowerMANNA — one byte per cycle).
+        propagation_ns: wire flight time (near zero inside a cabinet).
+    """
+
+    clock: Clock = Clock(60.0)
+    propagation_ns: float = 5.0
+
+    @property
+    def byte_ns(self) -> float:
+        return self.clock.period_ns
+
+    @property
+    def bandwidth_mb_s(self) -> float:
+        """Unidirectional bandwidth in Mbyte/s (1 byte per cycle)."""
+        return self.clock.mhz
+
+    def serialize_ns(self, nbytes: int) -> float:
+        return nbytes * self.byte_ns
+
+
+class Link:
+    """One direction of a point-to-point link.
+
+    ``tx`` is the sender-side staging FIFO; a pump process serialises each
+    flit (``nbytes`` link cycles), then delivers it into the receiver FIFO
+    ``rx`` — blocking while ``rx`` is full, i.e. honouring the stop signal.
+    """
+
+    def __init__(self, sim: Simulator, config: LinkConfig, rx: ByteFifo,
+                 name: str = "link", tx_capacity_bytes: int = 16,
+                 tracer: Tracer = NULL_TRACER):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.rx = rx
+        self.tx = ByteFifo(sim, tx_capacity_bytes, name=f"{name}.tx")
+        self.tracer = tracer
+        self.stats = Counter(name)
+        self.busy_ns = 0.0
+        # Flits in flight on the cable: (flit, arrival_time).  Propagation
+        # pipelines — a long cable adds latency, never costs bandwidth —
+        # but the cable only holds as many bytes as fit its flight time,
+        # so a stalled receiver still backpressures the sender (the stop
+        # signal) after at most that much slack.
+        wire_slots = max(1, int(config.propagation_ns / config.byte_ns) + 1)
+        self._in_flight = FifoStore(sim, capacity=wire_slots,
+                                    name=f"{name}.wire")
+        self._serializer = sim.process(self._serialize())
+        self._deliverer = sim.process(self._deliver())
+
+    def send(self, flit: Flit) -> Event:
+        """Stage a flit for transmission; fires when accepted into tx."""
+        return self.tx.put(flit)
+
+    def _serialize(self):
+        while True:
+            flit = yield self.tx.get()
+            start = self.sim.now
+            yield self.sim.timeout(self.config.serialize_ns(flit.nbytes))
+            self.busy_ns += self.sim.now - start
+            arrival = self.sim.now + self.config.propagation_ns
+            yield self._in_flight.put((flit, arrival))
+
+    def _deliver(self):
+        while True:
+            flit, arrival = yield self._in_flight.get()
+            wait = arrival - self.sim.now
+            if wait > 0:
+                yield self.sim.timeout(wait)
+            # Blocking here *is* the stop signal: the wire stalls until the
+            # receiver FIFO has room for the flit.
+            yield self.rx.put(flit)
+            self.stats.incr("flits")
+            self.stats.incr("bytes", flit.nbytes)
+            self.tracer.record(self.sim.now, self.name, "delivered",
+                               (flit.kind.value, flit.message_id, flit.seq))
+
+    def utilization(self, elapsed_ns: Optional[float] = None) -> float:
+        elapsed = self.sim.now if elapsed_ns is None else elapsed_ns
+        return self.busy_ns / elapsed if elapsed > 0 else 0.0
+
+
+class DuplexLink:
+    """A bidirectional link: two independent directions (full duplex).
+
+    The full-duplex protocol "improves not only the overall bandwidth but
+    also simplifies the communication protocols by excluding deadlocks" —
+    in the model, each direction has its own pump and FIFOs, so opposite
+    traffic never shares a resource.
+    """
+
+    def __init__(self, sim: Simulator, config: LinkConfig,
+                 rx_forward: ByteFifo, rx_backward: ByteFifo,
+                 name: str = "duplex"):
+        self.forward = Link(sim, config, rx_forward, name=f"{name}.fwd")
+        self.backward = Link(sim, config, rx_backward, name=f"{name}.bwd")
+
+    @property
+    def full_duplex_bandwidth_mb_s(self) -> float:
+        return 2 * self.forward.config.bandwidth_mb_s

@@ -1,0 +1,115 @@
+"""Messages and their wire format.
+
+A message travelling the PowerMANNA network is, on the wire:
+
+``[route byte] * crossbars_on_path  +  payload bytes  +  [close byte]``
+
+Each crossbar consumes the leading route byte (it addresses that crossbar's
+output channel) and forwards the rest.  The simulator moves data as
+*flits*: route and close commands are one-byte flits, payload is carried in
+word flits of up to 8 bytes (the granularity of the link interface's 64-bit
+FIFOs).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+_message_ids = itertools.count(1)
+
+PAYLOAD_FLIT_BYTES = 8  # one 64-bit word, the NI FIFO granularity
+
+
+class FlitKind(enum.Enum):
+    ROUTE = "route"
+    DATA = "data"
+    CLOSE = "close"
+
+
+@dataclass(frozen=True)
+class Flit:
+    """The unit moved by links and crossbars.
+
+    Attributes:
+        kind: route command, payload word, or close command.
+        nbytes: bytes this flit occupies on the wire.
+        message_id: id of the owning message.
+        route_port: for ROUTE flits, the output channel it addresses.
+        seq: payload word index (DATA flits) for ordering checks.
+    """
+
+    kind: FlitKind
+    nbytes: int
+    message_id: int
+    route_port: Optional[int] = None
+    seq: int = 0
+
+    def __post_init__(self):
+        if self.nbytes <= 0:
+            raise ValueError(f"flit size must be positive, got {self.nbytes}")
+        if self.kind == FlitKind.ROUTE and self.route_port is None:
+            raise ValueError("ROUTE flits need a route_port")
+        if self.kind != FlitKind.ROUTE and self.route_port is not None:
+            raise ValueError(f"{self.kind} flits must not carry a route_port")
+
+
+@dataclass
+class Message:
+    """A logical message from one node's link interface to another's.
+
+    Attributes:
+        source: sending node id.
+        dest: receiving node id.
+        payload_bytes: user payload length.
+        route: output-channel bytes, one per crossbar on the path.
+        message_id: unique id (auto-assigned).
+        sent_at / delivered_at: filled by the NI / driver models.
+    """
+
+    source: int
+    dest: int
+    payload_bytes: int
+    route: Sequence[int] = field(default_factory=tuple)
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+    sent_at: Optional[float] = None
+    delivered_at: Optional[float] = None
+    tag: Optional[object] = None
+
+    def __post_init__(self):
+        if self.payload_bytes < 0:
+            raise ValueError(f"payload must be nonnegative, got {self.payload_bytes}")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes on the first link: route header + payload + close."""
+        return len(self.route) + self.payload_bytes + 1
+
+    def latency(self) -> float:
+        if self.sent_at is None or self.delivered_at is None:
+            raise ValueError(f"message {self.message_id} not fully timed")
+        return self.delivered_at - self.sent_at
+
+
+def build_wire_format(message: Message) -> List[Flit]:
+    """Expand a message into its flit sequence (header, payload, close)."""
+    flits: List[Flit] = [
+        Flit(FlitKind.ROUTE, 1, message.message_id, route_port=port)
+        for port in message.route
+    ]
+    remaining = message.payload_bytes
+    seq = 0
+    while remaining > 0:
+        chunk = min(PAYLOAD_FLIT_BYTES, remaining)
+        flits.append(Flit(FlitKind.DATA, chunk, message.message_id, seq=seq))
+        remaining -= chunk
+        seq += 1
+    flits.append(Flit(FlitKind.CLOSE, 1, message.message_id))
+    return flits
+
+
+def payload_flit_count(payload_bytes: int) -> int:
+    """How many DATA flits a payload occupies."""
+    return (payload_bytes + PAYLOAD_FLIT_BYTES - 1) // PAYLOAD_FLIT_BYTES

@@ -1,0 +1,124 @@
+"""Route computation over a fabric graph.
+
+PowerMANNA uses source routing: the sender prepends one route byte per
+crossbar on the path, each naming that crossbar's output channel.  The
+:class:`RouteTable` computes those bytes from the fabric's wiring graph
+(shortest path over a :mod:`networkx` digraph) and caches them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+import networkx as nx
+
+
+class NoRouteError(RuntimeError):
+    """No path exists between the requested endpoints."""
+
+
+class RouteTable:
+    """Shortest-path source routes over a wiring graph.
+
+    Graph vertices are component keys (crossbars and node interfaces);
+    every directed edge leaving a crossbar carries the ``out_port``
+    attribute naming the output channel used.
+    """
+
+    def __init__(self, graph: nx.DiGraph):
+        self.graph = graph
+        self._cache: Dict[Tuple[Hashable, Hashable], List[int]] = {}
+
+    def route_bytes(self, src: Hashable, dst: Hashable) -> List[int]:
+        """Route-command bytes for a message from ``src`` to ``dst``.
+
+        One byte per crossbar on the path, in traversal order.
+        """
+        key = (src, dst)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return list(cached)
+        path = self.path(src, dst)
+        route: List[int] = []
+        for here, there in zip(path, path[1:]):
+            if not self._is_crossbar(here):
+                continue
+            out_port = self.graph.edges[here, there].get("out_port")
+            if out_port is None:
+                raise NoRouteError(
+                    f"edge {here} -> {there} lacks an out_port attribute")
+            route.append(out_port)
+        self._cache[key] = route
+        return list(route)
+
+    def path(self, src: Hashable, dst: Hashable) -> List[Hashable]:
+        """The component path (src, crossbars..., dst).
+
+        Intermediate hops are restricted to crossbars: a wormhole cannot
+        pass *through* another node's link interface (that would be a
+        software relay, which the hardware route bytes cannot express).
+        """
+
+        def allowed(vertex: Hashable) -> bool:
+            return self._is_crossbar(vertex) or vertex in (src, dst)
+
+        view = nx.subgraph_view(self.graph, filter_node=allowed)
+        try:
+            return nx.shortest_path(view, src, dst)
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise NoRouteError(f"no route from {src} to {dst}") from exc
+
+    def crossbars_on_path(self, src: Hashable, dst: Hashable) -> int:
+        """How many crossbars a connection traverses (the paper's metric:
+        at most three in the 256-processor system)."""
+        return sum(1 for hop in self.path(src, dst) if self._is_crossbar(hop))
+
+    def network_diameter_crossbars(self, endpoints: List[Hashable]) -> int:
+        """Worst-case crossbar count over all endpoint pairs.
+
+        Raises :class:`NoRouteError` if any pair is unreachable without a
+        software relay.  For speed this sweep allows other endpoints as
+        intermediate vertices; on the hierarchical topologies a node-transit
+        path is always longer than the direct crossbar path, so the result
+        is exact there (use :meth:`crossbars_on_path` for strict per-pair
+        answers).
+        """
+        worst = 0
+        crossbars = {v for v in self.graph.nodes if self._is_crossbar(v)}
+        endpoint_set = set(endpoints)
+        for src in endpoints:
+            allowed = crossbars | endpoint_set
+            view = nx.subgraph_view(self.graph,
+                                    filter_node=lambda v: v in allowed or v == src)
+            paths = nx.single_source_shortest_path(view, src)
+            for dst in endpoints:
+                if dst == src:
+                    continue
+                path = paths.get(dst)
+                if path is None:
+                    raise NoRouteError(f"no route from {src} to {dst}")
+                hops = sum(1 for hop in path if self._is_crossbar(hop))
+                worst = max(worst, hops)
+        return worst
+
+    def reachable_fraction(self, endpoints: List[Hashable]) -> float:
+        """Fraction of ordered pairs connectable without a software relay."""
+        total = reachable = 0
+        for src in endpoints:
+            for dst in endpoints:
+                if src == dst:
+                    continue
+                total += 1
+                try:
+                    self.path(src, dst)
+                    reachable += 1
+                except NoRouteError:
+                    pass
+        return reachable / total if total else 1.0
+
+    @staticmethod
+    def _is_crossbar(key: Hashable) -> bool:
+        return isinstance(key, tuple) and len(key) >= 1 and key[0] == "xbar"
+
+    def invalidate(self) -> None:
+        self._cache.clear()

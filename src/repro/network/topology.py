@@ -1,0 +1,289 @@
+"""Fabric assembly and the Figure-5 topologies.
+
+A :class:`Fabric` owns crossbars, the links between them, and node
+attachment points, and maintains the wiring graph used for source-route
+computation.  Builders:
+
+* :func:`build_cluster` — Figure 5a: eight nodes, two crossbars (one per
+  network plane), eight free asynchronous dual-links per plane.
+* :func:`build_power_manna_256` — Figure 5b: sixteen 8-node clusters
+  (256 processors) joined by two permutation networks.  Each plane's
+  permutation network is a spine of 16x16 crossbars with one link from
+  every cluster to every spine crossbar, which yields the paper's property
+  that "a logical connection between any two nodes involves at most only
+  three crossbars".
+* :func:`build_grid_system` — the row/column reading of Figure 5b, kept as
+  an exploration topology (its worst-case path is longer; the network
+  properties bench contrasts the two).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.network.crossbar import Crossbar, CrossbarConfig
+from repro.network.link import ByteFifo, Link, LinkConfig
+from repro.network.transceiver import TransceiverConfig, make_async_link
+from repro.sim.engine import Simulator
+from repro.sim.trace import NULL_TRACER, Tracer
+
+NodeKey = Tuple[str, int, int]   # ("node", node_id, iface)
+XbarKey = Tuple[str, str]        # ("xbar", name)
+
+
+def node_key(node_id: int, iface: int) -> NodeKey:
+    return ("node", node_id, iface)
+
+
+def xbar_key(name: str) -> XbarKey:
+    return ("xbar", name)
+
+
+@dataclass
+class NodeAttachment:
+    """A node's connection to one network plane.
+
+    Attributes:
+        node_id / iface: which node link interface this is.
+        tx_link: the node-to-crossbar link (the NI sends flits here).
+        rx_fifo: the FIFO the crossbar's output link delivers into — the
+            receive side of the node's link interface.
+    """
+
+    node_id: int
+    iface: int
+    tx_link: Link
+    rx_fifo: ByteFifo
+
+
+class Fabric:
+    """Crossbars + links + node attachment points + wiring graph."""
+
+    def __init__(self, sim: Simulator,
+                 link_config: LinkConfig = LinkConfig(),
+                 crossbar_config: CrossbarConfig = CrossbarConfig(),
+                 node_rx_fifo_bytes: int = 256,
+                 tracer: Tracer = NULL_TRACER):
+        self.sim = sim
+        self.link_config = link_config
+        self.crossbar_config = crossbar_config
+        self.node_rx_fifo_bytes = node_rx_fifo_bytes
+        self.tracer = tracer
+        self.crossbars: Dict[str, Crossbar] = {}
+        self.attachments: Dict[Tuple[int, int], NodeAttachment] = {}
+        self.graph = nx.DiGraph()
+        self._used_ports: Dict[str, set] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_crossbar(self, name: str) -> Crossbar:
+        if name in self.crossbars:
+            raise ValueError(f"crossbar {name!r} already exists")
+        xbar = Crossbar(self.sim, self.crossbar_config, name=name,
+                        tracer=self.tracer)
+        self.crossbars[name] = xbar
+        self._used_ports[name] = set()
+        self.graph.add_node(xbar_key(name))
+        return xbar
+
+    def _claim_port(self, xbar_name: str, port: int) -> None:
+        used = self._used_ports[xbar_name]
+        if port in used:
+            raise ValueError(f"{xbar_name} port {port} already wired")
+        self.crossbars[xbar_name]._check_port(port)
+        used.add(port)
+
+    def free_ports(self, xbar_name: str) -> List[int]:
+        used = self._used_ports[xbar_name]
+        return [p for p in range(self.crossbar_config.ports) if p not in used]
+
+    def attach_node(self, node_id: int, iface: int, xbar_name: str,
+                    port: int) -> NodeAttachment:
+        """Wire one node link interface to a crossbar port (both ways)."""
+        if (node_id, iface) in self.attachments:
+            raise ValueError(f"node {node_id} iface {iface} already attached")
+        self._claim_port(xbar_name, port)
+        xbar = self.crossbars[xbar_name]
+
+        tx_link = Link(self.sim, self.link_config, xbar.input_fifo(port),
+                       name=f"n{node_id}.{iface}->{xbar_name}.{port}")
+        rx_fifo = ByteFifo(self.sim, self.node_rx_fifo_bytes,
+                           name=f"{xbar_name}.{port}->n{node_id}.{iface}")
+        down_link = Link(self.sim, self.link_config, rx_fifo,
+                         name=f"{xbar_name}.{port}->n{node_id}.{iface}.link")
+        xbar.attach_output(port, down_link)
+
+        nkey, xkey = node_key(node_id, iface), xbar_key(xbar_name)
+        self.graph.add_edge(nkey, xkey, in_port=port)
+        self.graph.add_edge(xkey, nkey, out_port=port)
+        attachment = NodeAttachment(node_id, iface, tx_link, rx_fifo)
+        self.attachments[(node_id, iface)] = attachment
+        return attachment
+
+    def connect_crossbars(self, name_a: str, port_a: int, name_b: str,
+                          port_b: int,
+                          asynchronous: bool = False,
+                          xcvr: Optional[TransceiverConfig] = None) -> None:
+        """A bidirectional (dual) link between two crossbars.
+
+        ``asynchronous=True`` inserts the inter-cabinet transceiver stage
+        with its 2-KB FIFOs on both directions.
+        """
+        self._claim_port(name_a, port_a)
+        self._claim_port(name_b, port_b)
+        a, b = self.crossbars[name_a], self.crossbars[name_b]
+
+        def make(src_name: str, src_port: int, dst: Crossbar,
+                 dst_port: int) -> Link:
+            label = f"{src_name}.{src_port}->{dst.name}.{dst_port}"
+            if asynchronous:
+                cfg = xcvr or TransceiverConfig()
+                return make_async_link(self.sim, self.link_config, cfg,
+                                       dst.input_fifo(dst_port), name=label)
+            return Link(self.sim, self.link_config, dst.input_fifo(dst_port),
+                        name=label)
+
+        a.attach_output(port_a, make(name_a, port_a, b, port_b))
+        b.attach_output(port_b, make(name_b, port_b, a, port_a))
+        ka, kb = xbar_key(name_a), xbar_key(name_b)
+        self.graph.add_edge(ka, kb, out_port=port_a)
+        self.graph.add_edge(kb, ka, out_port=port_b)
+
+    # -- queries -----------------------------------------------------------
+
+    def node_ids(self) -> List[int]:
+        return sorted({nid for nid, _ in self.attachments})
+
+    def attachment(self, node_id: int, iface: int = 0) -> NodeAttachment:
+        try:
+            return self.attachments[(node_id, iface)]
+        except KeyError:
+            raise KeyError(
+                f"node {node_id} iface {iface} is not attached") from None
+
+
+# ---------------------------------------------------------------------------
+# Topology builders
+# ---------------------------------------------------------------------------
+
+
+def build_cluster(sim: Simulator, n_nodes: int = 8,
+                  link_config: LinkConfig = LinkConfig(),
+                  crossbar_config: CrossbarConfig = CrossbarConfig(),
+                  planes: int = 2,
+                  tracer: Tracer = NULL_TRACER) -> Fabric:
+    """Figure 5a: ``n_nodes`` nodes on ``planes`` duplicated crossbars.
+
+    Node *i*'s interface *p* attaches to port *i* of plane-*p*'s crossbar,
+    leaving ``ports - n_nodes`` free ports per plane for inter-cluster
+    (asynchronous) dual links.
+    """
+    if n_nodes > crossbar_config.ports:
+        raise ValueError(
+            f"{n_nodes} nodes do not fit a {crossbar_config.ports}-port crossbar")
+    if planes < 1:
+        raise ValueError("need at least one network plane")
+    fabric = Fabric(sim, link_config, crossbar_config, tracer=tracer)
+    for plane in range(planes):
+        fabric.add_crossbar(f"plane{plane}")
+        for node in range(n_nodes):
+            fabric.attach_node(node, plane, f"plane{plane}", node)
+    return fabric
+
+
+def build_power_manna_256(sim: Simulator,
+                          clusters: int = 16,
+                          nodes_per_cluster: int = 8,
+                          link_config: LinkConfig = LinkConfig(),
+                          crossbar_config: CrossbarConfig = CrossbarConfig(),
+                          tracer: Tracer = NULL_TRACER) -> Fabric:
+    """Figure 5b: a 256-processor (128 dual-CPU node) PowerMANNA.
+
+    Per network plane, every cluster crossbar spends its free ports on
+    asynchronous links into a spine of 16x16 crossbars; each spine crossbar
+    has exactly one link to every cluster.  Any-to-any traffic therefore
+    crosses at most three crossbars: source cluster, one spine, destination
+    cluster.
+    """
+    ports = crossbar_config.ports
+    spine_count = ports - nodes_per_cluster  # free ports per cluster xbar
+    if clusters > ports:
+        raise ValueError(
+            f"{clusters} clusters need {clusters} spine ports; the crossbar "
+            f"has {ports}")
+    fabric = Fabric(sim, link_config, crossbar_config, tracer=tracer)
+    for plane in range(2):
+        spine_names = [f"spine{plane}.{s}" for s in range(spine_count)]
+        for name in spine_names:
+            fabric.add_crossbar(name)
+        for cluster in range(clusters):
+            cname = f"c{cluster}.plane{plane}"
+            fabric.add_crossbar(cname)
+            for local in range(nodes_per_cluster):
+                node_id = cluster * nodes_per_cluster + local
+                fabric.attach_node(node_id, plane, cname, local)
+            for s, sname in enumerate(spine_names):
+                fabric.connect_crossbars(
+                    cname, nodes_per_cluster + s, sname, cluster,
+                    asynchronous=True)
+    return fabric
+
+
+def build_grid_system(sim: Simulator,
+                      rows: int = 4, cols: int = 4,
+                      nodes_per_cluster: int = 8,
+                      link_config: LinkConfig = LinkConfig(),
+                      crossbar_config: CrossbarConfig = CrossbarConfig(),
+                      tracer: Tracer = NULL_TRACER) -> Fabric:
+    """The row/column reading of Figure 5b, for comparison.
+
+    Plane 0 connects the clusters of each row through row crossbars; plane
+    1 connects the clusters of each column.  Nodes sharing a row or column
+    reach each other in three crossbars; others must relay (the bench
+    quantifies this against :func:`build_power_manna_256`).
+    """
+    fabric = Fabric(sim, link_config, crossbar_config, tracer=tracer)
+    ports = crossbar_config.ports
+    free = ports - nodes_per_cluster
+    links_per_cluster = min(free, max(1, ports // max(rows, cols)))
+
+    def cluster_index(r: int, c: int) -> int:
+        return r * cols + c
+
+    # Cluster crossbars and node attachments, both planes.
+    for r in range(rows):
+        for c in range(cols):
+            cluster = cluster_index(r, c)
+            for plane in range(2):
+                cname = f"c{cluster}.plane{plane}"
+                fabric.add_crossbar(cname)
+                for local in range(nodes_per_cluster):
+                    node_id = cluster * nodes_per_cluster + local
+                    fabric.attach_node(node_id, plane, cname, local)
+
+    # Row networks on plane 0, column networks on plane 1.
+    for r in range(rows):
+        rname = f"row{r}"
+        fabric.add_crossbar(rname)
+        row_port = itertools.count()
+        for c in range(cols):
+            cname = f"c{cluster_index(r, c)}.plane0"
+            for k in range(links_per_cluster):
+                fabric.connect_crossbars(cname, nodes_per_cluster + k,
+                                         rname, next(row_port),
+                                         asynchronous=True)
+    for c in range(cols):
+        colname = f"col{c}"
+        fabric.add_crossbar(colname)
+        col_port = itertools.count()
+        for r in range(rows):
+            cname = f"c{cluster_index(r, c)}.plane1"
+            for k in range(links_per_cluster):
+                fabric.connect_crossbars(cname, nodes_per_cluster + k,
+                                         colname, next(col_port),
+                                         asynchronous=True)
+    return fabric

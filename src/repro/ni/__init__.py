@@ -1,0 +1,24 @@
+"""The PowerMANNA network interface.
+
+Deliberately *not* a NIC: a small ASIC with one 32-word (256-byte) FIFO per
+direction, memory-mapped control registers, and CRC generation/checking.
+All protocol work is done by the node CPUs through programmed I/O —
+:mod:`repro.ni.driver` models that software, including the 4-cache-line
+send/receive alternation whose cost shows up in Figure 12.
+
+:mod:`repro.ni.dma` models the opposite design point (a Myrinet-style
+DMA NIC behind an I/O bus) for the comparator systems.
+"""
+
+from repro.ni.crc import crc32, crc32_incremental
+from repro.ni.interface import LinkInterface, LinkInterfaceConfig
+from repro.ni.driver import DriverConfig, PioDriver
+
+__all__ = [
+    "DriverConfig",
+    "LinkInterface",
+    "LinkInterfaceConfig",
+    "PioDriver",
+    "crc32",
+    "crc32_incremental",
+]

@@ -1,0 +1,139 @@
+"""The link-interface ASIC.
+
+Per link direction there is a FIFO of 32 64-bit words (256 bytes) decoupling
+the node bus from the link, plus memory-mapped status registers the CPUs
+poll.  Sending and receiving are fully independent (the link is full
+duplex).  The chip also stamps/validates a CRC per message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.network.link import ByteFifo, Link
+from repro.network.message import Flit, FlitKind, Message, build_wire_format
+from repro.ni.crc import message_checksum
+from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.resources import Signal
+from repro.sim.stats import Counter
+
+
+@dataclass(frozen=True)
+class LinkInterfaceConfig:
+    """Link-interface geometry.
+
+    Attributes:
+        fifo_words: depth of each direction's FIFO in 64-bit words — 32 in
+            the real chip; Figure 12's ablation varies this.
+        word_bytes: FIFO word width.
+        register_access_ns: one memory-mapped status-register read
+            (uncached load across the node bus).
+    """
+
+    fifo_words: int = 32
+    word_bytes: int = 8
+    register_access_ns: float = 100.0
+
+    def __post_init__(self):
+        if self.fifo_words < 4:
+            raise ValueError("the link interface needs at least 4 FIFO words")
+        if self.word_bytes not in (4, 8):
+            raise ValueError(f"word width must be 4 or 8 bytes, got {self.word_bytes}")
+        if self.register_access_ns < 0:
+            raise ValueError("register access time must be nonnegative")
+
+    @property
+    def fifo_bytes(self) -> int:
+        return self.fifo_words * self.word_bytes
+
+
+class CrcError(RuntimeError):
+    """End-to-end CRC mismatch detected by the receiving link chip."""
+
+
+class LinkInterface:
+    """One of a node's two link interfaces.
+
+    ``tx_link`` is the fabric attachment's node-to-crossbar link;
+    ``rx_fifo`` is the FIFO the crossbar's down-link delivers into (it *is*
+    the receive FIFO of this chip, so its capacity is set from the config).
+    """
+
+    def __init__(self, sim: Simulator, config: LinkInterfaceConfig,
+                 tx_link: Link, rx_fifo: ByteFifo, name: str = "ni"):
+        if rx_fifo.capacity_bytes != config.fifo_bytes:
+            raise SimulationError(
+                f"{name}: receive FIFO is {rx_fifo.capacity_bytes} B but the "
+                f"config says {config.fifo_bytes} B — build the fabric with "
+                "node_rx_fifo_bytes matching the link-interface config")
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.tx_link = tx_link
+        self.rx_fifo = rx_fifo
+        self.send_fifo = ByteFifo(sim, config.fifo_bytes, name=f"{name}.sendfifo")
+        self.stats = Counter(name)
+        self.message_sent = Signal(sim, name=f"{name}.sent")
+        self._crc_by_message: Dict[int, int] = {}
+        sim.process(self._drain_send_fifo())
+
+    # -- send side ----------------------------------------------------------
+
+    def stage_flit(self, flit: Flit) -> Event:
+        """CPU stores one flit into the send FIFO (blocks while full)."""
+        return self.send_fifo.put(flit)
+
+    def send_space_bytes(self) -> int:
+        """Status-register view of free send-FIFO space."""
+        return self.send_fifo.free_bytes
+
+    def register_crc(self, message: Message) -> None:
+        """The chip computes the CRC as the message streams out."""
+        self._crc_by_message[message.message_id] = message_checksum(
+            message.message_id, message.payload_bytes, message.source,
+            message.dest)
+
+    def _drain_send_fifo(self):
+        while True:
+            flit = yield self.send_fifo.get()
+            yield self.tx_link.send(flit)
+            self.stats.incr("tx_bytes", flit.nbytes)
+            if flit.kind == FlitKind.CLOSE:
+                self.stats.incr("tx_messages")
+
+    # -- receive side -----------------------------------------------------------
+
+    def recv_available_bytes(self) -> int:
+        """Status-register view of the receive FIFO fill level."""
+        return self.rx_fifo.level_bytes
+
+    def read_flit(self) -> Event:
+        """CPU loads one flit from the receive FIFO."""
+        return self.rx_fifo.get()
+
+    def check_crc(self, message: Message) -> None:
+        """Validate the received message's CRC (raises on corruption)."""
+        expected = message_checksum(message.message_id, message.payload_bytes,
+                                    message.source, message.dest)
+        stamped = self._lookup_remote_crc(message)
+        if stamped is not None and stamped != expected:
+            self.stats.incr("crc_errors")
+            raise CrcError(
+                f"{self.name}: CRC mismatch on message {message.message_id}: "
+                f"stamped {stamped:#010x}, computed {expected:#010x}")
+        self.stats.incr("crc_checked")
+
+    def _lookup_remote_crc(self, message: Message) -> Optional[int]:
+        # In hardware the CRC travels with the message; the simulator keeps
+        # it in the message registry (see repro.msg.api).  When the message
+        # carries an injected-fault CRC (tests), it appears in message.tag.
+        if isinstance(message.tag, dict) and "crc" in message.tag:
+            return message.tag["crc"]
+        return message_checksum(message.message_id, message.payload_bytes,
+                                message.source, message.dest)
+
+
+def wire_flits(message: Message) -> list[Flit]:
+    """The exact flit sequence the CPU stages for ``message``."""
+    return build_wire_format(message)

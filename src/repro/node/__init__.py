@@ -1,0 +1,30 @@
+"""The PowerMANNA node: ADSP bus switch, central dispatcher, node assembly.
+
+Two design decisions let the dual-MPC620 node fit one board without
+sacrificing performance (paper Section 2):
+
+1. instead of shared address/data buses, a **multi-master bus switch**
+   built from eleven ADSP (address/data path switch) slices gives every
+   device a point-to-point path (:mod:`repro.node.adsp`);
+2. one central **dispatcher** absorbs the MPC620's protocol complexity —
+   pipelining, split transactions, intervention, out-of-order completion,
+   snooping — and presents a simple interface to every other unit
+   (:mod:`repro.node.dispatcher`).
+
+:mod:`repro.node.node` assembles processors, memory and link interfaces
+into node models for PowerMANNA and the two comparator machines.
+"""
+
+from repro.node.adsp import AdspSwitch, SwitchBusyError
+from repro.node.dispatcher import BusTransaction, Dispatcher, TransactionKind
+from repro.node.node import NodeModel, build_node
+
+__all__ = [
+    "AdspSwitch",
+    "BusTransaction",
+    "Dispatcher",
+    "NodeModel",
+    "SwitchBusyError",
+    "TransactionKind",
+    "build_node",
+]

@@ -1,0 +1,149 @@
+"""The ADSP multi-master bus switch.
+
+A single ADSP gate array carries a 36-bit slice of a three-way switch;
+eleven slices side by side form the node's full address/data path (Figure
+2).  Functionally the switch lets independent device pairs transfer
+concurrently — CPU0<->memory in parallel with CPU1<->link-interface — which
+a shared bus cannot.  The model tracks live point-to-point connections,
+rejects conflicting ones, and accumulates concurrency statistics (which the
+Figure-8 analysis leans on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.stats import Counter
+
+
+class SwitchBusyError(RuntimeError):
+    """A requested path conflicts with a live connection."""
+
+
+@dataclass(frozen=True)
+class AdspConfig:
+    """Physical organisation of the switch.
+
+    Attributes:
+        slice_bits: width of one ADSP gate array (36 in hardware).
+        num_slices: slices forming the full path (11 on the node board).
+        ways: how many simultaneous connections one switch supports
+            ("a 36-bit slice of a three-way bus switch").
+    """
+
+    slice_bits: int = 36
+    num_slices: int = 11
+    ways: int = 3
+
+    def __post_init__(self):
+        if self.slice_bits <= 0 or self.num_slices <= 0:
+            raise ValueError("slice geometry must be positive")
+        if self.ways < 2:
+            raise ValueError("a switch needs at least two ways")
+
+    @property
+    def path_bits(self) -> int:
+        """Total switched width: 11 slices x 36 bits = 396 bits, enough for
+        the 40-bit address plus a 128-bit data path with tags and parity."""
+        return self.slice_bits * self.num_slices
+
+
+class AdspSwitch:
+    """Connection bookkeeping for the multi-master switch.
+
+    Devices are registered by name; a *connection* couples two devices for
+    the duration of a data phase.  Up to ``ways`` connections may be live
+    simultaneously, and a device can serve only one connection at a time.
+    """
+
+    def __init__(self, sim: Simulator, config: AdspConfig = AdspConfig(),
+                 name: str = "adsp"):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.devices: Set[str] = set()
+        self._live: Dict[FrozenSet[str], float] = {}
+        self._busy_devices: Set[str] = set()
+        self.stats = Counter(name)
+        self._concurrency_time: Dict[int, float] = {}
+        self._last_change = 0.0
+
+    def register(self, device: str) -> None:
+        if device in self.devices:
+            raise ValueError(f"device {device!r} already registered")
+        self.devices.add(device)
+
+    def connect(self, a: str, b: str) -> FrozenSet[str]:
+        """Open a point-to-point path between devices ``a`` and ``b``."""
+        self._check_devices(a, b)
+        pair = frozenset((a, b))
+        if pair in self._live:
+            raise SwitchBusyError(f"{self.name}: path {a}<->{b} already open")
+        if len(self._live) >= self.config.ways:
+            raise SwitchBusyError(
+                f"{self.name}: all {self.config.ways} ways in use")
+        conflict = self._busy_devices & pair
+        if conflict:
+            raise SwitchBusyError(
+                f"{self.name}: device(s) {sorted(conflict)} busy")
+        self._account()
+        self._live[pair] = self.sim.now
+        self._busy_devices |= pair
+        self.stats.incr("connections")
+        return pair
+
+    def disconnect(self, pair: FrozenSet[str]) -> float:
+        """Close a path; returns how long it was held (ns)."""
+        if pair not in self._live:
+            raise SwitchBusyError(f"{self.name}: path {set(pair)} not open")
+        self._account()
+        opened = self._live.pop(pair)
+        self._busy_devices -= pair
+        return self.sim.now - opened
+
+    def can_connect(self, a: str, b: str) -> bool:
+        self._check_devices(a, b)
+        pair = frozenset((a, b))
+        return (pair not in self._live
+                and len(self._live) < self.config.ways
+                and not (self._busy_devices & pair))
+
+    def live_connections(self) -> List[Tuple[str, str]]:
+        return [tuple(sorted(pair)) for pair in self._live]
+
+    def _check_devices(self, a: str, b: str) -> None:
+        if a == b:
+            raise ValueError(f"cannot connect device {a!r} to itself")
+        missing = {a, b} - self.devices
+        if missing:
+            raise KeyError(f"{self.name}: unknown device(s) {sorted(missing)}")
+
+    # -- concurrency statistics ------------------------------------------------
+
+    def _account(self) -> None:
+        level = len(self._live)
+        elapsed = self.sim.now - self._last_change
+        if elapsed > 0:
+            self._concurrency_time[level] = (
+                self._concurrency_time.get(level, 0.0) + elapsed)
+        self._last_change = self.sim.now
+
+    def mean_concurrency(self) -> float:
+        """Time-averaged number of simultaneous connections."""
+        self._account()
+        total = sum(self._concurrency_time.values())
+        if total == 0:
+            return 0.0
+        weighted = sum(level * t for level, t in self._concurrency_time.items())
+        return weighted / total
+
+    def concurrency_profile(self) -> Dict[int, float]:
+        """Fraction of time spent at each concurrency level."""
+        self._account()
+        total = sum(self._concurrency_time.values())
+        if total == 0:
+            return {}
+        return {level: t / total
+                for level, t in sorted(self._concurrency_time.items())}

@@ -1,0 +1,24 @@
+"""The optional PCI subsystem of a PowerMANNA node.
+
+Paper Section 2: "Each node can, if required, be extended by a PCI
+(Peripheral Component Interconnect) bridge with two PCI mezzanine slots
+(PMC-P1386.1) to connect required peripheral devices like disks, 3D
+graphics or LAN network controllers."
+
+The bridge is one more master on the ADSP switch: device DMA flows
+through the central dispatcher like any other transaction, which is how
+the node keeps I/O from monopolising the memory path.  The package
+provides the 33 MHz/32-bit bus model, two PMC slots with arbitration, and
+disk/LAN device models that generate realistic DMA traffic for the
+interference experiments.
+"""
+
+from repro.pci.bridge import PciBridge, PciBusConfig
+from repro.pci.devices import DiskController, LanController
+
+__all__ = [
+    "DiskController",
+    "LanController",
+    "PciBridge",
+    "PciBusConfig",
+]

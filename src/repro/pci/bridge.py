@@ -1,0 +1,104 @@
+"""The PCI bridge: two PMC slots behind one more switch master.
+
+Device DMA is a two-stage affair: the transfer crosses the PCI bus
+(arbitrated between the two mezzanine slots, 132 Mbyte/s ceiling) and then
+the node's memory path as dispatcher transactions issued by the bridge.
+The bridge chops large DMAs into bus-friendly bursts so a disk cannot
+hold the node memory path for milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.node.dispatcher import BusTransaction, Dispatcher, TransactionKind
+from repro.sim.clock import Clock
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+from repro.sim.stats import Counter, Histogram
+
+
+@dataclass(frozen=True)
+class PciBusConfig:
+    """Classic 32-bit/33 MHz PCI."""
+
+    clock: Clock = Clock(33.0)
+    bus_bytes: int = 4
+    arbitration_ns: float = 120.0     # grant + address phase per burst
+    burst_bytes: int = 256            # bridge posting-buffer granularity
+    slots: int = 2                    # PMC-P1386.1 mezzanine slots
+
+    def __post_init__(self):
+        if self.bus_bytes not in (4, 8):
+            raise ValueError("PCI is 32- or 64-bit")
+        if self.burst_bytes < self.bus_bytes:
+            raise ValueError("burst must cover at least one bus word")
+        if self.slots < 1:
+            raise ValueError("need at least one slot")
+
+    @property
+    def bandwidth_mb_s(self) -> float:
+        """Theoretical ceiling: 33 MHz x 4 B = 132 Mbyte/s."""
+        return self.clock.mhz * self.bus_bytes
+
+    def transfer_ns(self, nbytes: int) -> float:
+        return nbytes * 1e3 / self.bandwidth_mb_s
+
+
+class PciBridge:
+    """Bridge between the PCI bus and the node's dispatcher."""
+
+    def __init__(self, sim: Simulator, dispatcher: Dispatcher,
+                 config: PciBusConfig = PciBusConfig(),
+                 name: str = "pci"):
+        self.sim = sim
+        self.dispatcher = dispatcher
+        self.config = config
+        self.name = name
+        self.bus = Resource(sim, capacity=1, name=f"{name}.bus")
+        self.stats = Counter(name)
+        self.dma_latency = Histogram(f"{name}.dma_ns")
+        if name not in dispatcher.switch.devices:
+            dispatcher.switch.register(name)
+
+    def dma(self, slot: int, addr: int, nbytes: int, write: bool):
+        """Process: one device DMA to/from node memory.
+
+        Returns (as the process value) the completion time.  The transfer
+        is burst by burst: PCI bus arbitration + bus transfer overlapped
+        with a dispatcher memory transaction per burst.
+        """
+        if not 0 <= slot < self.config.slots:
+            raise ValueError(f"{self.name} has slots 0..{self.config.slots - 1}")
+        if nbytes <= 0:
+            raise ValueError("DMA length must be positive")
+        started = self.sim.now
+        remaining = nbytes
+        offset = 0
+        kind = TransactionKind.WRITE if write else TransactionKind.READ
+        while remaining > 0:
+            burst = min(self.config.burst_bytes, remaining)
+            yield self.bus.acquire()
+            try:
+                yield self.sim.timeout(self.config.arbitration_ns
+                                       + self.config.transfer_ns(burst))
+            finally:
+                self.bus.release()
+            txn = BusTransaction(master=self.name, kind=kind,
+                                 addr=addr + offset, nbytes=burst)
+            yield self.dispatcher.submit(txn)
+            remaining -= burst
+            offset += burst
+            self.stats.incr("bursts")
+        self.stats.incr("dmas")
+        self.stats.incr("bytes", nbytes)
+        elapsed = self.sim.now - started
+        self.dma_latency.add(elapsed)
+        return self.sim.now
+
+    def throughput_mb_s(self, elapsed_ns: Optional[float] = None) -> float:
+        elapsed = self.sim.now if elapsed_ns is None else elapsed_ns
+        if elapsed <= 0:
+            return 0.0
+        return self.stats["bytes"] * 1e3 / elapsed

@@ -1,0 +1,108 @@
+"""PMC peripheral models: a disk controller and a LAN controller.
+
+Both are traffic generators over :class:`~repro.pci.bridge.PciBridge`:
+the disk issues large sequential DMAs gated by media bandwidth and seek
+time; the LAN controller issues frame-sized DMAs at wire rate.  They
+exist to exercise the node's I/O path in the interference tests — the
+point of the switched node design is that a busy disk steals far less
+from the CPUs than it would on a shared bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pci.bridge import PciBridge
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.sim.stats import Counter
+
+
+@dataclass(frozen=True)
+class DiskConfig:
+    """Late-90s SCSI disk."""
+
+    media_mb_s: float = 18.0
+    seek_ns: float = 6_000_000.0      # 6 ms average seek + rotation
+    block_bytes: int = 64 * 1024
+
+    def __post_init__(self):
+        if self.media_mb_s <= 0 or self.block_bytes <= 0:
+            raise ValueError("disk parameters must be positive")
+
+
+class DiskController:
+    """Sequential/random block reads DMA'd into node memory."""
+
+    def __init__(self, sim: Simulator, bridge: PciBridge, slot: int = 0,
+                 config: DiskConfig = DiskConfig(), name: str = "disk"):
+        self.sim = sim
+        self.bridge = bridge
+        self.slot = slot
+        self.config = config
+        self.name = name
+        self.stats = Counter(name)
+
+    def read_blocks(self, addr: int, blocks: int,
+                    sequential: bool = True) -> Process:
+        """Process: read ``blocks`` into memory starting at ``addr``."""
+
+        def job():
+            offset = 0
+            for index in range(blocks):
+                if not sequential or index == 0:
+                    yield self.sim.timeout(self.config.seek_ns)
+                    self.stats.incr("seeks")
+                media_ns = (self.config.block_bytes * 1e3
+                            / self.config.media_mb_s)
+                yield self.sim.timeout(media_ns)
+                yield self.sim.process(self.bridge.dma(
+                    self.slot, addr + offset, self.config.block_bytes,
+                    write=True))
+                offset += self.config.block_bytes
+                self.stats.incr("blocks")
+            return blocks
+
+        return self.sim.process(job())
+
+
+@dataclass(frozen=True)
+class LanConfig:
+    """Fast-Ethernet-class NIC on the second PMC slot."""
+
+    wire_mb_s: float = 12.5           # 100 Mbit/s
+    frame_bytes: int = 1500
+    interframe_ns: float = 960.0
+
+    def __post_init__(self):
+        if self.wire_mb_s <= 0 or self.frame_bytes <= 0:
+            raise ValueError("LAN parameters must be positive")
+
+
+class LanController:
+    """Receive-side frame stream DMA'd into host buffers."""
+
+    def __init__(self, sim: Simulator, bridge: PciBridge, slot: int = 1,
+                 config: LanConfig = LanConfig(), name: str = "lan"):
+        self.sim = sim
+        self.bridge = bridge
+        self.slot = slot
+        self.config = config
+        self.name = name
+        self.stats = Counter(name)
+
+    def receive_frames(self, addr: int, frames: int) -> Process:
+        """Process: receive ``frames`` back-to-back at wire rate."""
+
+        def job():
+            for index in range(frames):
+                wire_ns = (self.config.frame_bytes * 1e3
+                           / self.config.wire_mb_s)
+                yield self.sim.timeout(wire_ns + self.config.interframe_ns)
+                yield self.sim.process(self.bridge.dma(
+                    self.slot, addr + index * 2048,
+                    self.config.frame_bytes, write=True))
+                self.stats.incr("frames")
+            return frames
+
+        return self.sim.process(job())

@@ -1,0 +1,49 @@
+"""Clock domains: convert between cycles and nanoseconds.
+
+PowerMANNA mixes several clock domains — 180 MHz processors and L2 caches,
+60 MHz node bus and communication links — so every timed component carries a
+:class:`Clock` and schedules in nanoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Clock:
+    """An ideal clock of a given frequency.
+
+    Attributes:
+        mhz: frequency in MHz.
+    """
+
+    mhz: float
+
+    def __post_init__(self):
+        if self.mhz <= 0:
+            raise ValueError(f"clock frequency must be positive, got {self.mhz}")
+
+    @property
+    def hz(self) -> float:
+        return self.mhz * 1e6
+
+    @property
+    def period_ns(self) -> float:
+        """Length of one cycle in nanoseconds."""
+        return 1e3 / self.mhz
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles * self.period_ns
+
+    def ns_to_cycles(self, ns: float) -> float:
+        return ns / self.period_ns
+
+    def cycles_to_us(self, cycles: float) -> float:
+        return self.cycles_to_ns(cycles) / 1e3
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return self.cycles_to_ns(cycles) / 1e9
+
+    def __str__(self) -> str:
+        return f"{self.mhz:g} MHz"

@@ -1,0 +1,236 @@
+"""Event queue and simulator core.
+
+Time is a float measured in **nanoseconds**.  All hardware models in the
+library convert cycles to nanoseconds through :class:`repro.sim.clock.Clock`
+so that components in different clock domains (180 MHz CPUs, 60 MHz links)
+compose on one timeline.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (double triggers, negative delays)."""
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event starts *pending*, is *triggered* with an optional value, and
+    once processed invokes its callbacks.  Processes waiting on an event are
+    resumed with the event's value.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_triggered", "_processed", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._triggered = False
+        self._processed = False
+        self.name = name
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def trigger(self, value: Any = None) -> "Event":
+        """Schedule this event to fire now (at the current simulation time)."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self, delay=0.0)
+        return self
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Alias of :meth:`trigger`, for simpy familiarity."""
+        return self.trigger(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<Event {self.name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay=delay)
+
+
+class AnyOf(Event):
+    """Fires when the first of several events fires.
+
+    The value is a dict mapping the fired event(s) to their values at the
+    moment the first fires.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="any_of")
+        self.events = list(events)
+        if not self.events:
+            raise SimulationError("AnyOf of no events")
+        for event in self.events:
+            if event.processed:
+                self._collect(event)
+                break
+            event.callbacks.append(self._collect)
+
+    def _collect(self, _event: Event) -> None:
+        if self._triggered:
+            return
+        fired = {e: e.value for e in self.events if e.processed}
+        self.trigger(fired)
+
+
+class AllOf(Event):
+    """Fires when every one of several events has fired."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="all_of")
+        self.events = list(events)
+        self._remaining = 0
+        for event in self.events:
+            if not event.processed:
+                self._remaining += 1
+                event.callbacks.append(self._collect)
+        if self._remaining == 0:
+            self.trigger({e: e.value for e in self.events})
+
+    def _collect(self, _event: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0 and not self._triggered:
+            self.trigger({e: e.value for e in self.events})
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, tiebreak, event)."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._tiebreak = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    # -- event factories -------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value=value)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def process(self, generator) -> "Process":
+        """Start a new process from a generator; see :mod:`repro.sim.process`."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- scheduling -------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._tiebreak), event))
+
+    def step(self) -> float:
+        """Process one event; return its timestamp."""
+        when, _, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("time ran backwards")
+        self._now = when
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+        return when
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run until the queue drains or simulated time exceeds ``until``.
+
+        Returns the final simulation time.  ``max_events`` is a runaway
+        backstop; exceeding it raises :class:`SimulationError`.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            events = 0
+            while self._queue:
+                when = self._queue[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                self.step()
+                events += 1
+                if events > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; runaway simulation?")
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_complete(self, process: "Process",
+                           max_events: int = 50_000_000) -> Any:
+        """Run until ``process`` terminates and return its value.
+
+        Unlike :meth:`run`, this stops as soon as the process finishes, so
+        it works in the presence of perpetual background processes (OS
+        noise, daemons) that would keep the event queue busy forever.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            events = 0
+            while self._queue and not process.finished:
+                self.step()
+                events += 1
+                if events > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; runaway simulation?")
+        finally:
+            self._running = False
+        if not process.finished:
+            raise SimulationError(
+                f"event queue drained but process {process!r} never finished "
+                "(deadlock: it is waiting on an event nobody will trigger)")
+        return process.value
+
+    def pending_events(self) -> int:
+        return len(self._queue)

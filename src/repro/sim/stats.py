@@ -1,0 +1,175 @@
+"""Statistics collection for simulation components.
+
+Counters, histograms and time series used by caches (hit/miss counts), the
+network (latency distributions) and the benchmark harness (QUIPS curves,
+bandwidth sweeps).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+
+class Counter:
+    """A named bundle of integer counters with arithmetic helpers."""
+
+    def __init__(self, name: str = "counter"):
+        self.name = name
+        self._counts: Dict[str, int] = {}
+
+    def incr(self, key: str, amount: int = 1) -> None:
+        self._counts[key] = self._counts.get(key, 0) + amount
+
+    def __getitem__(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counts
+
+    def keys(self) -> Iterable[str]:
+        return self._counts.keys()
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def ratio(self, numerator: str, denominator_keys: Iterable[str]) -> float:
+        """Fraction ``numerator / sum(denominators)``, 0.0 when empty."""
+        denom = sum(self[k] for k in denominator_keys)
+        if denom == 0:
+            return 0.0
+        return self[numerator] / denom
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name} {self._counts}>"
+
+
+class Histogram:
+    """A streaming histogram with exact quantiles (keeps all samples).
+
+    Simulation runs in this library produce at most a few hundred thousand
+    samples per histogram, so exact storage is fine and keeps the quantile
+    semantics simple.
+    """
+
+    def __init__(self, name: str = "histogram"):
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def add(self, value: float) -> None:
+        if self._samples and value < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def stddev(self) -> float:
+        n = len(self._samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean()
+        return math.sqrt(sum((x - mu) ** 2 for x in self._samples) / (n - 1))
+
+    def quantile(self, q: float) -> float:
+        """Exact q-quantile by nearest-rank; q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        self._ensure_sorted()
+        rank = min(len(self._samples) - 1, max(0, math.ceil(q * len(self._samples)) - 1))
+        return self._samples[rank]
+
+    def buckets(self, edges: List[float]) -> List[int]:
+        """Counts per bucket for sorted ``edges`` (n+1 buckets)."""
+        self._ensure_sorted()
+        counts = [0] * (len(edges) + 1)
+        for x in self._samples:
+            counts[bisect_right(edges, x)] += 1
+        return counts
+
+
+@dataclass
+class TimeSeries:
+    """Ordered (time, value) samples with integration helpers.
+
+    Used to build the HINT QUIPS-versus-time curve and bandwidth sweeps.
+    """
+
+    name: str = "series"
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, time: float, value: float) -> None:
+        if self.points and time < self.points[-1][0]:
+            raise ValueError(
+                f"time series {self.name!r} requires nondecreasing time; "
+                f"got {time} after {self.points[-1][0]}")
+        self.points.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def times(self) -> List[float]:
+        return [t for t, _ in self.points]
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.points]
+
+    def last(self) -> Tuple[float, float]:
+        if not self.points:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return self.points[-1]
+
+    def value_at(self, time: float) -> float:
+        """Step-interpolated value at ``time`` (value of last sample <= t)."""
+        if not self.points:
+            raise ValueError(f"time series {self.name!r} is empty")
+        result = self.points[0][1]
+        for t, v in self.points:
+            if t > time:
+                break
+            result = v
+        return result
+
+    def integrate(self) -> float:
+        """Trapezoidal integral of value over time."""
+        total = 0.0
+        for (t0, v0), (t1, v1) in zip(self.points, self.points[1:]):
+            total += 0.5 * (v0 + v1) * (t1 - t0)
+        return total
+
+    def peak(self) -> Tuple[float, float]:
+        """(time, value) of the maximum value."""
+        if not self.points:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return max(self.points, key=lambda p: p[1])

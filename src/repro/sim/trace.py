@@ -1,0 +1,85 @@
+"""Structured event tracing.
+
+A :class:`Tracer` records (time, component, event, payload) tuples so that
+tests can assert on the *order* of hardware events (e.g. route command
+consumed before payload flits forwarded) and examples can print readable
+timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    component: str
+    event: str
+    payload: Any = None
+
+    def __str__(self) -> str:
+        suffix = f" {self.payload!r}" if self.payload is not None else ""
+        return f"[{self.time:12.2f} ns] {self.component}: {self.event}{suffix}"
+
+
+class Tracer:
+    """Collects trace records; disabled tracers cost one predicate call."""
+
+    def __init__(self, enabled: bool = True, limit: int = 1_000_000):
+        self.enabled = enabled
+        self.limit = limit
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def record(self, time: float, component: str, event: str,
+               payload: Any = None) -> None:
+        if not self.enabled:
+            return
+        if len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, component, event, payload))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def filter(self, component: Optional[str] = None,
+               event: Optional[str] = None,
+               predicate: Optional[Callable[[TraceRecord], bool]] = None,
+               ) -> List[TraceRecord]:
+        out = []
+        for rec in self.records:
+            if component is not None and rec.component != component:
+                continue
+            if event is not None and rec.event != event:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def first(self, event: str) -> Optional[TraceRecord]:
+        for rec in self.records:
+            if rec.event == event:
+                return rec
+        return None
+
+    def counts_by_event(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for rec in self.records:
+            counts[rec.event] = counts.get(rec.event, 0) + 1
+        return counts
+
+    def dump(self, limit: int = 100) -> str:
+        lines = [str(rec) for rec in self.records[:limit]]
+        if len(self.records) > limit:
+            lines.append(f"... {len(self.records) - limit} more records")
+        return "\n".join(lines)
+
+
+NULL_TRACER = Tracer(enabled=False)

@@ -1,0 +1,53 @@
+"""PowerMANNA system software (paper Section 4 and the Section 3.3
+user-level-communication argument).
+
+The node runs LinuxPPC; user-level MPI drives one network plane while the
+OS keeps the other.  The paper's case for the CPU-driven network interface
+rests on the MMU: because the CPU (and therefore its MMU) performs every
+copy, user-level communication needs *no* system calls — no
+logical-to-physical translation calls, no page pinning — and protection
+falls out of ordinary address-space isolation.  A DMA NIC, by contrast,
+needs pages pinned and its own translation table.
+
+This package implements both worlds so the argument is executable:
+
+* :mod:`repro.software.address_space` — page tables, frame allocation,
+  protection bits, translation faults;
+* :mod:`repro.software.userlevel` — the cost model of the two send paths
+  (MMU-inline vs pin-and-DMA) and the buffer-reuse experiment;
+* :mod:`repro.software.planes` — the dual-plane OS/user split and its
+  isolation property.
+"""
+
+from repro.software.address_space import (
+    AddressSpace,
+    PhysicalMemory,
+    Protection,
+    ProtectionFault,
+    TranslationFault,
+)
+from repro.software.userlevel import (
+    DmaPathConfig,
+    SendPathCosts,
+    UserLevelPathConfig,
+    dma_send_cost_ns,
+    reuse_sweep,
+    user_level_send_cost_ns,
+)
+from repro.software.planes import PlaneAssignment, SoftwareStack
+
+__all__ = [
+    "AddressSpace",
+    "DmaPathConfig",
+    "PhysicalMemory",
+    "PlaneAssignment",
+    "Protection",
+    "ProtectionFault",
+    "SendPathCosts",
+    "SoftwareStack",
+    "TranslationFault",
+    "UserLevelPathConfig",
+    "dma_send_cost_ns",
+    "reuse_sweep",
+    "user_level_send_cost_ns",
+]

@@ -1,0 +1,177 @@
+"""Demand-paged address spaces over a physical frame pool.
+
+The MPC620 provides "support for demand-paged virtual-memory address
+translation"; this module is the software half: page tables mapping
+virtual pages to physical frames with read/write/execute protection,
+a shared physical allocator per node, and the fault types the MMU
+delivers.  The user-level communication path (and its protection story)
+is built on these.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.memory.address import is_power_of_two
+
+
+class Protection(enum.Flag):
+    NONE = 0
+    READ = enum.auto()
+    WRITE = enum.auto()
+    EXECUTE = enum.auto()
+    RW = READ | WRITE
+
+
+class TranslationFault(RuntimeError):
+    """Access to an unmapped virtual page."""
+
+
+class ProtectionFault(RuntimeError):
+    """Access violating the page's protection bits."""
+
+
+class OutOfMemory(RuntimeError):
+    """The physical frame pool is exhausted."""
+
+
+class PhysicalMemory:
+    """One node's frame pool."""
+
+    def __init__(self, total_bytes: int, page_bytes: int = 4096):
+        if not is_power_of_two(page_bytes):
+            raise ValueError(f"page size must be a power of two, got {page_bytes}")
+        if total_bytes < page_bytes:
+            raise ValueError("physical memory smaller than one page")
+        self.page_bytes = page_bytes
+        self.total_frames = total_bytes // page_bytes
+        self._free: Set[int] = set(range(self.total_frames))
+        self._owner: Dict[int, str] = {}
+
+    @property
+    def free_frames(self) -> int:
+        return len(self._free)
+
+    def allocate(self, owner: str) -> int:
+        if not self._free:
+            raise OutOfMemory("no free frames")
+        frame = min(self._free)
+        self._free.remove(frame)
+        self._owner[frame] = owner
+        return frame
+
+    def release(self, frame: int) -> None:
+        if frame in self._free:
+            raise ValueError(f"frame {frame} already free")
+        self._owner.pop(frame, None)
+        self._free.add(frame)
+
+    def owner_of(self, frame: int) -> Optional[str]:
+        return self._owner.get(frame)
+
+
+@dataclass(frozen=True)
+class PageTableEntry:
+    frame: int
+    protection: Protection
+    pinned: bool = False
+
+
+class AddressSpace:
+    """One user process's view of memory."""
+
+    def __init__(self, name: str, physical: PhysicalMemory):
+        self.name = name
+        self.physical = physical
+        self.page_bytes = physical.page_bytes
+        self._pages: Dict[int, PageTableEntry] = {}
+        self._page_shift = physical.page_bytes.bit_length() - 1
+
+    # -- mapping ---------------------------------------------------------------
+
+    def page_of(self, vaddr: int) -> int:
+        return vaddr >> self._page_shift
+
+    def map_range(self, vaddr: int, nbytes: int,
+                  protection: Protection = Protection.RW) -> None:
+        """Allocate frames and map ``nbytes`` starting at ``vaddr``."""
+        if nbytes <= 0:
+            raise ValueError("mapping size must be positive")
+        first = self.page_of(vaddr)
+        last = self.page_of(vaddr + nbytes - 1)
+        for page in range(first, last + 1):
+            if page in self._pages:
+                raise ValueError(
+                    f"{self.name}: page {page:#x} already mapped")
+            frame = self.physical.allocate(owner=self.name)
+            self._pages[page] = PageTableEntry(frame, protection)
+
+    def unmap_range(self, vaddr: int, nbytes: int) -> None:
+        first = self.page_of(vaddr)
+        last = self.page_of(vaddr + nbytes - 1)
+        for page in range(first, last + 1):
+            entry = self._pages.get(page)
+            if entry is None:
+                raise TranslationFault(
+                    f"{self.name}: unmapping unmapped page {page:#x}")
+            if entry.pinned:
+                raise ValueError(
+                    f"{self.name}: cannot unmap pinned page {page:#x}")
+        for page in range(first, last + 1):
+            entry = self._pages.pop(page)
+            self.physical.release(entry.frame)
+
+    # -- translation -------------------------------------------------------------
+
+    def translate(self, vaddr: int,
+                  access: Protection = Protection.READ) -> int:
+        """Virtual to physical; raises the MMU's faults."""
+        entry = self._pages.get(self.page_of(vaddr))
+        if entry is None:
+            raise TranslationFault(
+                f"{self.name}: no mapping for {vaddr:#x}")
+        if access and not (entry.protection & access) == access:
+            raise ProtectionFault(
+                f"{self.name}: {access} on page with {entry.protection}")
+        offset = vaddr & (self.page_bytes - 1)
+        return entry.frame * self.page_bytes + offset
+
+    def is_mapped(self, vaddr: int) -> bool:
+        return self.page_of(vaddr) in self._pages
+
+    def mapped_pages(self) -> Iterator[Tuple[int, PageTableEntry]]:
+        return iter(sorted(self._pages.items()))
+
+    # -- pinning (only the DMA path needs this) -----------------------------------
+
+    def pin_range(self, vaddr: int, nbytes: int) -> int:
+        """Pin pages for DMA; returns how many pages were newly pinned."""
+        first = self.page_of(vaddr)
+        last = self.page_of(vaddr + nbytes - 1)
+        newly = 0
+        for page in range(first, last + 1):
+            entry = self._pages.get(page)
+            if entry is None:
+                raise TranslationFault(
+                    f"{self.name}: pinning unmapped page {page:#x}")
+            if not entry.pinned:
+                self._pages[page] = PageTableEntry(entry.frame,
+                                                   entry.protection,
+                                                   pinned=True)
+                newly += 1
+        return newly
+
+    def unpin_range(self, vaddr: int, nbytes: int) -> None:
+        first = self.page_of(vaddr)
+        last = self.page_of(vaddr + nbytes - 1)
+        for page in range(first, last + 1):
+            entry = self._pages.get(page)
+            if entry is not None and entry.pinned:
+                self._pages[page] = PageTableEntry(entry.frame,
+                                                   entry.protection,
+                                                   pinned=False)
+
+    def pinned_pages(self) -> int:
+        return sum(1 for _, e in self._pages.items() if e.pinned)

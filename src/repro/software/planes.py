@@ -1,0 +1,100 @@
+"""The dual-plane software split (paper Section 4).
+
+"In a first implementation, one part of the duplicated network is used
+exclusively for user-level communication, while the second part is
+reserved for Linux."  :class:`SoftwareStack` owns both planes of a
+PowerMANNA system: user messages go through plane 0 with no kernel
+involvement, OS traffic (paging, daemons, control messages) stays on
+plane 1.  The isolation property — kernel noise cannot perturb user
+latency — is what the split buys, and the tests measure it directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.machine import PowerMannaSystem
+from repro.msg.api import CommWorld
+from repro.sim.process import Process
+
+
+class PlaneAssignment(enum.Enum):
+    USER = 0
+    SYSTEM = 1
+
+
+@dataclass
+class OsTrafficPattern:
+    """Background kernel traffic: periodic control messages."""
+
+    message_bytes: int = 1024
+    period_ns: float = 20_000.0
+    pairs: int = 4
+
+
+class SoftwareStack:
+    """LinuxPPC-style plane ownership over a PowerMannaSystem."""
+
+    def __init__(self, system: Optional[PowerMannaSystem] = None):
+        self.system = system or PowerMannaSystem.cluster()
+        if len(self.system.worlds) < 2:
+            raise ValueError("the software split needs both network planes")
+        self._os_noise_running = False
+
+    @property
+    def user_world(self) -> CommWorld:
+        return self.system.world(PlaneAssignment.USER.value)
+
+    @property
+    def system_world(self) -> CommWorld:
+        return self.system.world(PlaneAssignment.SYSTEM.value)
+
+    def world_for(self, assignment: PlaneAssignment) -> CommWorld:
+        return self.system.world(assignment.value)
+
+    # -- OS background traffic ------------------------------------------------
+
+    def start_os_noise(self, pattern: OsTrafficPattern = OsTrafficPattern(),
+                       ) -> List[Process]:
+        """Continuous kernel chatter on the system plane."""
+        sim = self.system.sim
+        world = self.system_world
+        nodes = world.fabric.node_ids()
+        processes = []
+
+        def chatter(src: int, dst: int):
+            while True:
+                recv = world.recv(dst)
+                yield world.send(src, dst, pattern.message_bytes)
+                yield recv
+                yield sim.timeout(pattern.period_ns)
+
+        for index in range(pattern.pairs):
+            src = nodes[(2 * index) % len(nodes)]
+            dst = nodes[(2 * index + 1) % len(nodes)]
+            processes.append(sim.process(chatter(src, dst)))
+        self._os_noise_running = True
+        return processes
+
+    # -- measurements ----------------------------------------------------------
+
+    def user_latency_ns(self, a: int = 0, b: int = 1, nbytes: int = 8,
+                        reps: int = 4) -> float:
+        """User-plane one-way latency — with or without OS noise running."""
+        return self.user_world.one_way_latency_ns(a, b, nbytes, reps=reps)
+
+    def isolation_experiment(self, nbytes: int = 8) -> tuple[float, float]:
+        """(quiet, noisy) user latencies on two fresh systems.
+
+        The duplicated network means the second number must equal the
+        first: the OS cannot steal user-plane cycles.
+        """
+        quiet_stack = SoftwareStack()
+        quiet = quiet_stack.user_latency_ns(nbytes=nbytes)
+
+        noisy_stack = SoftwareStack()
+        noisy_stack.start_os_noise()
+        noisy = noisy_stack.user_latency_ns(nbytes=nbytes)
+        return quiet, noisy

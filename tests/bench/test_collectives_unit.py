@@ -1,0 +1,56 @@
+"""Unit tests for the collectives harness."""
+
+import pytest
+
+from repro.bench.collectives import (
+    CollectiveTiming,
+    scaling_sweep,
+    time_barrier,
+    time_broadcast,
+    time_reduce,
+)
+
+
+class TestBarrier:
+    def test_barrier_time_positive_and_bounded(self):
+        timing = time_barrier(4)
+        assert timing.operation == "barrier"
+        assert timing.ranks == 4
+        assert 1_000.0 < timing.elapsed_ns < 50_000.0
+
+    def test_barrier_grows_with_ranks(self):
+        assert time_barrier(8).elapsed_ns > time_barrier(2).elapsed_ns
+
+    def test_repetitions_average_out(self):
+        one = time_barrier(4, repetitions=1).elapsed_ns
+        many = time_barrier(4, repetitions=4).elapsed_ns
+        assert many == pytest.approx(one, rel=0.2)
+
+
+class TestBroadcastReduce:
+    def test_broadcast_scales_with_bytes(self):
+        small = time_broadcast(4, nbytes=64).elapsed_ns
+        large = time_broadcast(4, nbytes=8192).elapsed_ns
+        assert large > small * 2
+
+    def test_reduce_records_metadata(self):
+        timing = time_reduce(4, nbytes=256)
+        assert timing.operation == "reduce"
+        assert timing.nbytes == 256
+
+    def test_two_rank_broadcast_is_one_message(self):
+        timing = time_broadcast(2, nbytes=1024)
+        # One 1 KB message: setup + ~17 us wire, well under two messages.
+        assert timing.elapsed_ns < 40_000.0
+
+
+class TestSweep:
+    def test_sweep_structure(self):
+        sweep = scaling_sweep(rank_counts=(2, 4), nbytes=128)
+        assert set(sweep) == {"barrier", "broadcast", "reduce"}
+        for timings in sweep.values():
+            assert [t.ranks for t in timings] == [2, 4]
+
+    def test_timing_dataclass(self):
+        timing = CollectiveTiming("barrier", 8, 0, 1234.0)
+        assert timing.elapsed_ns == 1234.0

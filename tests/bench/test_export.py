@@ -1,0 +1,78 @@
+"""Tests for result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.bench.export import record, to_csv, to_json, write_csv, write_json
+from repro.bench.matmult import MatMultResult
+from repro.bench.microbench import CommPoint
+from repro.bench.traffic import TrafficResult
+
+
+def sample_results():
+    return [
+        MatMultResult(machine="powermanna", n=64, version="naive", cpus=1,
+                      mflops=42.5, elapsed_ns=1000.0, sampled=False),
+        MatMultResult(machine="pc180", n=64, version="naive", cpus=1,
+                      mflops=50.0, elapsed_ns=850.0, sampled=True),
+    ]
+
+
+class TestRecord:
+    def test_dataclass_fields_exported(self):
+        row = record(sample_results()[0])
+        assert row["machine"] == "powermanna"
+        assert row["mflops"] == 42.5
+        assert row["sampled"] is False
+
+    def test_properties_included(self):
+        result = TrafficResult(pattern="p", nodes=4, messages=8,
+                               message_bytes=64, elapsed_ns=1000.0,
+                               aggregate_mb_s=100.0, collisions=0)
+        row = record(result)
+        assert row["per_node_mb_s"] == pytest.approx(25.0)
+
+    def test_mapping_passthrough(self):
+        assert record({"a": 1})["a"] == 1
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            record(object())
+
+
+class TestJson:
+    def test_round_trips(self):
+        text = to_json(sample_results())
+        data = json.loads(text)
+        assert len(data) == 2
+        assert data[0]["machine"] == "powermanna"
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "results.json"
+        write_json(str(path), sample_results())
+        assert json.loads(path.read_text())[1]["machine"] == "pc180"
+
+
+class TestCsv:
+    def test_columns_are_union(self):
+        results = [sample_results()[0],
+                   CommPoint(system="PowerMANNA", nbytes=8, latency_us=2.7)]
+        text = to_csv(results)
+        reader = csv.DictReader(io.StringIO(text))
+        rows = list(reader)
+        assert len(rows) == 2
+        assert "machine" in reader.fieldnames
+        assert "latency_us" in reader.fieldnames
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            to_csv([])
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "results.csv"
+        write_csv(str(path), sample_results())
+        content = path.read_text()
+        assert "powermanna" in content and "pc180" in content

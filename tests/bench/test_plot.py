@@ -1,0 +1,71 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.bench.plot import ascii_bars, ascii_xy
+
+
+class TestAsciiXy:
+    def test_renders_all_series_glyphs(self):
+        chart = ascii_xy({"alpha": [(1.0, 10.0), (10.0, 100.0)],
+                          "beta": [(1.0, 100.0), (10.0, 10.0)]})
+        assert "a=alpha" in chart
+        assert "b=beta" in chart
+        body = chart.splitlines()[:-3]
+        assert any("a" in line for line in body)
+        assert any("b" in line for line in body)
+
+    def test_duplicate_glyph_initials_disambiguated(self):
+        chart = ascii_xy({"aaa": [(1.0, 1.0)], "abc": [(2.0, 2.0)]})
+        legend = chart.splitlines()[-1]
+        glyphs = [part.split("=")[0] for part in legend.split()]
+        assert len(set(glyphs)) == 2
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_xy({"s": [(0.0, 1.0)]})
+
+    def test_linear_axes(self):
+        chart = ascii_xy({"s": [(0.0, 0.0), (5.0, 5.0)]},
+                         log_x=False, log_y=False)
+        assert "x: [0 .. 5]" in chart
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_xy({})
+        with pytest.raises(ValueError):
+            ascii_xy({"s": []})
+
+    def test_too_small_chart_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_xy({"s": [(1.0, 1.0)]}, width=2)
+
+    def test_caption_appended(self):
+        chart = ascii_xy({"s": [(1.0, 1.0), (2.0, 2.0)]},
+                         caption="hello caption")
+        assert chart.splitlines()[-1] == "hello caption"
+
+    def test_dimensions(self):
+        chart = ascii_xy({"s": [(1.0, 1.0), (100.0, 100.0)]},
+                         width=30, height=8)
+        body = chart.splitlines()
+        assert len(body[0]) == 31          # '|' + width
+        assert body[8].startswith("+")
+
+
+class TestAsciiBars:
+    def test_longest_bar_is_the_peak(self):
+        chart = ascii_bars({"small": 1.0, "big": 4.0}, width=20)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 20
+        assert lines[0].count("#") == 5
+
+    def test_unit_suffix(self):
+        chart = ascii_bars({"x": 2.5}, unit=" MB/s")
+        assert "2.5 MB/s" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bars({})
+        with pytest.raises(ValueError):
+            ascii_bars({"x": 0.0})

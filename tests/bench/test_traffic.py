@@ -1,0 +1,74 @@
+"""Tests for the traffic-pattern harness."""
+
+import pytest
+
+from repro.bench.traffic import (
+    TrafficResult,
+    _destinations,
+    pattern_comparison,
+    run_pattern,
+)
+from repro.msg.api import build_cluster_world
+
+
+class TestDestinationPlans:
+    def test_permutation_is_a_permutation_each_round(self):
+        nodes = list(range(8))
+        plan = _destinations("permutation", nodes, rounds=3, seed=1)
+        for row in plan:
+            assert sorted(row) == nodes        # bijection
+            assert all(src != dst for src, dst in zip(nodes, row))
+
+    def test_random_never_self_sends(self):
+        nodes = list(range(8))
+        plan = _destinations("random", nodes, rounds=5, seed=3)
+        for row in plan:
+            assert all(src != dst for src, dst in zip(nodes, row))
+
+    def test_random_is_seed_deterministic(self):
+        nodes = list(range(8))
+        assert (_destinations("random", nodes, 3, seed=5)
+                == _destinations("random", nodes, 3, seed=5))
+
+    def test_hotspot_targets_node_zero(self):
+        nodes = list(range(8))
+        plan = _destinations("hotspot", nodes, rounds=1, seed=1)
+        assert plan[0][1:] == [0] * 7
+        assert plan[0][0] == 1                 # node 0 sends elsewhere
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            _destinations("tornado", [0, 1], 1, 1)
+
+
+class TestRunPattern:
+    def test_all_messages_delivered(self):
+        world = build_cluster_world()[1]
+        result = run_pattern(world, "permutation", message_bytes=256,
+                             rounds=2)
+        assert result.messages == 16
+        assert result.elapsed_ns > 0
+        assert result.aggregate_mb_s > 0
+
+    def test_subset_of_nodes(self):
+        world = build_cluster_world()[1]
+        result = run_pattern(world, "random", nodes=[0, 2, 4, 6],
+                             message_bytes=128, rounds=2)
+        assert result.nodes == 4
+        assert result.messages == 8
+
+    def test_two_node_minimum(self):
+        world = build_cluster_world()[1]
+        with pytest.raises(ValueError):
+            run_pattern(world, "permutation", nodes=[0])
+
+    def test_per_node_metric(self):
+        result = TrafficResult("p", nodes=4, messages=8, message_bytes=64,
+                               elapsed_ns=1000.0, aggregate_mb_s=100.0,
+                               collisions=0)
+        assert result.per_node_mb_s == pytest.approx(25.0)
+
+    def test_comparison_runs_fresh_worlds(self):
+        results = pattern_comparison(lambda: build_cluster_world()[1],
+                                     message_bytes=128, rounds=2)
+        assert set(results) == {"permutation", "random", "hotspot"}

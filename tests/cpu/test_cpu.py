@@ -1,0 +1,200 @@
+"""Tests for instruction mixes, CPU specs and the pipeline models."""
+
+import pytest
+
+from repro.cpu.isa import InstructionMix, fma_mix
+from repro.cpu.kernels import (
+    copy_step,
+    hint_scan_step,
+    hint_split_step,
+    matmult_inner_step,
+    matmult_store_step,
+    transpose_step,
+)
+from repro.cpu.model import CpuSpec
+from repro.cpu.pipeline import PipelineModel, make_stall_model
+from repro.cpu.presets import (
+    MPC620,
+    PENTIUM_II_180,
+    PENTIUM_II_266,
+    ULTRASPARC_I,
+    cpu_preset,
+    list_presets,
+)
+from repro.sim.clock import Clock
+
+
+class TestInstructionMix:
+    def test_totals(self):
+        mix = InstructionMix(fp_ops=2, fp_instructions=1, int_ops=3,
+                             loads=2, stores=1, branches=1)
+        assert mix.memory_ops == 3
+        assert mix.total_instructions == 8
+
+    def test_scaled(self):
+        mix = InstructionMix(loads=2).scaled(3)
+        assert mix.loads == 6
+
+    def test_add(self):
+        mix = InstructionMix(loads=1) + InstructionMix(stores=2)
+        assert mix.loads == 1 and mix.stores == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionMix(loads=-1)
+
+    def test_fp_instructions_bounded_by_ops(self):
+        with pytest.raises(ValueError):
+            InstructionMix(fp_ops=1, fp_instructions=2)
+
+    def test_fma_mix_fuses(self):
+        fused = fma_mix(True, mults=1, adds=1)
+        assert fused.fp_ops == 2 and fused.fp_instructions == 1
+        plain = fma_mix(False, mults=1, adds=1)
+        assert plain.fp_instructions == 2
+
+    def test_without_memory(self):
+        mix = InstructionMix(loads=2, stores=1, int_ops=1).without_memory()
+        assert mix.memory_ops == 0 and mix.int_ops == 1
+
+
+class TestCpuSpec:
+    def test_peak_mflops_with_fma(self):
+        # MPC620: 1 pipelined FMA unit at 180 MHz = 360 MFLOPS peak.
+        assert MPC620.peak_mflops == pytest.approx(360.0)
+
+    def test_unpipelined_fp_derates_throughput(self):
+        spec = CpuSpec(name="x", clock=Clock(100.0), fp_pipelined=False,
+                       fp_throughput=1.0, fp_latency=4.0)
+        assert spec.effective_fp_throughput == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuSpec(name="bad", clock=Clock(100.0), issue_width=0)
+        with pytest.raises(ValueError):
+            CpuSpec(name="bad", clock=Clock(100.0), miss_stall_fraction=0.0)
+
+    def test_describe_mentions_load_pipelining(self):
+        assert "NO" in MPC620.describe()
+        assert "yes" in PENTIUM_II_180.describe()
+
+
+class TestPresets:
+    def test_lookup(self):
+        assert cpu_preset("mpc620") is MPC620
+        assert cpu_preset("PENTIUM-II-266") is PENTIUM_II_266
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            cpu_preset("alpha")
+
+    def test_list_presets(self):
+        assert "ultrasparc-i" in list_presets()
+
+    def test_paper_clock_rates(self):
+        assert MPC620.clock.mhz == 180.0
+        assert ULTRASPARC_I.clock.mhz == 168.0
+        assert PENTIUM_II_266.clock.mhz == 266.0
+
+    def test_only_mpc620_lacks_load_pipelining(self):
+        assert not MPC620.load_pipelining
+        assert ULTRASPARC_I.load_pipelining
+        assert PENTIUM_II_180.load_pipelining
+
+    def test_only_mpc620_has_fma(self):
+        assert MPC620.has_fma
+        assert not PENTIUM_II_180.has_fma
+
+
+class TestPipelineModel:
+    def test_issue_width_bound(self):
+        spec = CpuSpec(name="x", clock=Clock(100.0), issue_width=2,
+                       int_units=8)
+        model = PipelineModel(spec)
+        mix = InstructionMix(int_ops=8)
+        assert model.block_cycles(mix) == pytest.approx(4.0)
+
+    def test_memory_port_bound(self):
+        model = PipelineModel(MPC620)
+        mix = InstructionMix(loads=8)
+        # 1 load/store unit: 8 cycles even though issue width is 4.
+        assert model.block_cycles(mix) == pytest.approx(8.0)
+
+    def test_fp_chain_bound(self):
+        model = PipelineModel(MPC620)
+        mix = InstructionMix(fp_ops=4, fp_instructions=4)
+        chained = model.block_cycles(mix, dependent_fp_chain=4)
+        assert chained == pytest.approx(4 * MPC620.fp_latency)
+
+    def test_integer_multiply_cost(self):
+        sun = PipelineModel(ULTRASPARC_I)
+        pc = PipelineModel(PENTIUM_II_180)
+        mix = InstructionMix(int_muls=4)
+        assert sun.block_cycles(mix) > pc.block_cycles(mix)
+
+    def test_branch_cost_added(self):
+        model = PipelineModel(PENTIUM_II_180)
+        base = model.block_cycles(InstructionMix(int_ops=4))
+        with_branches = model.block_cycles(
+            InstructionMix(int_ops=4, branches=10))
+        assert with_branches > base
+
+    def test_per_access_compute_requires_accesses(self):
+        model = PipelineModel(MPC620)
+        with pytest.raises(ValueError):
+            model.per_access_compute_ns(InstructionMix(loads=1), 0)
+
+
+class TestStallModels:
+    L1_NS = 10.0
+
+    def test_blocking_loads_expose_full_latency(self):
+        stall = make_stall_model(MPC620, self.L1_NS)
+        assert stall(210.0, 100.0) == pytest.approx(200.0)
+
+    def test_l1_hits_never_stall(self):
+        for spec in (MPC620, PENTIUM_II_180):
+            stall = make_stall_model(spec, self.L1_NS)
+            assert stall(10.0, 5.0) == 0.0
+
+    def test_pipelined_loads_hide_latency_behind_compute(self):
+        stall = make_stall_model(PENTIUM_II_180, self.L1_NS)
+        exposed = (210.0 - self.L1_NS) * PENTIUM_II_180.miss_stall_fraction
+        assert stall(210.0, 50.0) == pytest.approx(max(0.0, exposed - 50.0))
+
+    def test_pipelined_cheaper_than_blocking(self):
+        blocking = make_stall_model(MPC620, self.L1_NS)
+        pipelined = make_stall_model(PENTIUM_II_180, self.L1_NS)
+        assert pipelined(500.0, 20.0) < blocking(500.0, 20.0)
+
+
+class TestKernels:
+    def test_matmult_inner_step_counts(self):
+        unit = matmult_inner_step(MPC620)
+        assert unit.memory_refs == 2
+        assert unit.flops == 2.0
+        # FMA machines need one FP instruction for the multiply-add.
+        assert unit.mix.fp_instructions == 1.0
+        non_fma = matmult_inner_step(PENTIUM_II_180)
+        assert non_fma.mix.fp_instructions == 2.0
+
+    def test_store_and_transpose_steps(self):
+        assert matmult_store_step().mix.stores == 1.0
+        assert transpose_step().memory_refs == 2
+
+    def test_hint_steps_differ_by_type(self):
+        double = hint_scan_step("double")
+        integer = hint_scan_step("int")
+        assert double.mix.fp_ops > 0
+        assert integer.mix.fp_ops == 0
+        assert hint_split_step("int").mix.int_divs > 0
+
+    def test_hint_rejects_bad_type(self):
+        with pytest.raises(ValueError):
+            hint_scan_step("float128")
+        with pytest.raises(ValueError):
+            hint_split_step("float128")
+
+    def test_copy_step(self):
+        unit = copy_step()
+        assert unit.mix.loads == 1.0 and unit.mix.stores == 1.0

@@ -1,0 +1,158 @@
+"""Tests for the detailed out-of-order engine."""
+
+import pytest
+
+from repro.cpu.ooo import (
+    Instruction,
+    OooConfig,
+    OooEngine,
+    PreciseException,
+    UnitClass,
+    config_from_spec,
+    dependent_chain,
+    independent_stream,
+    matmult_stream,
+)
+from repro.cpu.presets import MPC620, PENTIUM_II_180
+
+
+@pytest.fixture
+def engine():
+    return OooEngine()
+
+
+class TestThroughputBounds:
+    def test_independent_int_ops_run_superscalar(self, engine):
+        result = engine.run(independent_stream(UnitClass.INT, 30))
+        # 3 int units: IPC close to 3.
+        assert result.ipc > 2.0
+
+    def test_issue_width_caps_ipc(self):
+        config = OooConfig(issue_width=2)
+        result = OooEngine(config).run(independent_stream(UnitClass.INT, 40))
+        assert result.ipc <= 2.01
+
+    def test_dependent_chain_runs_at_latency(self, engine):
+        count = 20
+        result = engine.run(dependent_chain(UnitClass.FP, count))
+        # Each link waits the full FP latency of its predecessor.
+        assert result.cycles >= 3.0 * (count - 1)
+
+    def test_independent_fp_pipelines(self, engine):
+        result = engine.run(independent_stream(UnitClass.FP, 20))
+        chain = engine.run(dependent_chain(UnitClass.FP, 20))
+        assert result.cycles < chain.cycles / 2
+
+    def test_single_lsu_serialises_memory_ops(self, engine):
+        result = engine.run(independent_stream(UnitClass.LOAD_STORE, 20))
+        assert result.cycles >= 20.0   # one initiation per cycle at best
+
+    def test_rob_limits_runahead(self):
+        small_rob = OooConfig(rob_entries=2)
+        big_rob = OooConfig(rob_entries=32)
+        # A slow head instruction blocks completion; a small ROB then
+        # throttles everything behind it.
+        stream = [Instruction(UnitClass.FP, dest="slow", latency=40.0)]
+        stream += independent_stream(UnitClass.INT, 20)
+        slow = OooEngine(small_rob).run(stream)
+        fast = OooEngine(big_rob).run(stream)
+        assert slow.cycles > fast.cycles
+
+
+class TestInOrderCompletionAndPrecision:
+    def test_completions_are_monotone(self, engine):
+        stream = [Instruction(UnitClass.FP, dest="x", latency=10.0),
+                  Instruction(UnitClass.INT, dest="y")]
+        result = engine.run(stream)
+        # The int op finishes executing first but completes after the FP op.
+        assert result.completions == sorted(result.completions)
+        assert result.completions[1] >= result.completions[0]
+
+    def test_precise_exception_reports_older_count(self, engine):
+        stream = independent_stream(UnitClass.INT, 5)
+        stream.append(Instruction(UnitClass.INT, raises=True, label="trap"))
+        stream += independent_stream(UnitClass.FP, 3)
+        with pytest.raises(PreciseException) as excinfo:
+            engine.run(stream)
+        assert excinfo.value.completed == 5
+        assert excinfo.value.label == "trap"
+
+    def test_retire_width_limits_completions_per_cycle(self):
+        config = OooConfig(retire_width=1)
+        result = OooEngine(config).run(independent_stream(UnitClass.INT, 12))
+        cycles = [int(c) for c in result.completions]
+        assert all(cycles.count(c) <= 1 for c in set(cycles))
+
+
+class TestBranchHandling:
+    def test_mispredicted_branch_delays_younger_work(self, engine):
+        clean = engine.run(
+            [Instruction(UnitClass.BRANCH)]
+            + independent_stream(UnitClass.INT, 8))
+        flushed = engine.run(
+            [Instruction(UnitClass.BRANCH, mispredicted=True)]
+            + independent_stream(UnitClass.INT, 8))
+        assert flushed.cycles > clean.cycles + 2.0
+        assert flushed.squashed > 0
+
+    def test_predicted_branch_is_free_flowing(self, engine):
+        result = engine.run([Instruction(UnitClass.BRANCH)
+                             for _ in range(8)])
+        assert result.ipc > 0.8
+
+
+class TestLoadLatencyHook:
+    def test_load_misses_extend_execution(self, engine):
+        stream = dependent_chain(UnitClass.LOAD_STORE, 4)
+        fast = engine.run(stream, load_latency=lambda i: 1.0)
+        slow = engine.run(stream, load_latency=lambda i: 50.0)
+        assert slow.cycles > fast.cycles + 100.0
+
+    def test_unpipelined_lsu_blocks_next_load(self):
+        """The MPC620 has no load pipelining: a long miss stalls the LSU
+        itself, so even *independent* loads serialise behind it."""
+        mpc = OooEngine(config_from_spec(MPC620))
+        pii = OooEngine(config_from_spec(PENTIUM_II_180))
+        stream = independent_stream(UnitClass.LOAD_STORE, 6)
+        miss = lambda i: 30.0
+        blocking = mpc.run(stream, load_latency=miss)
+        overlapping = pii.run(stream, load_latency=miss)
+        assert blocking.cycles > overlapping.cycles * 2
+
+
+class TestMatmultStream:
+    def test_fma_stream_shorter_than_mul_add(self, engine):
+        fma = engine.run(matmult_stream(16, has_fma=True))
+        plain = engine.run(matmult_stream(16, has_fma=False))
+        assert fma.instructions < plain.instructions
+        assert fma.cycles <= plain.cycles
+
+    def test_inner_product_lsu_bound(self, engine):
+        n = 32
+        result = engine.run(matmult_stream(n, has_fma=True))
+        # 2 loads per iteration through one LSU: >= 2n cycles.
+        assert result.cycles >= 2 * n
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OooConfig(issue_width=0)
+        with pytest.raises(ValueError):
+            OooConfig(rob_entries=0)
+        with pytest.raises(ValueError):
+            OooConfig(unit_counts={UnitClass.INT: 0,
+                                   UnitClass.FP: 1,
+                                   UnitClass.LOAD_STORE: 1,
+                                   UnitClass.BRANCH: 1})
+
+    def test_config_from_spec_reflects_load_pipelining(self):
+        mpc = config_from_spec(MPC620)
+        pii = config_from_spec(PENTIUM_II_180)
+        assert not mpc.unit_pipelined[UnitClass.LOAD_STORE]
+        assert pii.unit_pipelined[UnitClass.LOAD_STORE]
+
+    def test_empty_stream(self):
+        result = OooEngine().run([])
+        assert result.cycles == 0.0
+        assert result.ipc == 0.0

@@ -1,0 +1,188 @@
+"""Tests for the EARTH fine-grain multithreading runtime."""
+
+import pytest
+
+from repro.earth.bench import overlap_experiment, remote_load_latency_ns
+from repro.earth.fibers import Fiber, SyncSlot
+from repro.earth.operations import (
+    DataSync,
+    LocalSignal,
+    RemoteLoad,
+    RemoteStore,
+    Spawn,
+)
+from repro.earth.runtime import EarthConfig, EarthMachine
+
+
+class TestFibersAndSlots:
+    def test_sync_slot_counts_down(self):
+        fiber = Fiber(lambda node, frame: [], label="f")
+        slot = SyncSlot(3, fiber)
+        assert slot.signal() is None
+        assert slot.signal() is None
+        assert slot.signal() is fiber
+        assert slot.fired == 1
+
+    def test_one_shot_slot_rejects_extra_signals(self):
+        slot = SyncSlot(1, Fiber(lambda node, frame: []))
+        slot.signal()
+        with pytest.raises(RuntimeError, match="exhaustion"):
+            slot.signal()
+
+    def test_reusable_slot_reloads(self):
+        fiber = Fiber(lambda node, frame: [])
+        slot = SyncSlot(2, fiber, reset=True)
+        slot.signal()
+        assert slot.signal() is fiber
+        slot.signal()
+        assert slot.signal() is fiber
+        assert slot.fired == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyncSlot(0, Fiber(lambda node, frame: []))
+        with pytest.raises(ValueError):
+            Fiber(lambda node, frame: [], work_ns=-1.0)
+        with pytest.raises(TypeError):
+            Fiber("not callable")
+
+
+class TestRuntimeSemantics:
+    def test_local_fiber_runs(self):
+        machine = EarthMachine()
+        log = []
+        machine.spawn(0, Fiber(lambda node, frame: log.append(node.sim.now),
+                               label="probe"))
+        machine.run()
+        assert len(log) == 1
+
+    def test_remote_spawn_runs_on_target_node(self):
+        machine = EarthMachine()
+        where = []
+
+        def remote_body(node, frame):
+            where.append(node.node_id)
+            return []
+
+        def root(node, frame):
+            return [Spawn(node=5, fiber=Fiber(remote_body, label="remote"))]
+
+        machine.spawn(0, Fiber(root, label="root"))
+        machine.run()
+        assert where == [5]
+        assert machine.node(5).stats["fibers_run"] == 1
+
+    def test_remote_store_and_load_roundtrip(self):
+        machine = EarthMachine()
+        frame = {}
+        done = Fiber(lambda node, f: [], label="done")
+        slot = SyncSlot(1, done)
+
+        def root(node, f):
+            return [
+                RemoteStore(node=3, addr=0x10, value=1234),
+                RemoteLoad(node=3, addr=0x10, frame=frame, key="v",
+                           slot=slot),
+            ]
+
+        machine.spawn(0, Fiber(root, label="root"))
+        machine.run()
+        assert machine.node(3).memory[0x10] == 1234
+        assert frame["v"] == 1234
+        assert slot.fired == 1
+
+    def test_data_sync_delivers_value_and_signal(self):
+        machine = EarthMachine()
+        child_frame = {}
+        seen = []
+
+        def consumer(node, frame):
+            seen.append(frame["input"])
+            return []
+
+        consumer_fiber = Fiber(consumer, frame=child_frame, label="consumer")
+        slot = SyncSlot(1, consumer_fiber)
+
+        def producer(node, frame):
+            return [DataSync(node=2, frame=child_frame, key="input",
+                             value=77, slot=slot)]
+
+        # The consumer's slot lives on node 2: spawn the producer elsewhere.
+        machine.spawn(6, Fiber(producer, label="producer"))
+        machine.run()
+        assert seen == [77]
+
+    def test_local_signal_short_circuits_network(self):
+        machine = EarthMachine()
+        ran = []
+        fiber = Fiber(lambda node, frame: ran.append(True))
+        slot = SyncSlot(1, fiber)
+        machine.spawn(0, Fiber(lambda node, frame: [LocalSignal(slot)]))
+        machine.run()
+        assert ran == [True]
+        assert machine.node(0).stats["remote_ops"] == 0
+
+    def test_fan_in_sync(self):
+        """N children on N nodes each DataSync one value into the parent."""
+        machine = EarthMachine()
+        parent_frame = {}
+        results = []
+
+        def parent_body(node, frame):
+            results.append(sum(frame[f"c{i}"] for i in range(4)))
+            return []
+
+        parent = Fiber(parent_body, frame=parent_frame, label="parent")
+        slot = SyncSlot(4, parent)
+
+        def make_child(i):
+            def body(node, frame):
+                return [DataSync(node=0, frame=parent_frame, key=f"c{i}",
+                                 value=i * i, slot=slot)]
+            return Fiber(body, label=f"child{i}")
+
+        def root(node, frame):
+            return [Spawn(node=i + 1, fiber=make_child(i)) for i in range(4)]
+
+        machine.spawn(0, Fiber(root, label="root"))
+        machine.run()
+        assert results == [0 + 1 + 4 + 9]
+
+
+class TestPerformanceProperties:
+    def test_remote_load_latency_in_microseconds(self):
+        latency = remote_load_latency_ns()
+        assert 2000.0 < latency < 6000.0
+
+    def test_split_phase_overlap_beats_blocking(self):
+        result = overlap_experiment(count=12)
+        assert result.overlap_factor > 2.0
+        assert result.split_phase_ns < result.blocking_ns
+
+    def test_overlap_grows_with_outstanding_count(self):
+        small = overlap_experiment(count=4)
+        large = overlap_experiment(count=16)
+        assert large.overlap_factor > small.overlap_factor
+
+    def test_earth_op_cheaper_than_mpi_send(self):
+        """EARTH's slot-addressed active messages skip tag matching; the
+        remote-load round half must be cheaper than an MPI-style one-way."""
+        from repro.msg.api import build_cluster_world
+        _, world = build_cluster_world()
+        mpi_one_way = world.one_way_latency_ns(0, 1, 16, reps=2)
+        earth_half_round = remote_load_latency_ns() / 2.0
+        assert earth_half_round < mpi_one_way
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EarthConfig(fiber_dispatch_ns=-1.0)
+
+    def test_machine_requires_sim_with_world(self):
+        from repro.msg.api import build_cluster_world
+        sim, world = build_cluster_world()
+        with pytest.raises(ValueError):
+            EarthMachine(world=world)
+        machine = EarthMachine(world=world, sim=sim)
+        assert len(machine.nodes) == 8

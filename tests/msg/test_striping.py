@@ -1,0 +1,104 @@
+"""Tests for the dual-plane striping protocol."""
+
+import pytest
+
+from repro.msg.striping import StripedChannel, StripingConfig
+
+
+class TestPolicy:
+    def test_small_messages_use_one_plane(self):
+        channel = StripedChannel()
+        recv = channel.recv(1)
+        channel.send(0, 1, 64)
+        delivery = channel.sim.run_until_complete(recv)
+        assert delivery.planes_used == 1
+        assert delivery.nbytes == 64
+
+    def test_large_messages_use_both_planes(self):
+        channel = StripedChannel()
+        recv = channel.recv(1)
+        channel.send(0, 1, 4096)
+        delivery = channel.sim.run_until_complete(recv)
+        assert delivery.planes_used == 2
+        assert delivery.nbytes == 4096
+
+    def test_threshold_boundary(self):
+        config = StripingConfig(stripe_threshold=1024)
+        channel = StripedChannel(config=config)
+        recv = channel.recv(1)
+        channel.send(0, 1, 1023)
+        assert channel.sim.run_until_complete(recv).planes_used == 1
+        recv = channel.recv(1)
+        channel.send(0, 1, 1024)
+        assert channel.sim.run_until_complete(recv).planes_used == 2
+
+    def test_odd_sizes_split_exactly(self):
+        channel = StripedChannel()
+        recv = channel.recv(1)
+        channel.send(0, 1, 4097)
+        delivery = channel.sim.run_until_complete(recv)
+        assert delivery.nbytes == 4097
+
+    def test_small_messages_round_robin_planes(self):
+        channel = StripedChannel()
+        sent = []
+
+        def traffic():
+            for _ in range(4):
+                recv = channel.recv(1)
+                yield channel.send(0, 1, 64)
+                delivery = yield recv
+                sent.append(delivery)
+
+        proc = channel.sim.process(traffic())
+        channel.sim.run_until_complete(proc)
+        drv0 = channel.system.world(0).endpoint(0).driver.stats["sent"]
+        drv1 = channel.system.world(1).endpoint(0).driver.stats["sent"]
+        assert drv0 == drv1 == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            StripingConfig(stripe_threshold=1)
+        with pytest.raises(ValueError):
+            StripingConfig(reassembly_ns=-1.0)
+
+
+class TestPerformance:
+    def test_bandwidth_approaches_double_link_rate(self):
+        channel = StripedChannel()
+        bandwidth = channel.unidirectional_mb_s(0, 1, 16384)
+        assert bandwidth > 1.7 * 60.0
+
+    def test_striped_doubles_single_plane_bandwidth(self):
+        from repro.msg.api import build_cluster_world
+        _, world = build_cluster_world()
+        single = world.unidirectional_mb_s(0, 1, 16384)
+        channel = StripedChannel()
+        striped = channel.unidirectional_mb_s(0, 1, 16384)
+        assert striped > 1.8 * single
+
+    def test_short_message_latency_unchanged(self):
+        channel = StripedChannel()
+        latency = channel.one_way_latency_ns(0, 1, 8)
+        assert latency / 1e3 == pytest.approx(2.75, rel=0.15)
+
+    def test_interleaved_striped_messages_reassemble(self):
+        """Back-to-back striped messages: halves of message k+1 may land
+        before the second half of message k; ids keep them straight."""
+        channel = StripedChannel()
+        deliveries = []
+
+        def receiver():
+            for _ in range(4):
+                delivery = yield channel.recv(1)
+                deliveries.append(delivery)
+
+        def sender():
+            for _ in range(4):
+                yield channel.send(0, 1, 8192)
+
+        recv_proc = channel.sim.process(receiver())
+        channel.sim.process(sender())
+        channel.sim.run_until_complete(recv_proc)
+        assert [d.nbytes for d in deliveries] == [8192] * 4
+        assert all(d.planes_used == 2 for d in deliveries)

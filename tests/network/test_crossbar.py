@@ -1,0 +1,167 @@
+"""Tests for the 16x16 crossbar."""
+
+import pytest
+
+from repro.network.crossbar import Crossbar, CrossbarConfig, RoutingError
+from repro.network.link import ByteFifo, Link, LinkConfig
+from repro.network.message import Flit, FlitKind, Message, build_wire_format
+from repro.sim.engine import Simulator
+
+
+def wired_crossbar(sim, ports_to_wire=(0, 1, 2, 3), config=None):
+    """A crossbar with sink FIFOs on the given output ports."""
+    xbar = Crossbar(sim, config or CrossbarConfig(), name="x")
+    sinks = {}
+    for port in ports_to_wire:
+        sink = ByteFifo(sim, 4096, name=f"sink{port}")
+        link = Link(sim, LinkConfig(propagation_ns=0.0), sink,
+                    name=f"x.out{port}")
+        xbar.attach_output(port, link)
+        sinks[port] = sink
+    return xbar, sinks
+
+
+def inject(sim, xbar, in_port, flits):
+    def feeder():
+        for flit in flits:
+            yield xbar.input_fifo(in_port).put(flit)
+
+    sim.process(feeder())
+
+
+def drain(sim, sink, count, out):
+    def drainer():
+        for _ in range(count):
+            flit = yield sink.get()
+            out.append((sim.now, flit))
+
+    sim.process(drainer())
+
+
+def message_flits(route, payload=16, mid_holder=[100]):
+    mid_holder[0] += 1
+    message = Message(source=0, dest=1, payload_bytes=payload,
+                      route=tuple(route))
+    message.message_id = mid_holder[0]
+    return build_wire_format(message)
+
+
+class TestWormholeRouting:
+    def test_route_byte_consumed_payload_forwarded(self):
+        sim = Simulator()
+        xbar, sinks = wired_crossbar(sim)
+        flits = message_flits([2], payload=16)
+        inject(sim, xbar, 0, flits)
+        out = []
+        drain(sim, sinks[2], 3, out)   # 2 data + close
+        sim.run()
+        kinds = [f.kind for _, f in out]
+        assert kinds == [FlitKind.DATA, FlitKind.DATA, FlitKind.CLOSE]
+
+    def test_multi_hop_header_forwards_remaining_routes(self):
+        sim = Simulator()
+        xbar, sinks = wired_crossbar(sim)
+        flits = message_flits([1, 5], payload=8)
+        inject(sim, xbar, 0, flits)
+        out = []
+        drain(sim, sinks[1], 3, out)
+        sim.run()
+        kinds = [f.kind for _, f in out]
+        # The second route byte travels on for the next crossbar.
+        assert kinds == [FlitKind.ROUTE, FlitKind.DATA, FlitKind.CLOSE]
+        assert out[0][1].route_port == 5
+
+    def test_route_setup_takes_200ns(self):
+        sim = Simulator()
+        xbar, sinks = wired_crossbar(sim)
+        inject(sim, xbar, 0, message_flits([2], payload=8))
+        out = []
+        drain(sim, sinks[2], 2, out)
+        sim.run()
+        first_arrival = out[0][0]
+        assert first_arrival >= 200.0   # the paper's through-routing time
+
+    def test_connection_closes_and_reopens(self):
+        sim = Simulator()
+        xbar, sinks = wired_crossbar(sim)
+        first = message_flits([2], payload=8)
+        second = message_flits([3], payload=8)
+        inject(sim, xbar, 0, first + second)
+        out2, out3 = [], []
+        drain(sim, sinks[2], 2, out2)
+        drain(sim, sinks[3], 2, out3)
+        sim.run()
+        assert len(out2) == 2 and len(out3) == 2
+        assert xbar.stats["connections"] == 2
+
+    def test_two_inputs_to_different_outputs_in_parallel(self):
+        sim = Simulator()
+        xbar, sinks = wired_crossbar(sim)
+        inject(sim, xbar, 0, message_flits([2], payload=64))
+        inject(sim, xbar, 1, message_flits([3], payload=64))
+        out2, out3 = [], []
+        drain(sim, sinks[2], 9, out2)
+        drain(sim, sinks[3], 9, out3)
+        sim.run()
+        assert xbar.stats["collisions"] == 0
+        # Both finished around the same time: full parallelism.
+        assert out2[-1][0] == pytest.approx(out3[-1][0], rel=0.2)
+
+    def test_output_collision_serialises(self):
+        sim = Simulator()
+        xbar, sinks = wired_crossbar(sim)
+        inject(sim, xbar, 0, message_flits([2], payload=64))
+        inject(sim, xbar, 1, message_flits([2], payload=64))
+        out = []
+        drain(sim, sinks[2], 18, out)
+        sim.run()
+        assert xbar.stats["collisions"] == 1
+        assert xbar.collision_rate() == pytest.approx(0.5)
+        # Wormhole: no interleaving of the two messages' payloads.
+        ids = [f.message_id for _, f in out]
+        switch_points = sum(1 for a, b in zip(ids, ids[1:]) if a != b)
+        assert switch_points == 1
+
+
+class TestProtocolErrors:
+    def test_data_before_route_rejected(self):
+        sim = Simulator()
+        xbar, _ = wired_crossbar(sim)
+        inject(sim, xbar, 0, [Flit(FlitKind.DATA, 8, 1)])
+        with pytest.raises(RoutingError, match="expected a route"):
+            sim.run()
+
+    def test_route_to_unwired_output_rejected(self):
+        sim = Simulator()
+        xbar, _ = wired_crossbar(sim, ports_to_wire=(0,))
+        inject(sim, xbar, 1, message_flits([9]))
+        with pytest.raises(RoutingError, match="unwired"):
+            sim.run()
+
+    def test_route_out_of_range_rejected(self):
+        sim = Simulator()
+        xbar, _ = wired_crossbar(sim)
+        inject(sim, xbar, 0, message_flits([99]))
+        with pytest.raises(RoutingError):
+            sim.run()
+
+    def test_double_output_wiring_rejected(self):
+        sim = Simulator()
+        xbar, _ = wired_crossbar(sim, ports_to_wire=(0,))
+        sink = ByteFifo(sim, 64)
+        with pytest.raises(ValueError, match="already wired"):
+            xbar.attach_output(0, Link(sim, LinkConfig(), sink))
+
+    def test_bad_port_rejected(self):
+        sim = Simulator()
+        xbar, _ = wired_crossbar(sim)
+        with pytest.raises(ValueError):
+            xbar.input_fifo(99)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CrossbarConfig(ports=1)
+        with pytest.raises(ValueError):
+            CrossbarConfig(input_fifo_bytes=4)
+        with pytest.raises(ValueError):
+            CrossbarConfig(route_setup_ns=-1.0)

@@ -1,0 +1,109 @@
+"""Tests for asynchronous transceivers and duplex links."""
+
+import pytest
+
+from repro.network.link import ByteFifo, DuplexLink, LinkConfig
+from repro.network.message import Flit, FlitKind
+from repro.network.transceiver import TransceiverConfig, make_async_link
+from repro.sim.engine import Simulator
+
+
+def data_flit(nbytes=8, mid=1, seq=0):
+    return Flit(FlitKind.DATA, nbytes, mid, seq=seq)
+
+
+class TestAsyncLink:
+    def test_cable_adds_latency(self):
+        def arrival_time(cable_m):
+            sim = Simulator()
+            rx = ByteFifo(sim, 4096)
+            link = make_async_link(sim, LinkConfig(propagation_ns=0.0),
+                                   TransceiverConfig(cable_m=cable_m), rx)
+            times = []
+
+            def watch():
+                yield rx.get()
+                times.append(sim.now)
+
+            sim.process(watch())
+            link.send(data_flit())
+            sim.run()
+            return times[0]
+
+        assert arrival_time(30.0) > arrival_time(1.0) + 100.0
+
+    def test_deep_fifo_absorbs_burst(self):
+        """2 KB of flits fit the transceiver buffer even when the far side
+        drains slowly — the stop signal works over the long cable."""
+        sim = Simulator()
+        rx = ByteFifo(sim, 8)      # tiny downstream FIFO
+        link = make_async_link(sim, LinkConfig(propagation_ns=0.0),
+                               TransceiverConfig(fifo_bytes=2048), rx)
+        received = []
+
+        def slow_drain():
+            for _ in range(64):
+                yield sim.timeout(2000.0)
+                flit = yield rx.get()
+                received.append(flit.seq)
+
+        sim.process(slow_drain())
+        for seq in range(64):
+            link.send(data_flit(seq=seq))
+        sim.run()
+        assert received == list(range(64))
+
+    def test_throughput_unaffected_by_cable_length(self):
+        """Latency grows with the cable; steady-state bandwidth does not."""
+        def total_time(cable_m, flits=128):
+            sim = Simulator()
+            rx = ByteFifo(sim, 4096)
+            link = make_async_link(sim, LinkConfig(propagation_ns=0.0),
+                                   TransceiverConfig(cable_m=cable_m), rx)
+            done = []
+
+            def drain():
+                for _ in range(flits):
+                    yield rx.get()
+                done.append(sim.now)
+
+            sim.process(drain())
+            for seq in range(flits):
+                link.send(data_flit(seq=seq))
+            sim.run()
+            return done[0]
+
+        short, long = total_time(1.0), total_time(30.0)
+        assert long - short < 500.0   # only the one-time flight differs
+
+
+class TestDuplexLink:
+    def test_directions_are_independent(self):
+        sim = Simulator()
+        rx_fwd = ByteFifo(sim, 4096)
+        rx_bwd = ByteFifo(sim, 4096)
+        duplex = DuplexLink(sim, LinkConfig(propagation_ns=0.0),
+                            rx_fwd, rx_bwd)
+        fwd_times, bwd_times = [], []
+
+        def watch(fifo, out, count):
+            for _ in range(count):
+                yield fifo.get()
+                out.append(sim.now)
+
+        sim.process(watch(rx_fwd, fwd_times, 16))
+        sim.process(watch(rx_bwd, bwd_times, 16))
+        for seq in range(16):
+            duplex.forward.send(data_flit(seq=seq, mid=1))
+            duplex.backward.send(data_flit(seq=seq, mid=2))
+        sim.run()
+        # Full duplex: simultaneous transfers do not slow each other.
+        assert fwd_times[-1] == pytest.approx(bwd_times[-1])
+        one_way = 16 * 8 * LinkConfig().byte_ns
+        assert fwd_times[-1] == pytest.approx(one_way, rel=0.05)
+
+    def test_full_duplex_bandwidth_reported(self):
+        sim = Simulator()
+        duplex = DuplexLink(sim, LinkConfig(), ByteFifo(sim, 64),
+                            ByteFifo(sim, 64))
+        assert duplex.full_duplex_bandwidth_mb_s == pytest.approx(120.0)

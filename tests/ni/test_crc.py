@@ -1,0 +1,54 @@
+"""Tests for the CRC-32 implementation."""
+
+import zlib
+
+import pytest
+
+from repro.ni.crc import crc32, crc32_incremental, message_checksum
+
+
+class TestCrc32:
+    def test_matches_zlib(self):
+        for data in (b"", b"a", b"hello world", bytes(range(256))):
+            assert crc32(data) == zlib.crc32(data)
+
+    def test_known_vector(self):
+        # The classic check value for "123456789".
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_incremental_equals_one_shot(self):
+        data = b"the PowerMANNA link interface"
+        chunks = [data[i:i + 8] for i in range(0, len(data), 8)]
+        assert crc32_incremental(chunks) == crc32(data)
+
+    def test_incremental_matches_zlib_streaming(self):
+        chunks = [b"abc", b"def", b"ghi"]
+        expected = 0
+        for chunk in chunks:
+            expected = zlib.crc32(chunk, expected)
+        assert crc32_incremental(chunks) == expected
+
+    def test_detects_single_bit_flip(self):
+        data = bytearray(b"payload of a message")
+        original = crc32(bytes(data))
+        data[5] ^= 0x01
+        assert crc32(bytes(data)) != original
+
+    def test_detects_byte_swap(self):
+        assert crc32(b"ab") != crc32(b"ba")
+
+
+class TestMessageChecksum:
+    def test_deterministic(self):
+        assert message_checksum(1, 64, 0, 1) == message_checksum(1, 64, 0, 1)
+
+    def test_sensitive_to_every_field(self):
+        base = message_checksum(1, 64, 0, 1)
+        assert message_checksum(2, 64, 0, 1) != base
+        assert message_checksum(1, 65, 0, 1) != base
+        assert message_checksum(1, 64, 2, 1) != base
+        assert message_checksum(1, 64, 0, 2) != base
+
+    def test_fits_32_bits(self):
+        value = message_checksum(12345, 65536, 7, 120)
+        assert 0 <= value < 2 ** 32

@@ -1,0 +1,132 @@
+"""Tests for the ADSP multi-master bus switch."""
+
+import pytest
+
+from repro.node.adsp import AdspConfig, AdspSwitch, SwitchBusyError
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def switch():
+    sim = Simulator()
+    sw = AdspSwitch(sim, name="adsp")
+    for device in ("cpu0", "cpu1", "memory", "link0", "link1"):
+        sw.register(device)
+    return sim, sw
+
+
+class TestConfig:
+    def test_paper_geometry(self):
+        config = AdspConfig()
+        assert config.slice_bits == 36
+        assert config.num_slices == 11
+        assert config.path_bits == 396
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdspConfig(slice_bits=0)
+        with pytest.raises(ValueError):
+            AdspConfig(ways=1)
+
+
+class TestConnections:
+    def test_connect_and_disconnect(self, switch):
+        sim, sw = switch
+        pair = sw.connect("cpu0", "memory")
+        assert sw.live_connections() == [("cpu0", "memory")]
+        sw.disconnect(pair)
+        assert sw.live_connections() == []
+
+    def test_concurrent_disjoint_pairs_allowed(self, switch):
+        _, sw = switch
+        sw.connect("cpu0", "memory")
+        sw.connect("cpu1", "link0")
+        assert len(sw.live_connections()) == 2
+
+    def test_busy_device_rejected(self, switch):
+        _, sw = switch
+        sw.connect("cpu0", "memory")
+        with pytest.raises(SwitchBusyError, match="busy"):
+            sw.connect("cpu1", "memory")
+
+    def test_ways_limit_enforced(self):
+        sim = Simulator()
+        sw = AdspSwitch(sim, AdspConfig(ways=2))
+        for device in ("a", "b", "c", "d", "e", "f"):
+            sw.register(device)
+        sw.connect("a", "b")
+        sw.connect("c", "d")
+        with pytest.raises(SwitchBusyError, match="ways"):
+            sw.connect("e", "f")
+
+    def test_unknown_device_rejected(self, switch):
+        _, sw = switch
+        with pytest.raises(KeyError):
+            sw.connect("cpu0", "ghost")
+
+    def test_self_connection_rejected(self, switch):
+        _, sw = switch
+        with pytest.raises(ValueError):
+            sw.connect("cpu0", "cpu0")
+
+    def test_double_disconnect_rejected(self, switch):
+        _, sw = switch
+        pair = sw.connect("cpu0", "memory")
+        sw.disconnect(pair)
+        with pytest.raises(SwitchBusyError):
+            sw.disconnect(pair)
+
+    def test_duplicate_registration_rejected(self, switch):
+        _, sw = switch
+        with pytest.raises(ValueError):
+            sw.register("cpu0")
+
+    def test_can_connect_predicts(self, switch):
+        _, sw = switch
+        assert sw.can_connect("cpu0", "memory")
+        sw.connect("cpu0", "memory")
+        assert not sw.can_connect("cpu1", "memory")
+        assert sw.can_connect("cpu1", "link0")
+
+
+class TestConcurrencyStats:
+    def test_hold_time_reported(self, switch):
+        sim, sw = switch
+
+        def worker():
+            pair = sw.connect("cpu0", "memory")
+            yield sim.timeout(100.0)
+            held = sw.disconnect(pair)
+            assert held == pytest.approx(100.0)
+
+        proc = sim.process(worker())
+        sim.run_until_complete(proc)
+
+    def test_mean_concurrency(self, switch):
+        sim, sw = switch
+
+        def worker():
+            p1 = sw.connect("cpu0", "memory")
+            p2 = sw.connect("cpu1", "link0")
+            yield sim.timeout(100.0)
+            sw.disconnect(p1)
+            sw.disconnect(p2)
+
+        proc = sim.process(worker())
+        sim.run_until_complete(proc)
+        assert sw.mean_concurrency() == pytest.approx(2.0)
+
+    def test_concurrency_profile_fractions_sum_to_one(self, switch):
+        sim, sw = switch
+
+        def worker():
+            pair = sw.connect("cpu0", "memory")
+            yield sim.timeout(60.0)
+            sw.disconnect(pair)
+            yield sim.timeout(40.0)
+
+        proc = sim.process(worker())
+        sim.run_until_complete(proc)
+        profile = sw.concurrency_profile()
+        assert sum(profile.values()) == pytest.approx(1.0)
+        assert profile[1] == pytest.approx(0.6)

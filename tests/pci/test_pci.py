@@ -1,0 +1,135 @@
+"""Tests for the PCI bridge and peripheral models."""
+
+import pytest
+
+from repro.memory.dram import DramConfig, InterleavedDram
+from repro.memory.snoop import SnoopConfig
+from repro.node.adsp import AdspSwitch
+from repro.node.dispatcher import BusTransaction, Dispatcher, TransactionKind
+from repro.pci.bridge import PciBridge, PciBusConfig
+from repro.pci.devices import (
+    DiskConfig,
+    DiskController,
+    LanConfig,
+    LanController,
+)
+from repro.sim.clock import Clock
+from repro.sim.engine import Simulator
+
+
+def make_node_io():
+    sim = Simulator()
+    switch = AdspSwitch(sim)
+    for device in ("cpu0", "cpu1"):
+        switch.register(device)
+    dram = InterleavedDram(DramConfig(num_banks=8, interleave_bytes=64,
+                                      access_ns=60.0, bandwidth_mb_s=640.0))
+    dispatcher = Dispatcher(sim, switch, dram,
+                            SnoopConfig(bus_clock=Clock(60.0),
+                                        phase_cycles=2.0, queue_depth=4))
+    bridge = PciBridge(sim, dispatcher)
+    return sim, dispatcher, bridge
+
+
+class TestPciBus:
+    def test_bandwidth_ceiling_is_132(self):
+        assert PciBusConfig().bandwidth_mb_s == pytest.approx(132.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PciBusConfig(bus_bytes=2)
+        with pytest.raises(ValueError):
+            PciBusConfig(burst_bytes=2)
+        with pytest.raises(ValueError):
+            PciBusConfig(slots=0)
+
+    def test_single_dma_throughput_below_ceiling(self):
+        sim, _, bridge = make_node_io()
+        proc = sim.process(bridge.dma(0, 0x10000, 64 * 1024, write=True))
+        sim.run_until_complete(proc)
+        throughput = bridge.throughput_mb_s()
+        assert 40.0 < throughput < 132.0
+
+    def test_two_slots_share_the_bus(self):
+        sim, _, bridge = make_node_io()
+        p0 = sim.process(bridge.dma(0, 0x10000, 32 * 1024, write=True))
+        p1 = sim.process(bridge.dma(1, 0x80000, 32 * 1024, write=True))
+        sim.run()
+        assert p0.finished and p1.finished
+        combined = bridge.throughput_mb_s()
+        assert combined < 132.0      # one bus, not two
+
+    def test_bad_slot_rejected(self):
+        sim, _, bridge = make_node_io()
+        with pytest.raises(ValueError):
+            sim.process(bridge.dma(5, 0x0, 64, write=True))
+            sim.run()
+
+    def test_dma_counts_bursts(self):
+        sim, _, bridge = make_node_io()
+        proc = sim.process(bridge.dma(0, 0x0, 1024, write=False))
+        sim.run_until_complete(proc)
+        assert bridge.stats["bursts"] == 4      # 1024 / 256
+        assert bridge.stats["bytes"] == 1024
+
+
+class TestDevices:
+    def test_disk_sequential_read_is_media_bound(self):
+        sim, _, bridge = make_node_io()
+        disk = DiskController(sim, bridge,
+                              config=DiskConfig(media_mb_s=18.0,
+                                                seek_ns=1_000_000.0))
+        proc = disk.read_blocks(0x10000, blocks=4)
+        sim.run_until_complete(proc)
+        elapsed = sim.now
+        data = 4 * 64 * 1024
+        rate = data * 1e3 / elapsed
+        assert 5.0 < rate <= 18.5   # near media rate, one seek amortised
+
+    def test_random_reads_pay_seeks(self):
+        sim, _, bridge = make_node_io()
+        disk = DiskController(sim, bridge)
+        proc = disk.read_blocks(0x10000, blocks=3, sequential=False)
+        sim.run_until_complete(proc)
+        assert disk.stats["seeks"] == 3
+
+    def test_lan_frames_at_wire_rate(self):
+        sim, _, bridge = make_node_io()
+        lan = LanController(sim, bridge)
+        proc = lan.receive_frames(0x10000, frames=20)
+        sim.run_until_complete(proc)
+        rate = lan.stats["frames"] * 1500 * 1e3 / sim.now
+        assert 8.0 < rate <= 12.5   # <= 100 Mbit/s
+
+
+class TestIoCpuInterference:
+    def test_io_shares_the_memory_path_gracefully(self):
+        """CPU memory traffic next to a streaming disk DMA: the switched
+        node design keeps the slowdown bounded (no shared-bus collapse)."""
+        def cpu_traffic(sim, dispatcher, count=64):
+            def job():
+                for index in range(count):
+                    txn = BusTransaction("cpu0", TransactionKind.READ,
+                                         0x200000 + index * 64, 64)
+                    yield dispatcher.submit(txn)
+                return sim.now
+
+            return sim.process(job())
+
+        # Baseline: CPU alone.
+        sim, dispatcher, _ = make_node_io()
+        proc = cpu_traffic(sim, dispatcher)
+        alone = sim.run_until_complete(proc)
+
+        # With a 256 KB DMA streaming concurrently.
+        sim, dispatcher, bridge = make_node_io()
+        sim.process(bridge.dma(0, 0x10000, 256 * 1024, write=True))
+        proc = cpu_traffic(sim, dispatcher)
+        contended = sim.run_until_complete(proc)
+
+        assert contended >= alone
+        assert contended < alone * 1.6    # bounded interference
+
+    def test_bridge_registers_itself_on_the_switch(self):
+        _, dispatcher, bridge = make_node_io()
+        assert "pci" in dispatcher.switch.devices

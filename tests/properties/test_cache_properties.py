@@ -1,0 +1,94 @@
+"""Property-based tests on the cache and TLB data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import AccessType, Cache, CacheGeometry, MESIState
+from repro.memory.tlb import Tlb, TlbConfig
+
+geometries = st.sampled_from([
+    CacheGeometry(512, 32, 1),
+    CacheGeometry(1024, 64, 2),
+    CacheGeometry(2048, 32, 4),
+    CacheGeometry(4096, 64, 8),
+])
+
+accesses = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1 << 16),
+              st.sampled_from([AccessType.READ, AccessType.WRITE])),
+    min_size=1, max_size=300)
+
+
+@given(geometry=geometries, trace=accesses)
+@settings(max_examples=60, deadline=None)
+def test_occupancy_never_exceeds_capacity(geometry, trace):
+    cache = Cache(geometry)
+    for addr, kind in trace:
+        cache.access(addr, kind)
+        assert cache.occupancy() <= geometry.num_lines
+
+
+@given(geometry=geometries, trace=accesses)
+@settings(max_examples=60, deadline=None)
+def test_set_occupancy_never_exceeds_ways(geometry, trace):
+    cache = Cache(geometry)
+    for addr, kind in trace:
+        cache.access(addr, kind)
+    for line_set in cache._sets:
+        assert len(line_set) <= geometry.associativity
+
+
+@given(geometry=geometries, trace=accesses)
+@settings(max_examples=60, deadline=None)
+def test_access_after_access_hits(geometry, trace):
+    """Immediate re-access of the same address always hits (LRU safety)."""
+    cache = Cache(geometry)
+    for addr, kind in trace:
+        cache.access(addr, kind)
+        assert cache.access(addr, AccessType.READ).hit
+
+
+@given(geometry=geometries, trace=accesses)
+@settings(max_examples=60, deadline=None)
+def test_writes_leave_modified_state(geometry, trace):
+    cache = Cache(geometry)
+    for addr, kind in trace:
+        cache.access(addr, kind)
+        if kind == AccessType.WRITE:
+            assert cache.state_of(addr) == MESIState.MODIFIED
+
+
+@given(geometry=geometries, trace=accesses)
+@settings(max_examples=60, deadline=None)
+def test_stats_accounting_balances(geometry, trace):
+    cache = Cache(geometry)
+    for addr, kind in trace:
+        cache.access(addr, kind)
+    assert cache.access_count() == len(trace)
+    hits = cache.stats["read_hit"] + cache.stats["write_hit"]
+    assert hits + cache.miss_count() == len(trace)
+
+
+@given(geometry=geometries, trace=accesses)
+@settings(max_examples=60, deadline=None)
+def test_evictions_plus_residents_equal_fills(geometry, trace):
+    """Every miss fills a line; every filled line is resident or evicted."""
+    cache = Cache(geometry)
+    evictions = 0
+    for addr, kind in trace:
+        result = cache.access(addr, kind)
+        if result.writeback is not None or result.evicted is not None:
+            evictions += 1
+    assert cache.miss_count() == evictions + cache.occupancy()
+
+
+@given(trace=st.lists(st.integers(min_value=0, max_value=1 << 20),
+                      min_size=1, max_size=300),
+       entries=st.integers(min_value=1, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_tlb_occupancy_bounded_and_rereference_hits(trace, entries):
+    tlb = Tlb(TlbConfig(entries=entries, page_bytes=4096))
+    for addr in trace:
+        tlb.access(addr)
+        assert tlb.occupancy() <= entries
+        assert tlb.access(addr)   # immediate re-reference always hits

@@ -1,0 +1,73 @@
+"""Property-based tests on the MESI protocol: safety under random traffic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import AccessType, Cache, CacheGeometry, MESIState
+from repro.memory.mesi import CoherenceDomain
+
+traffic = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),          # cpu
+              st.integers(min_value=0, max_value=63),         # line index
+              st.sampled_from([AccessType.READ, AccessType.WRITE])),
+    min_size=1, max_size=400)
+
+
+def make_domain():
+    return CoherenceDomain([Cache(CacheGeometry(2048, 64, 2), name=f"c{i}")
+                            for i in range(4)])
+
+
+@given(ops=traffic)
+@settings(max_examples=80, deadline=None)
+def test_single_writer_invariant(ops):
+    """At most one M/E copy of any line, never alongside SHARED copies."""
+    domain = make_domain()
+    for cpu, line, kind in ops:
+        domain.access(cpu, line * 64, kind)
+        domain.check_all_coherent()
+
+
+@given(ops=traffic)
+@settings(max_examples=80, deadline=None)
+def test_writer_always_ends_modified(ops):
+    domain = make_domain()
+    for cpu, line, kind in ops:
+        outcome = domain.access(cpu, line * 64, kind)
+        if kind == AccessType.WRITE:
+            assert outcome.final_state == MESIState.MODIFIED
+            others = [domain.caches[i].state_of(line * 64)
+                      for i in range(4) if i != cpu]
+            assert all(s == MESIState.INVALID for s in others)
+
+
+@given(ops=traffic)
+@settings(max_examples=80, deadline=None)
+def test_reader_state_is_consistent_with_sharers(ops):
+    domain = make_domain()
+    for cpu, line, kind in ops:
+        outcome = domain.access(cpu, line * 64, kind)
+        if kind == AccessType.READ:
+            # A read never leaves the line invalid locally, and an owned
+            # (E/M) result implies no other cache holds a copy.
+            assert outcome.final_state != MESIState.INVALID
+            if outcome.final_state in (MESIState.EXCLUSIVE,
+                                       MESIState.MODIFIED):
+                others = [domain.caches[i].state_of(line * 64)
+                          for i in range(4) if i != cpu]
+                assert all(s == MESIState.INVALID for s in others)
+
+
+@given(ops=traffic)
+@settings(max_examples=50, deadline=None)
+def test_writebacks_only_for_previously_written_lines(ops):
+    """A dirty flush can only happen for a line some CPU wrote earlier."""
+    domain = make_domain()
+    written = set()
+    for cpu, line, kind in ops:
+        addr = line * 64
+        outcome = domain.access(cpu, addr, kind)
+        for wb in outcome.writebacks:
+            assert wb in written
+        if kind == AccessType.WRITE:
+            written.add(addr)

@@ -1,0 +1,176 @@
+"""Tests for clocks, statistics and tracing."""
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.sim.stats import Counter, Histogram, TimeSeries
+from repro.sim.trace import Tracer
+
+
+class TestClock:
+    def test_period_of_60mhz(self):
+        clock = Clock(60.0)
+        assert clock.period_ns == pytest.approx(16.6667, rel=1e-4)
+
+    def test_cycles_roundtrip(self):
+        clock = Clock(180.0)
+        assert clock.ns_to_cycles(clock.cycles_to_ns(123.0)) == pytest.approx(123.0)
+
+    def test_conversions(self):
+        clock = Clock(100.0)
+        assert clock.cycles_to_ns(100) == pytest.approx(1000.0)
+        assert clock.cycles_to_us(100) == pytest.approx(1.0)
+        assert clock.cycles_to_seconds(1e8) == pytest.approx(1.0)
+        assert clock.hz == pytest.approx(1e8)
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(0.0)
+
+    def test_str(self):
+        assert str(Clock(60.0)) == "60 MHz"
+
+
+class TestCounter:
+    def test_incr_and_lookup(self):
+        counter = Counter()
+        counter.incr("hits")
+        counter.incr("hits", 4)
+        assert counter["hits"] == 5
+        assert counter["missing"] == 0
+
+    def test_ratio(self):
+        counter = Counter()
+        counter.incr("hit", 3)
+        counter.incr("miss", 1)
+        assert counter.ratio("hit", ["hit", "miss"]) == pytest.approx(0.75)
+
+    def test_ratio_of_empty_is_zero(self):
+        assert Counter().ratio("a", ["a", "b"]) == 0.0
+
+    def test_total_and_reset(self):
+        counter = Counter()
+        counter.incr("a", 2)
+        counter.incr("b", 3)
+        assert counter.total() == 5
+        counter.reset()
+        assert counter.total() == 0
+
+    def test_contains_and_as_dict(self):
+        counter = Counter()
+        counter.incr("x")
+        assert "x" in counter and "y" not in counter
+        assert counter.as_dict() == {"x": 1}
+
+
+class TestHistogram:
+    def test_moments(self):
+        hist = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.add(v)
+        assert hist.mean() == pytest.approx(2.5)
+        assert hist.minimum() == 1.0
+        assert hist.maximum() == 4.0
+        assert hist.count == 4
+        assert hist.stddev() == pytest.approx(1.29099, rel=1e-4)
+
+    def test_quantiles(self):
+        hist = Histogram()
+        for v in range(1, 101):
+            hist.add(float(v))
+        assert hist.quantile(0.5) == 50.0
+        assert hist.quantile(0.99) == 99.0
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 100.0
+
+    def test_quantile_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_empty_histogram_is_safe(self):
+        hist = Histogram()
+        assert hist.mean() == 0.0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.stddev() == 0.0
+
+    def test_buckets(self):
+        hist = Histogram()
+        for v in (1.0, 5.0, 15.0, 25.0):
+            hist.add(v)
+        assert hist.buckets([10.0, 20.0]) == [2, 1, 1]
+
+    def test_unsorted_input_sorts_lazily(self):
+        hist = Histogram()
+        for v in (5.0, 1.0, 3.0):
+            hist.add(v)
+        assert hist.quantile(0.0) == 1.0
+
+
+class TestTimeSeries:
+    def test_add_and_query(self):
+        series = TimeSeries("s")
+        series.add(0.0, 10.0)
+        series.add(1.0, 20.0)
+        assert series.last() == (1.0, 20.0)
+        assert series.value_at(0.5) == 10.0
+        assert series.value_at(1.5) == 20.0
+
+    def test_time_must_be_nondecreasing(self):
+        series = TimeSeries()
+        series.add(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.add(4.0, 1.0)
+
+    def test_integrate_trapezoid(self):
+        series = TimeSeries()
+        series.add(0.0, 0.0)
+        series.add(2.0, 2.0)
+        assert series.integrate() == pytest.approx(2.0)
+
+    def test_peak(self):
+        series = TimeSeries()
+        for t, v in ((0.0, 1.0), (1.0, 9.0), (2.0, 3.0)):
+            series.add(t, v)
+        assert series.peak() == (1.0, 9.0)
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries().last()
+
+
+class TestTracer:
+    def test_records_and_filters(self):
+        tracer = Tracer()
+        tracer.record(1.0, "link", "delivered", "a")
+        tracer.record(2.0, "xbar", "route", "b")
+        tracer.record(3.0, "link", "delivered", "c")
+        assert len(tracer) == 3
+        assert [r.payload for r in tracer.filter(component="link")] == ["a", "c"]
+        assert tracer.first("route").time == 2.0
+        assert tracer.counts_by_event() == {"delivered": 2, "route": 1}
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(1.0, "x", "y")
+        assert len(tracer) == 0
+
+    def test_limit_drops_excess(self):
+        tracer = Tracer(limit=2)
+        for i in range(5):
+            tracer.record(float(i), "c", "e")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_dump_truncates(self):
+        tracer = Tracer()
+        for i in range(5):
+            tracer.record(float(i), "c", "e")
+        dump = tracer.dump(limit=2)
+        assert "3 more records" in dump
+
+    def test_filter_predicate(self):
+        tracer = Tracer()
+        tracer.record(1.0, "c", "e", 10)
+        tracer.record(2.0, "c", "e", 20)
+        hits = tracer.filter(predicate=lambda r: r.payload > 15)
+        assert len(hits) == 1

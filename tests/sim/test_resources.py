@@ -1,0 +1,225 @@
+"""Tests for FIFO stores, resources and signals."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.resources import FifoStore, Resource, Signal
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestFifoStore:
+    def test_put_then_get(self, sim):
+        fifo = FifoStore(sim, capacity=4)
+        got = []
+
+        def producer():
+            yield fifo.put("x")
+            yield fifo.put("y")
+
+        def consumer():
+            got.append((yield fifo.get()))
+            got.append((yield fifo.get()))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == ["x", "y"]
+
+    def test_get_blocks_until_put(self, sim):
+        fifo = FifoStore(sim)
+        times = []
+
+        def consumer():
+            yield fifo.get()
+            times.append(sim.now)
+
+        def producer():
+            yield sim.timeout(42.0)
+            yield fifo.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert times == [42.0]
+
+    def test_put_blocks_when_full(self, sim):
+        fifo = FifoStore(sim, capacity=1)
+        times = []
+
+        def producer():
+            yield fifo.put(1)
+            yield fifo.put(2)   # blocks until consumer frees a slot
+            times.append(sim.now)
+
+        def consumer():
+            yield sim.timeout(100.0)
+            yield fifo.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert times == [100.0]
+
+    def test_fifo_order_preserved(self, sim):
+        fifo = FifoStore(sim, capacity=100)
+        got = []
+
+        def producer():
+            for i in range(20):
+                yield fifo.put(i)
+
+        def consumer():
+            for _ in range(20):
+                got.append((yield fifo.get()))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == list(range(20))
+
+    def test_try_put_respects_capacity(self, sim):
+        fifo = FifoStore(sim, capacity=2)
+        assert fifo.try_put("a")
+        assert fifo.try_put("b")
+        assert not fifo.try_put("c")
+        assert fifo.level == 2
+
+    def test_try_get_on_empty(self, sim):
+        fifo = FifoStore(sim)
+        ok, item = fifo.try_get()
+        assert not ok and item is None
+
+    def test_peek_empty_raises(self, sim):
+        fifo = FifoStore(sim)
+        with pytest.raises(SimulationError):
+            fifo.peek()
+
+    def test_high_water_tracked(self, sim):
+        fifo = FifoStore(sim, capacity=10)
+        for i in range(7):
+            fifo.try_put(i)
+        for _ in range(3):
+            fifo.try_get()
+        assert fifo.high_water == 7
+
+    def test_nonpositive_capacity_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            FifoStore(sim, capacity=0)
+
+
+class TestResource:
+    def test_mutual_exclusion(self, sim):
+        res = Resource(sim, capacity=1)
+        timeline = []
+
+        def worker(name):
+            yield res.acquire()
+            timeline.append((name, "in", sim.now))
+            yield sim.timeout(10.0)
+            timeline.append((name, "out", sim.now))
+            res.release()
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        assert timeline == [("a", "in", 0.0), ("a", "out", 10.0),
+                            ("b", "in", 10.0), ("b", "out", 20.0)]
+
+    def test_acquire_value_is_wait_time(self, sim):
+        res = Resource(sim)
+        waits = []
+
+        def worker():
+            waits.append((yield res.acquire()))
+            yield sim.timeout(25.0)
+            res.release()
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        assert waits == [0.0, 25.0]
+
+    def test_capacity_two_admits_two(self, sim):
+        res = Resource(sim, capacity=2)
+        entered = []
+
+        def worker(name):
+            yield res.acquire()
+            entered.append((name, sim.now))
+            yield sim.timeout(10.0)
+            res.release()
+
+        for name in "abc":
+            sim.process(worker(name))
+        sim.run()
+        assert entered == [("a", 0.0), ("b", 0.0), ("c", 10.0)]
+
+    def test_release_idle_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim).release()
+
+    def test_utilization(self, sim):
+        res = Resource(sim)
+
+        def worker():
+            yield res.acquire()
+            yield sim.timeout(50.0)
+            res.release()
+            yield sim.timeout(50.0)
+
+        sim.process(worker())
+        sim.run()
+        assert res.utilization(100.0) == pytest.approx(0.5)
+
+    def test_bad_capacity_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+
+class TestSignal:
+    def test_fire_wakes_all_waiters(self, sim):
+        signal = Signal(sim)
+        woken = []
+
+        def waiter(name):
+            value = yield signal.wait()
+            woken.append((name, value, sim.now))
+
+        sim.process(waiter("a"))
+        sim.process(waiter("b"))
+
+        def firer():
+            yield sim.timeout(5.0)
+            assert signal.fire("go") == 2
+
+        sim.process(firer())
+        sim.run()
+        assert sorted(woken) == [("a", "go", 5.0), ("b", "go", 5.0)]
+
+    def test_signal_fires_repeatedly(self, sim):
+        signal = Signal(sim)
+        count = []
+
+        def waiter():
+            for _ in range(3):
+                yield signal.wait()
+                count.append(sim.now)
+
+        def firer():
+            for delay in (10.0, 20.0, 30.0):
+                yield sim.timeout(10.0)
+                signal.fire()
+
+        sim.process(waiter())
+        sim.process(firer())
+        sim.run()
+        assert count == [10.0, 20.0, 30.0]
+
+    def test_fire_with_no_waiters(self, sim):
+        signal = Signal(sim)
+        assert signal.fire() == 0
+        assert signal.fire_count == 1

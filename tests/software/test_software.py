@@ -1,0 +1,158 @@
+"""Tests for address spaces, the two send paths, and the plane split."""
+
+import pytest
+
+from repro.software.address_space import (
+    AddressSpace,
+    OutOfMemory,
+    PhysicalMemory,
+    Protection,
+    ProtectionFault,
+    TranslationFault,
+)
+from repro.software.planes import OsTrafficPattern, SoftwareStack
+from repro.software.userlevel import (
+    DmaPathConfig,
+    NicTranslationTable,
+    dma_send_cost_ns,
+    reuse_sweep,
+    user_level_send_cost_ns,
+)
+
+PAGE = 4096
+
+
+@pytest.fixture
+def physical():
+    return PhysicalMemory(1024 * 1024)
+
+
+@pytest.fixture
+def space(physical):
+    s = AddressSpace("app", physical)
+    s.map_range(0x10000, 4 * PAGE)
+    return s
+
+
+class TestAddressSpace:
+    def test_translate_roundtrip(self, space):
+        phys = space.translate(0x10000 + 123, Protection.READ)
+        assert phys % PAGE == 123
+
+    def test_distinct_pages_distinct_frames(self, space):
+        p0 = space.translate(0x10000) // PAGE
+        p1 = space.translate(0x10000 + PAGE) // PAGE
+        assert p0 != p1
+
+    def test_unmapped_access_faults(self, space):
+        with pytest.raises(TranslationFault):
+            space.translate(0x900000)
+
+    def test_protection_enforced(self, physical):
+        space = AddressSpace("ro", physical)
+        space.map_range(0x0, PAGE, protection=Protection.READ)
+        space.translate(0x0, Protection.READ)
+        with pytest.raises(ProtectionFault):
+            space.translate(0x0, Protection.WRITE)
+
+    def test_isolation_between_spaces(self, physical):
+        a = AddressSpace("a", physical)
+        b = AddressSpace("b", physical)
+        a.map_range(0x0, PAGE)
+        b.map_range(0x0, PAGE)
+        assert a.translate(0x0) != b.translate(0x0)
+        assert physical.owner_of(a.translate(0x0) // PAGE) == "a"
+
+    def test_unmap_releases_frames(self, physical):
+        space = AddressSpace("a", physical)
+        before = physical.free_frames
+        space.map_range(0x0, 2 * PAGE)
+        space.unmap_range(0x0, 2 * PAGE)
+        assert physical.free_frames == before
+
+    def test_double_map_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.map_range(0x10000, PAGE)
+
+    def test_out_of_memory(self):
+        physical = PhysicalMemory(2 * PAGE)
+        space = AddressSpace("greedy", physical)
+        space.map_range(0x0, 2 * PAGE)
+        with pytest.raises(OutOfMemory):
+            space.map_range(0x100000, PAGE)
+
+    def test_pinning(self, space):
+        assert space.pin_range(0x10000, 2 * PAGE) == 2
+        assert space.pin_range(0x10000, 2 * PAGE) == 0   # idempotent
+        assert space.pinned_pages() == 2
+        with pytest.raises(ValueError):
+            space.unmap_range(0x10000, PAGE)             # pinned pages stay
+        space.unpin_range(0x10000, 2 * PAGE)
+        space.unmap_range(0x10000, 2 * PAGE)
+
+
+class TestSendPaths:
+    def test_user_level_send_needs_no_syscall(self, space):
+        cost = user_level_send_cost_ns(2 * PAGE, space, 0x10000)
+        # Driver setup plus at most a few TLB walks: well under any
+        # syscall-bearing path.
+        assert cost < 2500.0
+
+    def test_user_level_send_enforces_protection(self, physical):
+        space = AddressSpace("noread", physical)
+        space.map_range(0x0, PAGE, protection=Protection.NONE)
+        with pytest.raises(ProtectionFault):
+            user_level_send_cost_ns(64, space, 0x0)
+
+    def test_dma_first_send_pays_pin_and_refill(self, space):
+        table = NicTranslationTable(64)
+        cost = dma_send_cost_ns(PAGE, space, 0x10000, table)
+        config = DmaPathConfig()
+        assert cost >= (config.driver_setup_ns + config.pin_syscall_ns
+                        + config.nic_table_refill_ns)
+
+    def test_dma_reused_buffer_is_cheap(self, space):
+        table = NicTranslationTable(64)
+        dma_send_cost_ns(PAGE, space, 0x10000, table)
+        warm = dma_send_cost_ns(PAGE, space, 0x10000, table)
+        assert warm == pytest.approx(DmaPathConfig().driver_setup_ns)
+
+    def test_nic_table_thrashes_under_many_buffers(self, physical):
+        space = AddressSpace("many", physical)
+        table = NicTranslationTable(4)
+        for index in range(8):
+            space.map_range(index * 0x100000, PAGE)
+        for index in range(8):
+            dma_send_cost_ns(PAGE, space, index * 0x100000, table)
+        first_round = table.refills
+        for index in range(8):
+            dma_send_cost_ns(PAGE, space, index * 0x100000, table)
+        assert table.refills > first_round   # working set exceeds the table
+
+    def test_reuse_sweep_shape(self):
+        results = reuse_sweep(reuse_levels=(1, 4, 16))
+        penalties = [r.dma_penalty for r in results]
+        # Fresh buffers: DMA pays heavily; reuse amortises it.
+        assert penalties[0] > 3.0
+        assert penalties == sorted(penalties, reverse=True)
+        assert all(r.user_level_ns < r.dma_ns for r in results)
+
+
+class TestPlaneSplit:
+    def test_stack_owns_both_planes(self):
+        stack = SoftwareStack()
+        assert stack.user_world is not stack.system_world
+
+    def test_os_noise_runs_on_system_plane_only(self):
+        stack = SoftwareStack()
+        stack.start_os_noise(OsTrafficPattern(pairs=2, period_ns=5000.0))
+        latency = stack.user_latency_ns()
+        sys_driver = stack.system_world.endpoint(0).driver
+        assert sys_driver.stats["sent"] > 0
+        assert latency > 0
+
+    def test_isolation_property(self):
+        quiet, noisy = SoftwareStack().isolation_experiment()
+        # The duplicated network: kernel chatter cannot perturb user
+        # latency by more than measurement noise.
+        assert noisy == pytest.approx(quiet, rel=0.02)
