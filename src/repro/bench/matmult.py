@@ -31,6 +31,7 @@ from repro.memory.trace_gen import (
     transpose_trace,
 )
 from repro.node.node import NodeModel
+from repro.obs import OBS
 
 VERSIONS = ("naive", "transposed")
 
@@ -119,29 +120,36 @@ def run_matmult(node: NodeModel, n: int, version: str = "naive",
     compute_ns = _per_access_compute_ns(node, n, version)
     flops = 2.0 * n * n * n
 
-    transpose_ns = 0.0
-    if version == "transposed":
-        traces = [transpose_trace(b[1], b[2], n) for b in bases]
-        transpose_ns = node.run_traces(
-            traces, _transpose_compute_ns(node)).elapsed_ns
+    with OBS.label_scope(machine=machine_key or node.name, n=n,
+                         version=version):
+        transpose_ns = 0.0
+        if version == "transposed":
+            with OBS.label_scope(phase="transpose"):
+                traces = [transpose_trace(b[1], b[2], n) for b in bases]
+                transpose_ns = node.run_traces(
+                    traces, _transpose_compute_ns(node)).elapsed_ns
 
-    if sample_rows is None or sample_rows[0] + sample_rows[1] >= n:
-        traces = [_product_trace(version, b, n, None) for b in bases]
-        product_ns = node.run_traces(traces, compute_ns).elapsed_ns
-        sampled = False
-    else:
-        warmup, window = sample_rows
-        if warmup < 1 or window < 1:
-            raise ValueError("sample_rows counts must be >= 1")
-        warm = [_product_trace(version, b, n, range(warmup)) for b in bases]
-        warm_ns = node.run_traces(warm, compute_ns).elapsed_ns
-        measured = [_product_trace(version, b, n, range(warmup, warmup + window))
-                    for b in bases]
-        window_ns = node.run_traces(measured, compute_ns).elapsed_ns
-        per_row_ns = window_ns / window
-        # Cold rows are charged at the warmup rate, the rest at steady state.
-        product_ns = warm_ns + per_row_ns * (n - warmup)
-        sampled = True
+        with OBS.label_scope(phase="product"):
+            if sample_rows is None or sample_rows[0] + sample_rows[1] >= n:
+                traces = [_product_trace(version, b, n, None) for b in bases]
+                product_ns = node.run_traces(traces, compute_ns).elapsed_ns
+                sampled = False
+            else:
+                warmup, window = sample_rows
+                if warmup < 1 or window < 1:
+                    raise ValueError("sample_rows counts must be >= 1")
+                warm = [_product_trace(version, b, n, range(warmup))
+                        for b in bases]
+                warm_ns = node.run_traces(warm, compute_ns).elapsed_ns
+                measured = [_product_trace(version, b, n,
+                                           range(warmup, warmup + window))
+                            for b in bases]
+                window_ns = node.run_traces(measured, compute_ns).elapsed_ns
+                per_row_ns = window_ns / window
+                # Cold rows are charged at the warmup rate, the rest at
+                # steady state.
+                product_ns = warm_ns + per_row_ns * (n - warmup)
+                sampled = True
 
     elapsed = transpose_ns + product_ns
     mflops = flops / elapsed * 1e3 if elapsed > 0 else 0.0

@@ -16,6 +16,7 @@ from repro.comparators.models import bip_model, fm_model
 from repro.msg.api import CommWorld, build_cluster_world
 from repro.ni.dma import DmaNicModel
 from repro.ni.driver import DriverConfig
+from repro.obs import OBS
 
 DEFAULT_SIZES = (4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
                  8192, 16384, 32768, 65536)
@@ -60,21 +61,22 @@ def powermanna_point(nbytes: int, metric: str,
     or in-flight state leaks between sizes).
     """
     world = _fresh_world(fifo_words, driver_config)
-    if metric == "latency":
-        value = world.one_way_latency_ns(0, 1, nbytes) / 1e3
-        return CommPoint("PowerMANNA", nbytes, latency_us=value)
-    if metric == "gap":
-        value = world.send_gap_ns(0, 1, nbytes,
-                                  count=_streams_count(nbytes)) / 1e3
-        return CommPoint("PowerMANNA", nbytes, gap_us=value)
-    if metric == "unidir":
-        value = world.unidirectional_mb_s(0, 1, nbytes,
-                                          count=_streams_count(nbytes))
-        return CommPoint("PowerMANNA", nbytes, unidir_mb_s=value)
-    if metric == "bidir":
-        value = world.bidirectional_mb_s(0, 1, nbytes,
-                                         rounds=max(2, _streams_count(nbytes) // 2))
-        return CommPoint("PowerMANNA", nbytes, bidir_mb_s=value)
+    with OBS.label_scope(system="PowerMANNA", metric=metric):
+        if metric == "latency":
+            value = world.one_way_latency_ns(0, 1, nbytes) / 1e3
+            return CommPoint("PowerMANNA", nbytes, latency_us=value)
+        if metric == "gap":
+            value = world.send_gap_ns(0, 1, nbytes,
+                                      count=_streams_count(nbytes)) / 1e3
+            return CommPoint("PowerMANNA", nbytes, gap_us=value)
+        if metric == "unidir":
+            value = world.unidirectional_mb_s(0, 1, nbytes,
+                                              count=_streams_count(nbytes))
+            return CommPoint("PowerMANNA", nbytes, unidir_mb_s=value)
+        if metric == "bidir":
+            value = world.bidirectional_mb_s(
+                0, 1, nbytes, rounds=max(2, _streams_count(nbytes) // 2))
+            return CommPoint("PowerMANNA", nbytes, bidir_mb_s=value)
     raise ValueError(f"unknown metric {metric!r}")
 
 

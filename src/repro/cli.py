@@ -11,6 +11,12 @@ Usage::
 Each command prints the same rows the benchmark harness produces; the
 heavier figures accept ``--scale``/``--sizes`` to trade fidelity for
 speed.
+
+Observability::
+
+    python -m repro trace fig9 --out trace.json     # Perfetto-loadable
+    python -m repro metrics fig7 --out metrics.json
+    python -m repro fig9 --trace t.json --metrics-out m.json
 """
 
 from __future__ import annotations
@@ -31,6 +37,9 @@ from repro.core.specs import (
     SUN_ULTRA,
     table1,
 )
+from repro.obs import observe
+from repro.obs.export import write_metrics_csv, write_metrics_json, write_trace
+from repro.obs.metrics import format_series as format_metric_series
 
 NODE_MACHINES = (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180, PC_CLUSTER_266)
 DEFAULT_COMM_SIZES = (8, 64, 512, 4096, 16384)
@@ -53,6 +62,8 @@ def cmd_list(_args) -> None:
         ["fig11", "unidirectional bandwidth"],
         ["fig12", "bidirectional bandwidth"],
         ["logp", "LogP parameters of the 8-node cluster"],
+        ["trace", "run an experiment under span tracing (Perfetto JSON)"],
+        ["metrics", "run an experiment under labeled metrics"],
     ]
     _emit(format_table(["command", "regenerates"], rows,
                        title="Available experiments"))
@@ -101,7 +112,21 @@ def cmd_fig8(args) -> None:
 
 def _comm_figure(metric: str, title: str, args) -> None:
     sizes = tuple(args.sizes) if args.sizes else DEFAULT_COMM_SIZES
-    sweep = comm_sweep(metric, sizes=sizes)
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    if trace_path or metrics_path:
+        with observe() as session:
+            sweep = comm_sweep(metric, sizes=sizes)
+        if trace_path:
+            write_trace(trace_path, session.tracer)
+            print(f"wrote {trace_path}: "
+                  f"{len(session.tracer.finished_spans())} spans, "
+                  f"{len(session.tracer.message_ids())} messages")
+        if metrics_path:
+            write_metrics_json(metrics_path, session.metrics)
+            print(f"wrote {metrics_path}: {len(session.metrics)} series")
+    else:
+        sweep = comm_sweep(metric, sizes=sizes)
     series = {system: [metric_value(p, metric) for p in points]
               for system, points in sweep.items()}
     _emit(format_series(series, list(sizes), "bytes", title=title))
@@ -137,6 +162,72 @@ def cmd_logp(args) -> None:
         title="LogP parameters, 8-node PowerMANNA"))
 
 
+# Experiments that drive the discrete-event network (and so produce spans);
+# the purely trace-driven node experiments only produce metrics.
+TRACEABLE = ("fig9", "fig10", "fig11", "fig12", "logp")
+OBSERVABLE = ("fig6", "fig7", "fig8") + TRACEABLE
+
+
+def cmd_trace(args) -> None:
+    with observe(span_limit=args.span_limit) as session:
+        _COMMANDS[args.experiment](args)
+    tracer = session.tracer
+    write_trace(args.out, tracer)
+
+    totals: dict = {}
+    for mid in tracer.message_ids():
+        for stage, dur in tracer.breakdown(mid):
+            totals[stage] = totals.get(stage, 0.0) + dur
+    grand = sum(totals.values()) or 1.0
+    rows = [[stage, f"{ns / 1e3:.2f}", f"{100.0 * ns / grand:.1f}%"]
+            for stage, ns in sorted(totals.items(), key=lambda kv: -kv[1])]
+    _emit(format_table(
+        ["stage", "total (us)", "share"], rows,
+        title=f"Critical path across {len(tracer.message_ids())} messages"))
+    dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+    print(f"wrote {args.out}: {len(tracer.finished_spans())} spans over "
+          f"{len(tracer.message_ids())} messages{dropped}")
+
+
+def cmd_metrics(args) -> None:
+    with observe() as session:
+        _COMMANDS[args.experiment](args)
+    registry = session.metrics
+
+    rows = []
+    for inst in sorted(registry.instruments(),
+                       key=lambda i: (i.name, -i.value)):
+        series = format_metric_series(inst.name, inst.labels)
+        if inst.kind == "histogram":
+            s = inst.summary()
+            value = (f"n={s['count']} mean={s['mean']:.1f} "
+                     f"p50={s['p50']:.1f} p99={s['p99']:.1f}")
+        else:
+            value = f"{inst.value:g}"
+        rows.append([series, inst.kind, value])
+    shown = rows if args.top <= 0 else rows[:args.top]
+    _emit(format_table(["series", "kind", "value"], shown,
+                       title=f"Metrics for {args.experiment} "
+                             f"({len(rows)} series)"))
+    if len(shown) < len(rows):
+        print(f"... {len(rows) - len(shown)} more series "
+              f"(raise --top or use --out)")
+    if args.out:
+        if args.csv:
+            write_metrics_csv(args.out, registry)
+        else:
+            write_metrics_json(args.out, registry)
+        print(f"wrote {args.out}: {len(registry)} series")
+
+
+def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
+    """The union of options the wrapped experiment commands read."""
+    parser.add_argument("--scale", type=int, default=16)
+    parser.add_argument("--sizes", type=int, nargs="*", default=None)
+    parser.add_argument("--subintervals", type=int, default=4096)
+    parser.add_argument("--nbytes", type=int, default=8)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -162,9 +253,33 @@ def build_parser() -> argparse.ArgumentParser:
                            ("fig12", "bidirectional bandwidth")):
         p = sub.add_parser(name, help=helptext)
         p.add_argument("--sizes", type=int, nargs="*", default=None)
+        p.add_argument("--trace", metavar="FILE", default=None,
+                       help="record span tracing; write a Chrome trace-event "
+                            "JSON (load in Perfetto / chrome://tracing)")
+        p.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write labeled metrics of the run as JSON")
 
     logp = sub.add_parser("logp", help="LogP parameters")
     logp.add_argument("--nbytes", type=int, default=8)
+
+    trace = sub.add_parser(
+        "trace", help="run an experiment with span tracing enabled")
+    trace.add_argument("experiment", choices=TRACEABLE)
+    trace.add_argument("--out", default="trace.json",
+                       help="trace-event JSON output path")
+    trace.add_argument("--span-limit", type=int, default=1_000_000)
+    _add_experiment_options(trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="run an experiment with labeled metrics enabled")
+    metrics.add_argument("experiment", choices=OBSERVABLE)
+    metrics.add_argument("--out", default=None,
+                         help="write the full metrics dump here")
+    metrics.add_argument("--csv", action="store_true",
+                         help="write --out as CSV instead of JSON")
+    metrics.add_argument("--top", type=int, default=40,
+                         help="series rows to print (<= 0 for all)")
+    _add_experiment_options(metrics)
     return parser
 
 
@@ -179,6 +294,8 @@ _COMMANDS = {
     "fig11": cmd_fig11,
     "fig12": cmd_fig12,
     "logp": cmd_logp,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
 }
 
 

@@ -32,6 +32,7 @@ from repro.earth.operations import (
 )
 from repro.msg.api import CommWorld, build_cluster_world
 from repro.ni.driver import DriverConfig
+from repro.obs import OBS
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.resources import FifoStore
 from repro.sim.stats import Counter, Histogram
@@ -102,6 +103,12 @@ class EarthNode:
         while True:
             fiber = yield self.ready.get()
             started = self.sim.now
+            fiber_span = 0
+            if OBS.enabled:
+                fiber_span = OBS.tracer.begin(
+                    "earth.fiber", f"earth{self.node_id}", started,
+                    category="earth",
+                    fiber=fiber.label or fiber.body.__name__)
             yield self.sim.timeout(config.fiber_dispatch_ns + fiber.work_ns)
             operations = fiber.run(self)
             for op in operations:
@@ -109,6 +116,11 @@ class EarthNode:
                 self._issue(op)
             self.stats.incr("fibers_run")
             self.fiber_latency.add(self.sim.now - started)
+            if OBS.enabled:
+                OBS.tracer.end(fiber_span, self.sim.now)
+                OBS.metrics.incr("earth.fibers_run", node=self.node_id)
+                OBS.metrics.observe("earth.fiber_ns", self.sim.now - started,
+                                    node=self.node_id)
 
     def _issue(self, op: Operation) -> None:
         if isinstance(op, LocalSignal):
@@ -147,6 +159,8 @@ class EarthNode:
                     f"{message.message_id} on the EARTH plane")
             self._apply(op)
             self.stats.incr("messages_handled")
+            if OBS.enabled:
+                OBS.metrics.incr("earth.messages_handled", node=self.node_id)
 
     # -- operation semantics ----------------------------------------------------------
 

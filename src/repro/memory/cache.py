@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.memory.address import is_power_of_two
+from repro.obs import OBS
 from repro.sim.stats import Counter
 
 
@@ -103,9 +104,13 @@ class Cache:
     :class:`AccessResult`.
     """
 
-    def __init__(self, geometry: CacheGeometry, name: str = "cache"):
+    def __init__(self, geometry: CacheGeometry, name: str = "cache",
+                 level: str = ""):
         self.geometry = geometry
         self.name = name
+        # Observability label; derived from the conventional "....l1" /
+        # "....l2" naming when the builder does not pass it explicitly.
+        self.level = level or name.rsplit(".", 1)[-1]
         self._set_shift = geometry.line_bytes.bit_length() - 1
         self._set_mask = geometry.num_sets - 1
         self._ways = geometry.associativity
@@ -174,6 +179,10 @@ class Cache:
             self.stats.incr("write_hit" if is_write else "read_hit")
             if upgraded:
                 self.stats.incr("upgrade")
+            if OBS.enabled:
+                OBS.metrics.incr("cache.hit", cache=self.name,
+                                 level=self.level,
+                                 op="write" if is_write else "read")
             return AccessResult(hit=True, state=MESIState(state), upgraded=upgraded)
 
         # Miss: evict LRU if the set is full, then fill.
@@ -191,6 +200,12 @@ class Cache:
         new_state = int(MESIState.MODIFIED) if is_write else int(fill_state)
         line_set[tag] = new_state
         self.stats.incr("write_miss" if is_write else "read_miss")
+        if OBS.enabled:
+            OBS.metrics.incr("cache.miss", cache=self.name, level=self.level,
+                             op="write" if is_write else "read")
+            if writeback is not None:
+                OBS.metrics.incr("cache.writeback", cache=self.name,
+                                 level=self.level)
         return AccessResult(hit=False, state=MESIState(new_state),
                             writeback=writeback, evicted=evicted)
 

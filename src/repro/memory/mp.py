@@ -34,6 +34,7 @@ from repro.memory.hierarchy import HierarchyConfig, ServiceLevel
 from repro.memory.mesi import BusOp, CoherenceDomain
 from repro.memory.snoop import AddressPhaseSequencer, SnoopConfig
 from repro.memory.tlb import Tlb
+from repro.obs import OBS
 from repro.sim.stats import Counter
 
 
@@ -105,9 +106,9 @@ class MultiprocessorMemory:
         self.fabric = fabric
         self.num_cpus = num_cpus
         self.name = name
-        self.l1s = [Cache(config.l1, name=f"{name}.cpu{i}.l1")
+        self.l1s = [Cache(config.l1, name=f"{name}.cpu{i}.l1", level="l1")
                     for i in range(num_cpus)]
-        self.l2s = [Cache(config.l2, name=f"{name}.cpu{i}.l2")
+        self.l2s = [Cache(config.l2, name=f"{name}.cpu{i}.l2", level="l2")
                     for i in range(num_cpus)]
         self.tlbs = [Tlb(config.tlb, name=f"{name}.cpu{i}.tlb")
                      for i in range(num_cpus)]
@@ -315,6 +316,10 @@ def run_interleaved(memory: MultiprocessorMemory,
     while heap:
         issue, cpu, step = heapq.heappop(heap)
         outcome = memory.access(cpu, issue, step.addr, step.access)
+        if OBS.enabled:
+            OBS.metrics.observe("mem.access_ns", outcome.latency_ns,
+                                node=memory.name,
+                                level=outcome.level.name.lower())
         stall = stall_models[cpu](outcome.latency_ns, step.compute_ns)
         local[cpu] = issue + stall
         res = results[cpu]

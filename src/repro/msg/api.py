@@ -19,6 +19,7 @@ from repro.network.routing import RouteTable
 from repro.network.topology import Fabric, build_cluster, node_key
 from repro.ni.driver import DriverConfig, PioDriver
 from repro.ni.interface import LinkInterface, LinkInterfaceConfig
+from repro.obs import OBS
 from repro.sim.engine import Simulator
 from repro.sim.process import Process
 
@@ -106,8 +107,9 @@ class CommWorld:
                 if rep >= warmup:
                     times.append(self.sim.now - start)
 
-        proc = self.sim.process(bench())
-        self.sim.run_until_complete(proc)
+        with OBS.label_scope(bench="ping_pong", nbytes=nbytes):
+            proc = self.sim.process(bench())
+            self.sim.run_until_complete(proc)
         return times
 
     def one_way_latency_ns(self, a: int, b: int, nbytes: int,
@@ -139,9 +141,10 @@ class CommWorld:
             for _ in range(count):
                 yield self.recv(b)
 
-        sender_proc = self.sim.process(sender())
-        receiver_proc = self.sim.process(receiver())
-        self.sim.run_until_complete(receiver_proc)
+        with OBS.label_scope(bench="send_gap", nbytes=nbytes):
+            sender_proc = self.sim.process(sender())
+            receiver_proc = self.sim.process(receiver())
+            self.sim.run_until_complete(receiver_proc)
         if not sender_proc.finished:
             raise AssertionError("sender did not finish")
         # Skip the first message (cold route) for the steady-state gap.
@@ -164,9 +167,10 @@ class CommWorld:
                 yield self.recv(b)
                 received.append(self.sim.now)
 
-        self.sim.process(sender())
-        receiver_proc = self.sim.process(receiver())
-        self.sim.run_until_complete(receiver_proc)
+        with OBS.label_scope(bench="unidirectional", nbytes=nbytes):
+            self.sim.process(sender())
+            receiver_proc = self.sim.process(receiver())
+            self.sim.run_until_complete(receiver_proc)
         elapsed = received[-1] - start
         return count * nbytes * 1e3 / elapsed if elapsed > 0 else 0.0
 
@@ -181,11 +185,12 @@ class CommWorld:
                 yield self.sim.process(
                     self.endpoint(me).driver.bidirectional_exchange(message))
 
-        proc_a = self.sim.process(side(a, b))
-        proc_b = self.sim.process(side(b, a))
-        self.sim.run_until_complete(proc_a)
-        if not proc_b.finished:
-            self.sim.run_until_complete(proc_b)
+        with OBS.label_scope(bench="bidirectional", nbytes=nbytes):
+            proc_a = self.sim.process(side(a, b))
+            proc_b = self.sim.process(side(b, a))
+            self.sim.run_until_complete(proc_a)
+            if not proc_b.finished:
+                self.sim.run_until_complete(proc_b)
         elapsed = self.sim.now - start
         total_bytes = 2 * rounds * nbytes
         return total_bytes * 1e3 / elapsed if elapsed > 0 else 0.0

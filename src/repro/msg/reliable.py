@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.msg.api import CommWorld
+from repro.obs import OBS
 from repro.sim.engine import Event, SimulationError, Simulator
 from repro.sim.process import Process
 from repro.sim.resources import FifoStore
@@ -114,8 +115,14 @@ class ReliableChannel:
             message = self.world.make_message(src, dst, nbytes, tag=tag)
             yield self.sim.process(driver.send_message(message))
             self.stats.incr("transmissions")
+            if OBS.enabled:
+                OBS.metrics.incr("reliable.transmissions")
+                if attempt:
+                    OBS.metrics.incr("reliable.retransmissions")
             if corrupted:
                 self.stats.incr("corrupted")
+                if OBS.enabled:
+                    OBS.metrics.incr("reliable.corrupted")
 
             ack_key = (src, dst, sequence)
             ack_event = Event(self.sim, name=f"ack{ack_key}")
@@ -129,9 +136,13 @@ class ReliableChannel:
             fired = yield self.sim.any_of([ack_event, timeout])
             if ack_event in fired:
                 self.stats.incr("acked")
+                if OBS.enabled:
+                    OBS.metrics.incr("reliable.acked")
                 return sequence
             self._ack_events.pop(ack_key, None)
             self.stats.incr("timeouts")
+            if OBS.enabled:
+                OBS.metrics.incr("reliable.timeouts")
         raise DeliveryError(
             f"{src}->{dst} seq {sequence}: no ack after "
             f"{self.config.max_retries} attempts")
@@ -159,6 +170,8 @@ class ReliableChannel:
                 # The CRC flags it; the receiver discards silently and the
                 # sender's timeout drives the retransmission.
                 self.stats.incr("discarded")
+                if OBS.enabled:
+                    OBS.metrics.incr("reliable.discarded")
                 continue
             src, sequence = meta["src"], meta["seq"]
             expected = self._expected.get((src, node), 0)
@@ -169,6 +182,8 @@ class ReliableChannel:
                     sequence=sequence,
                     delivered_at=message.delivered_at or self.sim.now))
                 self.stats.incr("delivered")
+                if OBS.enabled:
+                    OBS.metrics.incr("reliable.delivered")
             else:
                 # Duplicate of an already-delivered message (our ack was
                 # lost or late): re-ack, do not re-deliver.

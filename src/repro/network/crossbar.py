@@ -19,6 +19,7 @@ from typing import List, Optional
 
 from repro.network.link import ByteFifo, Link
 from repro.network.message import Flit, FlitKind
+from repro.obs import OBS
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
 from repro.sim.stats import Counter
@@ -111,15 +112,32 @@ class Crossbar:
             out_port = flit.route_port
             self._check_route(port, out_port, flit)
             arbiter = self._output_arbiters[out_port]
+            arb_span = 0
+            if OBS.enabled:
+                arb_span = OBS.tracer.begin(
+                    "xbar.arbitrate", self.name, self.sim.now,
+                    category="network", message=flit.message_id,
+                    in_port=port, out_port=out_port)
             waited = yield arbiter.acquire()
             if waited > 0:
                 self.stats.incr("collisions")
+                if OBS.enabled:
+                    OBS.metrics.incr("xbar.collisions", xbar=self.name)
             # Collision-free through-routing costs route_setup_ns; the route
             # byte is consumed here and never forwarded.
             yield self.sim.timeout(self.config.route_setup_ns)
             self.stats.incr("connections")
             self.tracer.record(self.sim.now, self.name, "route",
                                (port, out_port, flit.message_id))
+            fwd_span = 0
+            if OBS.enabled:
+                OBS.tracer.end(arb_span, self.sim.now,
+                               collided=waited > 0)
+                OBS.metrics.incr("xbar.connections", xbar=self.name)
+                fwd_span = OBS.tracer.begin(
+                    "xbar.forward", self.name, self.sim.now,
+                    category="network", message=flit.message_id,
+                    in_port=port, out_port=out_port)
             link = self.output_links[out_port]
             try:
                 while True:
@@ -133,6 +151,8 @@ class Crossbar:
                 arbiter.release()
                 self.tracer.record(self.sim.now, self.name, "close",
                                    (port, out_port, flit.message_id))
+                if OBS.enabled:
+                    OBS.tracer.end(fwd_span, self.sim.now)
 
     def _check_route(self, in_port: int, out_port: Optional[int],
                      flit: Flit) -> None:

@@ -13,7 +13,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional
 
-from repro.network.message import Flit
+from repro.network.message import Flit, FlitKind
+from repro.obs import OBS
 from repro.sim.clock import Clock
 from repro.sim.engine import Event, SimulationError, Simulator
 from repro.sim.resources import FifoStore
@@ -167,6 +168,10 @@ class Link:
         wire_slots = max(1, int(config.propagation_ns / config.byte_ns) + 1)
         self._in_flight = FifoStore(sim, capacity=wire_slots,
                                     name=f"{name}.wire")
+        # message_id -> open "link.transmit" span (wormhole routing keeps
+        # one message on the wire at a time, but the span starts in the
+        # serializer process and ends in the deliverer process).
+        self._spans: dict[int, int] = {}
         self._serializer = sim.process(self._serialize())
         self._deliverer = sim.process(self._deliver())
 
@@ -177,6 +182,10 @@ class Link:
     def _serialize(self):
         while True:
             flit = yield self.tx.get()
+            if OBS.enabled and flit.message_id not in self._spans:
+                self._spans[flit.message_id] = OBS.tracer.begin(
+                    "link.transmit", self.name, self.sim.now,
+                    category="network", message=flit.message_id)
             start = self.sim.now
             yield self.sim.timeout(self.config.serialize_ns(flit.nbytes))
             self.busy_ns += self.sim.now - start
@@ -196,6 +205,11 @@ class Link:
             self.stats.incr("bytes", flit.nbytes)
             self.tracer.record(self.sim.now, self.name, "delivered",
                                (flit.kind.value, flit.message_id, flit.seq))
+            if self._spans and flit.kind == FlitKind.CLOSE:
+                span = self._spans.pop(flit.message_id, 0)
+                if OBS.enabled:
+                    OBS.tracer.end(span, self.sim.now)
+                    OBS.metrics.incr("link.messages", link=self.name)
 
     def utilization(self, elapsed_ns: Optional[float] = None) -> float:
         elapsed = self.sim.now if elapsed_ns is None else elapsed_ns

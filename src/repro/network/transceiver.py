@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.network.link import ByteFifo, Link, LinkConfig
+from repro.network.message import FlitKind
+from repro.obs import OBS
 from repro.sim.engine import Simulator
 
 SPEED_OF_LIGHT_NS_PER_M = 5.0  # signal propagation in copper, ~0.2 m/ns
@@ -63,10 +65,20 @@ def make_async_link(sim: Simulator, link_config: LinkConfig,
         # The transceiver forwards into the downstream FIFO at link rate;
         # backpressure from ``rx`` accumulates in the 2-KB buffer first,
         # which is what lets the stop signal work over 30 m.
+        relay_span = 0
         while True:
             flit = yield buffer_fifo.get()
+            if OBS.enabled and not relay_span:
+                relay_span = OBS.tracer.begin(
+                    "xcvr.relay", name, sim.now, category="network",
+                    message=flit.message_id)
             yield sim.timeout(cfg.serialize_ns(flit.nbytes))
             yield rx.put(flit)
+            if flit.kind == FlitKind.CLOSE:
+                if OBS.enabled:
+                    OBS.tracer.end(relay_span, sim.now)
+                    OBS.metrics.incr("xcvr.messages", xcvr=name)
+                relay_span = 0
 
     sim.process(drain())
     return link

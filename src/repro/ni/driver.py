@@ -20,6 +20,7 @@ from typing import Dict, Optional
 
 from repro.network.message import Flit, FlitKind, Message, build_wire_format
 from repro.ni.interface import LinkInterface
+from repro.obs import OBS
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
 from repro.sim.stats import Counter, Histogram
@@ -100,9 +101,21 @@ class PioDriver:
         would measure it.
         """
         yield self._send_lock.acquire()
+        send_span = 0
         try:
             start = self.sim.now
             message.sent_at = start
+            if OBS.enabled:
+                # Root of the message's causal tree; the receiving driver
+                # closes it at delivery (see _receive_locked).
+                OBS.tracer.begin(
+                    "message", self.name, start, category="message",
+                    message=message.message_id, root=True,
+                    src=message.source, dst=message.dest,
+                    nbytes=message.payload_bytes)
+                send_span = OBS.tracer.begin(
+                    "driver.send", self.name, start, category="driver",
+                    message=message.message_id)
             self.registry[message.message_id] = message
             self.ni.register_crc(message)
             yield self.sim.timeout(self.config.send_setup_ns)
@@ -120,6 +133,11 @@ class PioDriver:
             self.stats.incr("sent")
             self.stats.incr("sent_bytes", message.payload_bytes)
             self.send_times.add(self.sim.now - start)
+            if OBS.enabled:
+                OBS.tracer.end(send_span, self.sim.now)
+                OBS.metrics.incr("driver.sent", driver=self.name)
+                OBS.metrics.incr("driver.sent_bytes",
+                                 message.payload_bytes, driver=self.name)
             return message
         finally:
             self._send_lock.release()
@@ -144,10 +162,15 @@ class PioDriver:
         copy_done = 0.0
         payload = 0
         first: Optional[Flit] = None
+        drain_span = 0
         while True:
             flit = yield self.ni.read_flit()
             if first is None:
                 first = flit
+                if OBS.enabled:
+                    drain_span = OBS.tracer.begin(
+                        "driver.drain", self.name, self.sim.now,
+                        category="driver", message=flit.message_id)
             copy_done = max(copy_done, self.sim.now) + \
                 self.config.copy_in_ns(flit.nbytes)
             if flit.kind == FlitKind.DATA:
@@ -171,6 +194,12 @@ class PioDriver:
         message.delivered_at = self.sim.now
         self.stats.incr("received")
         self.stats.incr("received_bytes", payload)
+        if OBS.enabled:
+            OBS.tracer.end(drain_span, self.sim.now)
+            OBS.tracer.end_message(message.message_id, self.sim.now)
+            OBS.metrics.incr("driver.received", driver=self.name)
+            OBS.metrics.incr("driver.received_bytes", payload,
+                             driver=self.name)
         self._last_received = message
         return message
 
@@ -196,6 +225,16 @@ class PioDriver:
     def _exchange_locked(self, outgoing: Message):
         cfg = self.config
         outgoing.sent_at = self.sim.now
+        exchange_span = 0
+        if OBS.enabled:
+            OBS.tracer.begin(
+                "message", self.name, self.sim.now, category="message",
+                message=outgoing.message_id, root=True, src=outgoing.source,
+                dst=outgoing.dest, nbytes=outgoing.payload_bytes,
+                exchange=True)
+            exchange_span = OBS.tracer.begin(
+                "driver.exchange", self.name, self.sim.now,
+                category="driver", message=outgoing.message_id)
         self.registry[outgoing.message_id] = outgoing
         self.ni.register_crc(outgoing)
         yield self.sim.timeout(cfg.send_setup_ns)
@@ -253,4 +292,8 @@ class PioDriver:
         self.ni.check_crc(inbound)
         inbound.delivered_at = self.sim.now
         self.stats.incr("exchanges")
+        if OBS.enabled:
+            OBS.tracer.end(exchange_span, self.sim.now)
+            OBS.tracer.end_message(inbound.message_id, self.sim.now)
+            OBS.metrics.incr("driver.exchanges", driver=self.name)
         return inbound

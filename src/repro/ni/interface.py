@@ -14,6 +14,7 @@ from typing import Dict, Optional
 from repro.network.link import ByteFifo, Link
 from repro.network.message import Flit, FlitKind, Message, build_wire_format
 from repro.ni.crc import message_checksum
+from repro.obs import OBS
 from repro.sim.engine import Event, SimulationError, Simulator
 from repro.sim.resources import Signal
 from repro.sim.stats import Counter
@@ -95,12 +96,21 @@ class LinkInterface:
             message.dest)
 
     def _drain_send_fifo(self):
+        inject_span = 0
         while True:
             flit = yield self.send_fifo.get()
+            if OBS.enabled and not inject_span:
+                inject_span = OBS.tracer.begin(
+                    "ni.inject", self.name, self.sim.now, category="ni",
+                    message=flit.message_id)
             yield self.tx_link.send(flit)
             self.stats.incr("tx_bytes", flit.nbytes)
             if flit.kind == FlitKind.CLOSE:
                 self.stats.incr("tx_messages")
+                if OBS.enabled:
+                    OBS.tracer.end(inject_span, self.sim.now)
+                    OBS.metrics.incr("ni.tx_messages", ni=self.name)
+                inject_span = 0
 
     # -- receive side -----------------------------------------------------------
 
@@ -119,6 +129,8 @@ class LinkInterface:
         stamped = self._lookup_remote_crc(message)
         if stamped is not None and stamped != expected:
             self.stats.incr("crc_errors")
+            if OBS.enabled:
+                OBS.metrics.incr("ni.crc_errors", ni=self.name)
             raise CrcError(
                 f"{self.name}: CRC mismatch on message {message.message_id}: "
                 f"stamped {stamped:#010x}, computed {expected:#010x}")

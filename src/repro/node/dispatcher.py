@@ -21,6 +21,7 @@ from typing import Dict, Optional
 from repro.memory.dram import InterleavedDram
 from repro.memory.snoop import AddressPhaseSequencer, SnoopConfig
 from repro.node.adsp import AdspSwitch
+from repro.obs import OBS
 from repro.sim.engine import Simulator
 from repro.sim.process import Process
 from repro.sim.resources import Resource
@@ -111,6 +112,11 @@ class Dispatcher:
 
     def _run(self, txn: BusTransaction):
         txn.issued_at = self.sim.now
+        txn_span = 0
+        if OBS.enabled:
+            txn_span = OBS.tracer.begin(
+                "bus.txn", self.name, self.sim.now, category="node",
+                kind=txn.kind.value, master=txn.master, tag=txn.tag)
         # 1. Address phase: serialised across all masters (snoop protocol).
         #    The sequencer's conservative-time accounting composes with the
         #    event-driven world through a plain timeout to its grant.
@@ -145,6 +151,12 @@ class Dispatcher:
         self.completed_tags.append(txn.tag)
         self.stats.incr("completed")
         self.latencies.add(txn.latency_ns)
+        if OBS.enabled:
+            OBS.tracer.end(txn_span, self.sim.now)
+            OBS.metrics.incr("bus.completed", dispatcher=self.name,
+                             kind=txn.kind.value)
+            OBS.metrics.observe("bus.latency_ns", txn.latency_ns,
+                                dispatcher=self.name)
         return txn
 
     def _data_phase(self, master: str, target: str, duration_ns: float):

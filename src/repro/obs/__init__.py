@@ -1,0 +1,138 @@
+"""repro.obs — the unified observability layer.
+
+One ambient :data:`OBS` context object is shared by every instrumented
+component in the library (caches, TLBs, coherence, links, crossbars, link
+interfaces, drivers, dispatcher, messaging, EARTH).  It is *disabled* by
+default: every instrumentation site is written as ::
+
+    from repro.obs import OBS
+    ...
+    if OBS.enabled:
+        OBS.metrics.incr("cache.miss", cache=self.name, level=self.level)
+
+so an uninstrumented run pays exactly one attribute test per call site.
+Enabling is scoped::
+
+    from repro.obs import observe
+
+    with observe() as session:
+        run_the_experiment()
+    session.write_trace("trace.json")          # Perfetto / chrome://tracing
+    session.write_metrics_json("metrics.json")
+
+The context object is a stable singleton whose *backends* are swapped, so
+components may safely cache a reference to ``OBS`` itself (never to
+``OBS.metrics``/``OBS.tracer``) at import or construction time.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from typing import Iterator, Optional
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullMetricsRegistry,
+    format_series,
+)
+from repro.obs.spans import (
+    NULL_SPAN_TRACER,
+    NullSpanTracer,
+    Span,
+    SpanNode,
+    SpanTracer,
+)
+
+
+class Observability:
+    """The ambient observability context (one predicate when disabled)."""
+
+    __slots__ = ("enabled", "metrics", "tracer")
+
+    def __init__(self):
+        self.enabled = False
+        self.metrics: MetricsRegistry = NULL_REGISTRY
+        self.tracer: SpanTracer = NULL_SPAN_TRACER
+
+    def activate(self, metrics: MetricsRegistry, tracer: SpanTracer) -> None:
+        self.metrics = metrics
+        self.tracer = tracer
+        self.enabled = True
+
+    def deactivate(self) -> None:
+        self.enabled = False
+        self.metrics = NULL_REGISTRY
+        self.tracer = NULL_SPAN_TRACER
+
+    def label_scope(self, **labels):
+        """Ambient metric labels for a block; no-op context when disabled."""
+        if not self.enabled:
+            return nullcontext(self.metrics)
+        return self.metrics.label_scope(**labels)
+
+
+OBS = Observability()
+
+
+class ObservationSession:
+    """One enabled observation window: a registry plus a span tracer."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[SpanTracer] = None,
+                 span_limit: int = 1_000_000):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else SpanTracer(
+            limit=span_limit)
+
+    # -- artifact shortcuts -------------------------------------------------
+
+    def write_trace(self, path: str) -> None:
+        from repro.obs.export import write_trace
+
+        write_trace(path, self.tracer)
+
+    def write_metrics_json(self, path: str) -> None:
+        from repro.obs.export import write_metrics_json
+
+        write_metrics_json(path, self.metrics)
+
+    def write_metrics_csv(self, path: str) -> None:
+        from repro.obs.export import write_metrics_csv
+
+        write_metrics_csv(path, self.metrics)
+
+
+@contextmanager
+def observe(metrics: Optional[MetricsRegistry] = None,
+            tracer: Optional[SpanTracer] = None,
+            span_limit: int = 1_000_000) -> Iterator[ObservationSession]:
+    """Enable instrumentation for the block; restores the prior state
+    afterwards (nesting swaps backends, it does not merge them)."""
+    session = ObservationSession(metrics=metrics, tracer=tracer,
+                                 span_limit=span_limit)
+    previous = (OBS.enabled, OBS.metrics, OBS.tracer)
+    OBS.activate(session.metrics, session.tracer)
+    try:
+        yield session
+    finally:
+        OBS.enabled, OBS.metrics, OBS.tracer = previous
+
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_REGISTRY",
+    "NULL_SPAN_TRACER",
+    "NullMetricsRegistry",
+    "NullSpanTracer",
+    "OBS",
+    "Observability",
+    "ObservationSession",
+    "Span",
+    "SpanNode",
+    "SpanTracer",
+    "format_series",
+    "observe",
+]

@@ -1,0 +1,138 @@
+"""Exporters: Chrome trace-event JSON (Perfetto) and metrics dumps.
+
+``trace_event_json`` renders a :class:`~repro.obs.spans.SpanTracer` as the
+Chrome trace-event format (the JSON object form, ``{"traceEvents": [...]}``)
+that both Perfetto (https://ui.perfetto.dev) and ``chrome://tracing`` load
+directly.  Each simulated component becomes a named thread; spans become
+complete ("X") events whose nesting Perfetto derives from their timing.
+Simulation nanoseconds map to trace microseconds (the format's unit), so
+one displayed microsecond is one simulated microsecond.
+
+Metrics dumps reuse :mod:`repro.bench.export` for the JSON/CSV mechanics so
+observability artifacts and benchmark artifacts stay consumable by the
+same downstream tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.bench.export import to_csv, to_json
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
+
+TRACE_PROCESS_NAME = "repro simulation"
+_PID = 1
+
+
+def trace_event_json(tracer: SpanTracer) -> Dict[str, Any]:
+    """The tracer's finished spans as a Chrome trace-event object."""
+    components: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+        "args": {"name": TRACE_PROCESS_NAME},
+    }]
+
+    def tid_of(component: str) -> int:
+        tid = components.get(component)
+        if tid is None:
+            tid = len(components) + 1
+            components[component] = tid
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
+                "args": {"name": component},
+            })
+        return tid
+
+    for span in sorted(tracer.finished_spans(),
+                       key=lambda s: (s.start_ns, s.span_id)):
+        args: Dict[str, Any] = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.message_id is not None:
+            args["message_id"] = span.message_id
+        args.update(span.attrs)
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start_ns / 1e3,
+            "dur": span.duration_ns / 1e3,
+            "pid": _PID,
+            "tid": tid_of(span.component),
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ns",
+            "otherData": {"droppedSpans": tracer.dropped}}
+
+
+def write_trace(path: str, tracer: SpanTracer) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace_event_json(tracer), handle, indent=1)
+
+
+def validate_trace_events(payload: Any) -> int:
+    """Check ``payload`` against the trace-event schema; returns the number
+    of duration ("X") events.  Raises :class:`ValueError` on violations.
+
+    This is the CI smoke check: it enforces the envelope shape plus the
+    per-event fields Perfetto requires to render anything at all.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(payload).__name__}")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace object lacks a traceEvents array")
+    durations = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in event:
+                raise ValueError(f"traceEvents[{i}] lacks {field!r}")
+        phase = event["ph"]
+        if phase == "X":
+            if not isinstance(event.get("ts"), (int, float)):
+                raise ValueError(f"traceEvents[{i}]: X event needs numeric ts")
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"traceEvents[{i}]: X event needs nonnegative dur, got {dur!r}")
+            durations += 1
+        elif phase == "M":
+            if "args" not in event:
+                raise ValueError(f"traceEvents[{i}]: metadata event needs args")
+        else:
+            raise ValueError(
+                f"traceEvents[{i}]: unexpected phase {phase!r} "
+                "(this exporter only emits X and M)")
+    if durations == 0:
+        raise ValueError("trace contains no duration events")
+    return durations
+
+
+def validate_trace_file(path: str) -> int:
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_trace_events(json.load(handle))
+
+
+# -- metrics dumps ---------------------------------------------------------------
+
+
+def metrics_json(registry: MetricsRegistry) -> str:
+    return to_json(registry.rows())
+
+
+def metrics_csv(registry: MetricsRegistry) -> str:
+    return to_csv(registry.rows())
+
+
+def write_metrics_json(path: str, registry: MetricsRegistry) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(metrics_json(registry))
+
+
+def write_metrics_csv(path: str, registry: MetricsRegistry) -> None:
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(metrics_csv(registry))

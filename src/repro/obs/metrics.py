@@ -1,0 +1,288 @@
+"""Labeled metrics: Counter/Gauge/Histogram instruments in one registry.
+
+A :class:`MetricsRegistry` is the single sink every instrumented component
+records into.  Instruments are identified by a *name* plus a set of string
+*labels* (``cache.miss{level=l2, node=3}``), so one logical metric fans out
+into as many series as there are label combinations.  Two scoping
+mechanisms compose:
+
+* **hierarchical component scoping** — ``registry.scope("node3")`` returns
+  a view whose metric names are prefixed (``node3.cache.miss``) and which
+  shares the parent's storage;
+* **ambient label scoping** — ``with registry.label_scope(n=96):`` stamps
+  every series recorded inside the block with the extra labels, which is
+  how a benchmark harness attributes counts to the experiment cell
+  (machine, matrix size, message size) that produced them.
+
+The registry itself is cheap but not free; hot paths guard every call with
+the :data:`repro.obs.OBS` enabled predicate so a disabled run pays one
+attribute test per call site (see :mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.sim.stats import Histogram
+
+LabelItems = Tuple[Tuple[str, str], ...]
+SeriesKey = Tuple[str, LabelItems]
+
+
+def _label_items(labels: Dict[str, Any]) -> LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_series(name: str, labels: LabelItems) -> str:
+    """Human/Prometheus-ish rendering: ``name{k=v, k2=v2}``."""
+    if not labels:
+        return name
+    inner = ", ".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class CounterMetric:
+    """A monotonically increasing labeled counter."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def incr(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class GaugeMetric:
+    """A labeled point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class HistogramMetric:
+    """A labeled distribution, backed by :class:`repro.sim.stats.Histogram`."""
+
+    __slots__ = ("name", "labels", "hist")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.hist = Histogram(name)
+
+    def observe(self, value: float) -> None:
+        self.hist.add(value)
+
+    @property
+    def value(self) -> int:
+        """Snapshot/diff value of a histogram series is its sample count."""
+        return self.hist.count
+
+    def summary(self) -> Dict[str, float]:
+        return self.hist.summary()
+
+
+class MetricsSnapshot:
+    """Immutable ``series -> value`` view, diffable against an earlier one.
+
+    Counter and histogram series diff as deltas; gauges diff as the new
+    value (a gauge delta is rarely meaningful, the caller gets the level).
+    """
+
+    def __init__(self, values: Dict[SeriesKey, float],
+                 kinds: Dict[SeriesKey, str]):
+        self._values = dict(values)
+        self._kinds = dict(kinds)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: SeriesKey) -> bool:
+        return key in self._values
+
+    def __getitem__(self, key: SeriesKey) -> float:
+        return self._values[key]
+
+    def get(self, name: str, **labels: Any) -> float:
+        return self._values.get((name, _label_items(labels)), 0)
+
+    def items(self) -> Iterator[Tuple[SeriesKey, float]]:
+        return iter(self._values.items())
+
+    def diff(self, earlier: "MetricsSnapshot") -> Dict[SeriesKey, float]:
+        """What changed since ``earlier`` (new series appear in full)."""
+        out: Dict[SeriesKey, float] = {}
+        for key, value in self._values.items():
+            if self._kinds.get(key) == "gauge":
+                if value != earlier._values.get(key):
+                    out[key] = value
+                continue
+            delta = value - earlier._values.get(key, 0)
+            if delta:
+                out[key] = delta
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create store of labeled instruments (see module docstring)."""
+
+    def __init__(self, name: str = "metrics", prefix: str = "",
+                 _store: Optional[Dict[SeriesKey, Any]] = None,
+                 _ambient: Optional[List[Dict[str, str]]] = None):
+        self.name = name
+        self._prefix = prefix
+        self._store: Dict[SeriesKey, Any] = _store if _store is not None else {}
+        self._ambient: List[Dict[str, str]] = (
+            _ambient if _ambient is not None else [])
+
+    # -- instrument lookup --------------------------------------------------
+
+    def _key(self, name: str, labels: Dict[str, Any]) -> SeriesKey:
+        if self._ambient:
+            merged: Dict[str, Any] = {}
+            for frame in self._ambient:
+                merged.update(frame)
+            merged.update(labels)
+            labels = merged
+        return self._prefix + name, _label_items(labels)
+
+    def _instrument(self, cls, name: str, labels: Dict[str, Any]):
+        key = self._key(name, labels)
+        inst = self._store.get(key)
+        if inst is None:
+            inst = cls(key[0], key[1])
+            self._store[key] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {format_series(*key)} already registered as "
+                f"{inst.kind}, cannot reuse as {cls.kind}")
+        return inst
+
+    def counter(self, name: str, **labels: Any) -> CounterMetric:
+        return self._instrument(CounterMetric, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> GaugeMetric:
+        return self._instrument(GaugeMetric, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> HistogramMetric:
+        return self._instrument(HistogramMetric, name, labels)
+
+    # -- hot-path conveniences ---------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1, **labels: Any) -> None:
+        self._instrument(CounterMetric, name, labels).value += amount
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        self._instrument(GaugeMetric, name, labels).value = value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        self._instrument(HistogramMetric, name, labels).hist.add(value)
+
+    # -- scoping -----------------------------------------------------------------
+
+    def scope(self, prefix: str) -> "MetricsRegistry":
+        """A view prefixing every metric name with ``prefix.`` — shares the
+        store and the ambient label stack with this registry."""
+        return MetricsRegistry(name=self.name,
+                               prefix=f"{self._prefix}{prefix}.",
+                               _store=self._store, _ambient=self._ambient)
+
+    @contextmanager
+    def label_scope(self, **labels: Any):
+        """Stamp everything recorded in the block with ``labels``."""
+        frame = {k: str(v) for k, v in labels.items()}
+        self._ambient.append(frame)
+        try:
+            yield self
+        finally:
+            self._ambient.remove(frame)
+
+    # -- inspection / export -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def instruments(self) -> List[Any]:
+        return list(self._store.values())
+
+    def series(self, name: str) -> List[Any]:
+        """All instruments of one metric name, any labels."""
+        return [inst for (n, _), inst in self._store.items() if n == name]
+
+    def total(self, name: str) -> float:
+        """Sum of a counter metric across all its label combinations."""
+        return sum(inst.value for inst in self.series(name))
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            {key: inst.value for key, inst in self._store.items()},
+            {key: inst.kind for key, inst in self._store.items()})
+
+    # Columns the exporter itself owns; a label with one of these names is
+    # prefixed rather than allowed to clobber the column.
+    _RESERVED_COLUMNS = frozenset(
+        {"metric", "kind", "value", "count", "mean", "min", "max",
+         "p50", "p99"})
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Flat export rows (labels inlined) for the JSON/CSV exporters."""
+        rows: List[Dict[str, Any]] = []
+        for (name, labels), inst in sorted(self._store.items()):
+            row: Dict[str, Any] = {"metric": name, "kind": inst.kind}
+            for key, value in labels:
+                if key in self._RESERVED_COLUMNS:
+                    key = f"label_{key}"
+                row[key] = value
+            if inst.kind == "histogram":
+                for stat, value in inst.summary().items():
+                    row[stat] = value
+            else:
+                row["value"] = inst.value
+            rows.append(row)
+        return rows
+
+    def reset(self) -> None:
+        self._store.clear()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The disabled backend: every recording call is a no-op.
+
+    Instrumented call sites additionally guard with ``OBS.enabled`` so this
+    class is only reached by code that records unconditionally.
+    """
+
+    def incr(self, name: str, amount: int = 1, **labels: Any) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def _instrument(self, cls, name, labels):  # instruments are throwaways
+        return cls(name, _label_items(labels))
+
+    def scope(self, prefix: str) -> "NullMetricsRegistry":
+        return self
+
+    @contextmanager
+    def label_scope(self, **labels: Any):
+        yield self
+
+
+NULL_REGISTRY = NullMetricsRegistry(name="null")

@@ -52,23 +52,122 @@ class Counter:
         return f"<Counter {self.name} {self._counts}>"
 
 
+class P2Quantile:
+    """Jain & Chlamtac's P² streaming quantile estimator.
+
+    O(1) per sample and O(1) memory (five markers): the incremental fast
+    path behind :meth:`Histogram.p50`/:meth:`Histogram.p99`, which would
+    otherwise re-sort the sample list on every ``add``/``quantile``
+    interleave.  Exact below five samples, a tight estimate beyond.
+    """
+
+    __slots__ = ("q", "_initial", "_heights", "_positions", "_desired",
+                 "_increments")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"P2 quantile must be in (0, 1), got {q}")
+        self.q = q
+        self._initial: List[float] = []
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def add(self, x: float) -> None:
+        if not self._heights:
+            self._initial.append(x)
+            if len(self._initial) == 5:
+                self._heights = sorted(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                q = self.q
+                self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q,
+                                 3.0 + 2.0 * q, 5.0]
+            return
+        h, n = self._heights, self._positions
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            for i in range(1, 4):
+                if x >= h[i]:
+                    k = i
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        for i in range(1, 4):
+            d = self._desired[i] - n[i]
+            if ((d >= 1.0 and n[i + 1] - n[i] > 1.0)
+                    or (d <= -1.0 and n[i - 1] - n[i] < -1.0)):
+                d = 1.0 if d > 0 else -1.0
+                candidate = self._parabolic(i, d)
+                if not h[i - 1] < candidate < h[i + 1]:
+                    candidate = self._linear(i, d)
+                h[i] = candidate
+                n[i] += d
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+
+    def _linear(self, i: int, d: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        if not self._heights:
+            if not self._initial:
+                return 0.0
+            ordered = sorted(self._initial)
+            rank = min(len(ordered) - 1,
+                       max(0, math.ceil(self.q * len(ordered)) - 1))
+            return ordered[rank]
+        return self._heights[2]
+
+
 class Histogram:
     """A streaming histogram with exact quantiles (keeps all samples).
 
     Simulation runs in this library produce at most a few hundred thousand
     samples per histogram, so exact storage is fine and keeps the quantile
-    semantics simple.
+    semantics simple.  For the interleaved add/read pattern of live
+    observability exporters — where exact :meth:`quantile` would re-sort
+    per read — :meth:`p50`/:meth:`p99` are maintained incrementally by P²
+    estimators, and :meth:`summary` packages the O(1) statistics.
     """
+
+    # Below this size exact quantiles are cheaper than estimator error.
+    P2_EXACT_LIMIT = 512
 
     def __init__(self, name: str = "histogram"):
         self.name = name
         self._samples: List[float] = []
         self._sorted = True
+        self._sum = 0.0
+        self._min: float = math.inf
+        self._max: float = -math.inf
+        self._p2_p50 = P2Quantile(0.5)
+        self._p2_p99 = P2Quantile(0.99)
 
     def add(self, value: float) -> None:
         if self._samples and value < self._samples[-1]:
             self._sorted = False
         self._samples.append(value)
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        self._p2_p50.add(value)
+        self._p2_p99.add(value)
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -85,13 +184,13 @@ class Histogram:
     def mean(self) -> float:
         if not self._samples:
             return 0.0
-        return sum(self._samples) / len(self._samples)
+        return self._sum / len(self._samples)
 
     def minimum(self) -> float:
-        return min(self._samples) if self._samples else 0.0
+        return self._min if self._samples else 0.0
 
     def maximum(self) -> float:
-        return max(self._samples) if self._samples else 0.0
+        return self._max if self._samples else 0.0
 
     def stddev(self) -> float:
         n = len(self._samples)
@@ -117,6 +216,36 @@ class Histogram:
         for x in self._samples:
             counts[bisect_right(edges, x)] += 1
         return counts
+
+    # -- incremental fast path (no sorting) --------------------------------
+
+    def _fast_quantile(self, q: float, estimator: P2Quantile) -> float:
+        """Exact when cheap (already sorted, or few samples); P² otherwise."""
+        if self._sorted or len(self._samples) <= self.P2_EXACT_LIMIT:
+            return self.quantile(q)
+        return estimator.value()
+
+    def p50(self) -> float:
+        """Median without re-sorting on large, actively-growing histograms."""
+        return self._fast_quantile(0.5, self._p2_p50)
+
+    def p99(self) -> float:
+        """99th percentile via the same incremental fast path as p50."""
+        return self._fast_quantile(0.99, self._p2_p99)
+
+    def summary(self) -> Dict[str, float]:
+        """The exporter-facing digest; never sorts past P2_EXACT_LIMIT."""
+        n = len(self._samples)
+        return {
+            "count": n,
+            "mean": self.mean(),
+            "min": self.minimum(),
+            "max": self.maximum(),
+            "p50": self.quantile(0.5) if self._sorted or n <= self.P2_EXACT_LIMIT
+            else self._p2_p50.value(),
+            "p99": self.quantile(0.99) if self._sorted or n <= self.P2_EXACT_LIMIT
+            else self._p2_p99.value(),
+        }
 
 
 @dataclass

@@ -32,6 +32,7 @@ class Tracer:
         self.limit = limit
         self.records: List[TraceRecord] = []
         self.dropped = 0
+        self.dropped_by_event: Dict[str, int] = {}
 
     def record(self, time: float, component: str, event: str,
                payload: Any = None) -> None:
@@ -39,6 +40,8 @@ class Tracer:
             return
         if len(self.records) >= self.limit:
             self.dropped += 1
+            self.dropped_by_event[event] = \
+                self.dropped_by_event.get(event, 0) + 1
             return
         self.records.append(TraceRecord(time, component, event, payload))
 
@@ -69,16 +72,38 @@ class Tracer:
                 return rec
         return None
 
-    def counts_by_event(self) -> Dict[str, int]:
+    def counts_by_event(self, include_dropped: bool = True) -> Dict[str, int]:
+        """Occurrences per event name.
+
+        Records dropped past ``limit`` are counted too (their event name is
+        known at drop time), so totals stay accurate on saturated tracers;
+        pass ``include_dropped=False`` for stored-records-only counts.
+        """
         counts: Dict[str, int] = {}
         for rec in self.records:
             counts[rec.event] = counts.get(rec.event, 0) + 1
+        if include_dropped:
+            for event, dropped in self.dropped_by_event.items():
+                counts[event] = counts.get(event, 0) + dropped
         return counts
 
-    def dump(self, limit: int = 100) -> str:
-        lines = [str(rec) for rec in self.records[:limit]]
-        if len(self.records) > limit:
-            lines.append(f"... {len(self.records) - limit} more records")
+    def dump(self, limit: int = 100, tail: int = 0) -> str:
+        """Readable timeline: first ``limit`` records, optionally the last
+        ``tail`` records, and a drop summary when the tracer saturated."""
+        shown = self.records[:limit]
+        lines = [str(rec) for rec in shown]
+        remaining = self.records[limit:]
+        if tail > 0 and remaining:
+            tail_records = remaining[-tail:]
+            skipped = len(remaining) - len(tail_records)
+            if skipped:
+                lines.append(f"... {skipped} more records")
+            lines.extend(str(rec) for rec in tail_records)
+        elif remaining:
+            lines.append(f"... {len(remaining)} more records")
+        if self.dropped:
+            lines.append(
+                f"[{self.dropped} records dropped after limit {self.limit}]")
         return "\n".join(lines)
 
 

@@ -1,0 +1,184 @@
+"""Tests for the labeled metrics registry."""
+
+import pytest
+
+from repro.obs import OBS, observe
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    format_series,
+)
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("cache.miss", level="l1")
+        c2 = reg.counter("cache.miss", level="l1")
+        assert c1 is c2
+        c1.incr()
+        c1.incr(4)
+        assert c2.value == 5
+
+    def test_labels_distinguish_series(self):
+        reg = MetricsRegistry()
+        reg.incr("cache.miss", level="l1")
+        reg.incr("cache.miss", level="l2", amount=2)
+        assert reg.counter("cache.miss", level="l1").value == 1
+        assert reg.counter("cache.miss", level="l2").value == 2
+        assert reg.total("cache.miss") == 3
+        assert len(reg.series("cache.miss")) == 2
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.incr("m", a=1, b=2)
+        reg.incr("m", b=2, a=1)
+        assert reg.counter("m", a=1, b=2).value == 2
+
+    def test_gauge_sets(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("fifo.high_water", 48.0, fifo="tx")
+        reg.set_gauge("fifo.high_water", 64.0, fifo="tx")
+        assert reg.gauge("fifo.high_water", fifo="tx").value == 64.0
+
+    def test_histogram_observes(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.observe("lat", v, path="a")
+        hist = reg.histogram("lat", path="a")
+        assert hist.value == 3
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.incr("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_format_series(self):
+        assert format_series("n", ()) == "n"
+        assert format_series("n", (("a", 1), ("b", "z"))) == "n{a=1, b=z}"
+
+
+class TestScoping:
+    def test_prefix_scope_shares_store(self):
+        reg = MetricsRegistry()
+        scoped = reg.scope("ni")
+        scoped.incr("tx_messages")
+        assert reg.counter("ni.tx_messages").value == 1
+
+    def test_nested_scope(self):
+        reg = MetricsRegistry()
+        reg.scope("node3").scope("l2").incr("miss")
+        assert reg.counter("node3.l2.miss").value == 1
+
+    def test_label_scope_applies_ambient_labels(self):
+        reg = MetricsRegistry()
+        with reg.label_scope(machine="powermanna", n=64):
+            reg.incr("tlb.miss")
+        reg.incr("tlb.miss")  # outside: unlabeled series
+        assert reg.counter("tlb.miss", machine="powermanna", n=64).value == 1
+        assert reg.counter("tlb.miss").value == 1
+
+    def test_label_scopes_nest_and_merge(self):
+        reg = MetricsRegistry()
+        with reg.label_scope(a=1):
+            with reg.label_scope(b=2):
+                reg.incr("m")
+        assert reg.counter("m", a=1, b=2).value == 1
+
+
+class TestSnapshot:
+    def test_diff_reports_deltas(self):
+        reg = MetricsRegistry()
+        reg.incr("c", amount=5)
+        before = reg.snapshot()
+        reg.incr("c", amount=3)
+        reg.incr("new")
+        delta = reg.snapshot().diff(before)
+        values = {name: v for (name, _), v in delta.items()}
+        assert values == {"c": 3, "new": 1}
+
+    def test_rows_inline_labels(self):
+        reg = MetricsRegistry()
+        reg.incr("cache.miss", level="l1", node=3)
+        rows = reg.rows()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["metric"] == "cache.miss"
+        assert row["kind"] == "counter"
+        assert row["level"] == "l1"
+        assert row["value"] == 1
+
+    def test_reset_clears(self):
+        reg = MetricsRegistry()
+        reg.incr("c")
+        reg.reset()
+        assert len(reg) == 0
+
+
+class TestAmbientContext:
+    def test_disabled_by_default(self):
+        assert OBS.enabled is False
+        assert OBS.metrics is NULL_REGISTRY
+
+    def test_null_registry_records_nothing(self):
+        NULL_REGISTRY.incr("x")
+        NULL_REGISTRY.set_gauge("y", 1.0)
+        NULL_REGISTRY.observe("z", 2.0)
+        assert len(NULL_REGISTRY) == 0
+
+    def test_observe_swaps_and_restores(self):
+        with observe() as session:
+            assert OBS.enabled
+            OBS.metrics.incr("inside")
+        assert not OBS.enabled
+        assert session.metrics.counter("inside").value == 1
+
+    def test_observe_nests(self):
+        with observe() as outer:
+            OBS.metrics.incr("a")
+            with observe() as inner:
+                OBS.metrics.incr("b")
+            OBS.metrics.incr("a")
+        assert outer.metrics.counter("a").value == 2
+        assert "b" not in [i.name for i in outer.metrics.instruments()]
+        assert inner.metrics.counter("b").value == 1
+
+    def test_obs_label_scope_noop_when_disabled(self):
+        with OBS.label_scope(machine="x"):
+            OBS.metrics.incr("m")
+        assert len(NULL_REGISTRY) == 0
+
+
+class TestTlbThrashSignature:
+    """The Figure-7 diagnosis, read from labeled counters: once N exceeds
+    the TLB entry count, the naive kernel's column walk of B misses the
+    TLB on every other reference while the transposed product streams."""
+
+    def test_naive_product_thrashes_transposed_does_not(self):
+        from repro.bench.matmult import run_matmult
+        from repro.core.specs import POWERMANNA
+
+        n = 144  # > 128 TLB entries -> one page per B row per column walk
+        with observe() as session:
+            for version in ("naive", "transposed"):
+                run_matmult(POWERMANNA.node(scale=16), n, version,
+                            sample_rows=(1, 1), machine_key="powermanna")
+
+        def product_rate(version: str) -> float:
+            def total(metric: str) -> int:
+                return sum(
+                    inst.value for inst in session.metrics.series(metric)
+                    if dict(inst.labels).get("version") == version
+                    and dict(inst.labels).get("phase") == "product")
+            misses, hits = total("tlb.miss"), total("tlb.hit")
+            assert misses + hits > 0
+            return misses / (misses + hits)
+
+        naive, transposed = product_rate("naive"), product_rate("transposed")
+        assert naive > 0.4       # every other reference walks the tables
+        assert transposed < 0.05  # row streaming stays within TLB reach
+        assert naive > 10 * transposed

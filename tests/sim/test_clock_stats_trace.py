@@ -105,6 +105,43 @@ class TestHistogram:
             hist.add(v)
         assert hist.quantile(0.0) == 1.0
 
+    def test_p50_p99_exact_on_small_histograms(self):
+        hist = Histogram()
+        for v in (5.0, 1.0, 3.0, 2.0, 4.0):
+            hist.add(v)
+        assert hist.p50() == 3.0
+        assert hist.p99() == 5.0
+
+    def test_p50_p99_estimate_on_large_unsorted_stream(self):
+        import random
+
+        rng = random.Random(7)
+        hist = Histogram()
+        for _ in range(20_000):
+            hist.add(rng.gauss(100.0, 15.0))
+        # Past P2_EXACT_LIMIT on an unsorted stream the P2 estimators
+        # answer without sorting; they must stay close to the exact ranks.
+        assert len(hist) > Histogram.P2_EXACT_LIMIT
+        assert hist.p50() == pytest.approx(hist.quantile(0.5), rel=0.02)
+        assert hist.p99() == pytest.approx(hist.quantile(0.99), rel=0.02)
+
+    def test_summary_packages_digest(self):
+        hist = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.add(v)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["p50"] == 2.0
+        assert summary["p99"] == 4.0
+
+    def test_empty_summary(self):
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        assert summary["p99"] == 0.0
+
 
 class TestTimeSeries:
     def test_add_and_query(self):
@@ -161,12 +198,36 @@ class TestTracer:
         assert len(tracer) == 2
         assert tracer.dropped == 3
 
+    def test_dropped_records_still_counted_by_event(self):
+        tracer = Tracer(limit=3)
+        for i in range(4):
+            tracer.record(float(i), "c", "flit")
+        tracer.record(4.0, "c", "route")
+        assert tracer.counts_by_event() == {"flit": 4, "route": 1}
+        assert tracer.counts_by_event(include_dropped=False) == {"flit": 3}
+        assert tracer.dropped_by_event == {"flit": 1, "route": 1}
+
     def test_dump_truncates(self):
         tracer = Tracer()
         for i in range(5):
             tracer.record(float(i), "c", "e")
         dump = tracer.dump(limit=2)
         assert "3 more records" in dump
+
+    def test_dump_tail_shows_last_records(self):
+        tracer = Tracer()
+        for i in range(10):
+            tracer.record(float(i), "c", "e", i)
+        dump = tracer.dump(limit=2, tail=2)
+        assert "... 6 more records" in dump
+        assert "8" in dump and "9" in dump
+
+    def test_dump_reports_drops(self):
+        tracer = Tracer(limit=2)
+        for i in range(5):
+            tracer.record(float(i), "c", "e")
+        dump = tracer.dump()
+        assert "[3 records dropped after limit 2]" in dump
 
     def test_filter_predicate(self):
         tracer = Tracer()
