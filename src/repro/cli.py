@@ -22,6 +22,7 @@ Observability::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Optional, Sequence
 
@@ -61,6 +62,7 @@ def cmd_list(_args) -> None:
         ["fig10", "send gap at saturation"],
         ["fig11", "unidirectional bandwidth"],
         ["fig12", "bidirectional bandwidth"],
+        ["chaos", "fault-injection experiment from a plan file"],
         ["logp", "LogP parameters of the 8-node cluster"],
         ["trace", "run an experiment under span tracing (Perfetto JSON)"],
         ["metrics", "run an experiment under labeled metrics"],
@@ -110,12 +112,42 @@ def cmd_fig8(args) -> None:
                        title="Figure 8: dual-processor speedup"))
 
 
+def _fault_plan_from_args(args):
+    """A FaultPlan from --fault-plan/--error-rate flags, or None."""
+    plan_path = getattr(args, "fault_plan", None)
+    error_rate = getattr(args, "error_rate", None)
+    if plan_path is None and not error_rate:
+        return None
+    from repro.faults import FaultPlan, uniform_error_plan
+
+    if plan_path is not None:
+        plan = FaultPlan.load(plan_path)
+        if error_rate:
+            plan = FaultPlan(
+                seed=plan.seed,
+                faults=list(plan.faults)
+                + list(uniform_error_plan(error_rate).faults))
+    else:
+        plan = uniform_error_plan(error_rate)
+    seed = getattr(args, "fault_seed", None)
+    if seed is not None:
+        plan = plan.with_seed(seed)
+    return plan
+
+
 def _comm_figure(metric: str, title: str, args) -> None:
     sizes = tuple(args.sizes) if args.sizes else DEFAULT_COMM_SIZES
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics_out", None)
+    plan = _fault_plan_from_args(args)
+    if plan is None:
+        fault_ctx = contextlib.nullcontext()
+    else:
+        from repro.faults import inject
+
+        fault_ctx = inject(plan)
     if trace_path or metrics_path:
-        with observe() as session:
+        with observe() as session, fault_ctx:
             sweep = comm_sweep(metric, sizes=sizes)
         if trace_path:
             write_trace(trace_path, session.tracer)
@@ -126,7 +158,8 @@ def _comm_figure(metric: str, title: str, args) -> None:
             write_metrics_json(metrics_path, session.metrics)
             print(f"wrote {metrics_path}: {len(session.metrics)} series")
     else:
-        sweep = comm_sweep(metric, sizes=sizes)
+        with fault_ctx:
+            sweep = comm_sweep(metric, sizes=sizes)
     series = {system: [metric_value(p, metric) for p in points]
               for system, points in sweep.items()}
     _emit(format_series(series, list(sizes), "bytes", title=title))
@@ -147,6 +180,50 @@ def cmd_fig11(args) -> None:
 
 def cmd_fig12(args) -> None:
     _comm_figure("bidir", "Figure 12: bidirectional bandwidth (MB/s)", args)
+
+
+def cmd_chaos(args) -> None:
+    from repro.faults import FaultPlan, uniform_error_plan
+    from repro.faults.chaos import format_report, run_chaos
+
+    if args.plan:
+        plan = FaultPlan.load(args.plan)
+    elif args.link_error_rate:
+        plan = uniform_error_plan(args.link_error_rate)
+    else:
+        plan = FaultPlan()
+    if args.seed is not None:
+        plan = plan.with_seed(args.seed)
+
+    def run():
+        return run_chaos(plan,
+                         topology=args.topology,
+                         protocol=args.protocol,
+                         flows=args.flows,
+                         messages=args.messages,
+                         nbytes=args.nbytes,
+                         window=args.window,
+                         error_rate=args.error_rate)
+
+    if args.trace or args.metrics_out:
+        with observe() as session:
+            report = run()
+        if args.trace:
+            write_trace(args.trace, session.tracer)
+            print(f"wrote {args.trace}: "
+                  f"{len(session.tracer.finished_spans())} spans, "
+                  f"{len(session.tracer.message_ids())} messages")
+        if args.metrics_out:
+            write_metrics_json(args.metrics_out, session.metrics)
+            print(f"wrote {args.metrics_out}: {len(session.metrics)} series")
+    else:
+        report = run()
+    _emit(format_report(report))
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        print(f"wrote {args.report_out}")
 
 
 def cmd_logp(args) -> None:
@@ -258,6 +335,42 @@ def build_parser() -> argparse.ArgumentParser:
                             "JSON (load in Perfetto / chrome://tracing)")
         p.add_argument("--metrics-out", metavar="FILE", default=None,
                        help="write labeled metrics of the run as JSON")
+        p.add_argument("--error-rate", type=float, default=None,
+                       help="inject uniform link corruption at this "
+                            "probability while measuring")
+        p.add_argument("--fault-plan", metavar="FILE", default=None,
+                       help="run the measurement under this fault plan "
+                            "(JSON; see the chaos subcommand)")
+        p.add_argument("--fault-seed", type=int, default=None,
+                       help="override the fault plan's seed")
+
+    chaos = sub.add_parser(
+        "chaos", help="run a fault-injection experiment from a plan file")
+    chaos.add_argument("--plan", metavar="FILE", default=None,
+                       help="fault plan JSON (seed + fault specs)")
+    chaos.add_argument("--seed", type=int, default=None,
+                       help="override the plan's seed")
+    chaos.add_argument("--topology", choices=("cluster", "manna", "grid"),
+                       default="cluster")
+    chaos.add_argument("--protocol", choices=("sliding", "stopwait"),
+                       default="sliding")
+    chaos.add_argument("--flows", type=int, default=4)
+    chaos.add_argument("--messages", type=int, default=8,
+                       help="messages per flow")
+    chaos.add_argument("--nbytes", type=int, default=1024)
+    chaos.add_argument("--window", type=int, default=8,
+                       help="sliding-window size")
+    chaos.add_argument("--error-rate", type=float, default=0.0,
+                       help="protocol-level corruption probability")
+    chaos.add_argument("--link-error-rate", type=float, default=0.0,
+                       help="shorthand: uniform link_corrupt plan at this "
+                            "probability (ignored when --plan is given)")
+    chaos.add_argument("--trace", metavar="FILE", default=None,
+                       help="write a Perfetto trace of the chaos run")
+    chaos.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write labeled metrics of the run as JSON")
+    chaos.add_argument("--report-out", metavar="FILE", default=None,
+                       help="write the chaos report as JSON")
 
     logp = sub.add_parser("logp", help="LogP parameters")
     logp.add_argument("--nbytes", type=int, default=8)
@@ -293,6 +406,7 @@ _COMMANDS = {
     "fig10": cmd_fig10,
     "fig11": cmd_fig11,
     "fig12": cmd_fig12,
+    "chaos": cmd_chaos,
     "logp": cmd_logp,
     "trace": cmd_trace,
     "metrics": cmd_metrics,

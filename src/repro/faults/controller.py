@@ -1,0 +1,120 @@
+"""Applying scheduled (hard) faults on the simulation timeline.
+
+Stochastic faults are drawn at the injection sites; *scheduled* faults —
+a crossbar output port dying, a node crashing — change persistent state
+and must also be reported to the routing layer so surviving traffic
+reroutes.  The :class:`FaultController` owns that choreography: one
+simulator process per scheduled spec that, at ``at_ns``,
+
+* fails the crossbar output (:meth:`Crossbar.fail_output`), which makes
+  the hardware blackhole wormholes already targeting the dead port, and
+* marks the matching wiring edges failed in every registered
+  :class:`RouteTable`, so the next route computation (triggered by the
+  reliable protocol's retransmission) avoids the port entirely.
+
+Node crashes mark the node's vertices failed (senders get a fast
+``NoRouteError``) and record the node in the engine so receiver pumps
+drop traffic that still reaches it.
+
+The controller is deliberately separate from ``repro.faults.__init__``:
+it imports the topology layer, which itself imports the fault hooks —
+importing it lazily avoids the cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.faults.engine import FaultEngine
+from repro.faults.plan import FaultSpec
+from repro.network.routing import RouteTable
+from repro.network.topology import Fabric, node_key, xbar_key
+from repro.obs import OBS
+from repro.sim.engine import Simulator
+from repro.sim.stats import Counter
+
+
+class FaultController:
+    """Schedules the plan's hard faults against a fabric + route tables."""
+
+    def __init__(self, sim: Simulator, engine: FaultEngine, fabric: Fabric,
+                 route_tables: Sequence[RouteTable] = (),
+                 name: str = "faultctl"):
+        self.sim = sim
+        self.engine = engine
+        self.fabric = fabric
+        self.route_tables: List[RouteTable] = list(route_tables)
+        self.name = name
+        self.stats = Counter(name)
+        self.applied: List[tuple] = []
+        for spec in engine.plan.scheduled:
+            sim.process(self._apply_at(spec))
+
+    def add_route_table(self, routes: RouteTable) -> None:
+        self.route_tables.append(routes)
+
+    def _apply_at(self, spec: FaultSpec):
+        delay = spec.at_ns - self.sim.now
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        if spec.kind == "xbar_port_down":
+            self._fail_xbar_port(spec)
+        elif spec.kind == "node_crash":
+            self._crash_node(spec)
+
+    # -- crossbar port death -----------------------------------------------
+
+    def _fail_xbar_port(self, spec: FaultSpec) -> None:
+        matched = [name for name in self.fabric.crossbars
+                   if spec.matches(name)]
+        if not matched:
+            raise KeyError(
+                f"{self.name}: xbar_port_down site {spec.site!r} matches no "
+                f"crossbar (have {sorted(self.fabric.crossbars)})")
+        for name in matched:
+            self.fabric.crossbars[name].fail_output(spec.port)
+            xkey = xbar_key(name)
+            for succ in list(self.fabric.graph.successors(xkey)):
+                edge = self.fabric.graph.edges[xkey, succ]
+                if edge.get("out_port") != spec.port:
+                    continue
+                for routes in self.route_tables:
+                    routes.mark_edge_failed(xkey, succ)
+            self.engine._record("xbar_port_down", name)
+            self.stats.incr("xbar_ports_failed")
+            self.applied.append(("xbar_port_down", name, spec.port,
+                                 self.sim.now))
+            if OBS.enabled:
+                span = OBS.tracer.begin(
+                    "faults.xbar_port_down", name, self.sim.now,
+                    category="faults", port=spec.port)
+                OBS.tracer.end(span, self.sim.now)
+
+    # -- node crash ---------------------------------------------------------
+
+    def _crash_node(self, spec: FaultSpec) -> None:
+        node = spec.node
+        if node not in self.fabric.node_ids():
+            raise KeyError(f"{self.name}: node_crash for unknown node {node}")
+        self.engine.crash_node(node, self.sim.now)
+        for (node_id, iface) in self.fabric.attachments:
+            if node_id != node:
+                continue
+            vertex = node_key(node_id, iface)
+            for routes in self.route_tables:
+                if vertex in routes.graph:
+                    routes.mark_vertex_failed(vertex)
+        self.stats.incr("nodes_crashed")
+        self.applied.append(("node_crash", node, self.sim.now))
+        if OBS.enabled:
+            OBS.metrics.incr("faults.node_crashes", node=node)
+            span = OBS.tracer.begin(
+                "faults.node_crash", f"n{node}", self.sim.now,
+                category="faults")
+            OBS.tracer.end(span, self.sim.now)
+
+
+def schedule_plan(sim: Simulator, engine: FaultEngine, fabric: Fabric,
+                  route_tables: Iterable[RouteTable]) -> FaultController:
+    """Convenience wrapper used by the chaos harness."""
+    return FaultController(sim, engine, fabric, list(route_tables))

@@ -10,16 +10,26 @@ measurement (:mod:`repro.msg.logp`).
 from repro.msg.api import CommWorld, build_cluster_world
 from repro.msg.logp import LogPParameters, measure_logp
 from repro.msg.mpi import MiniMpi, RankContext
-from repro.msg.reliable import ReliableChannel, ReliableConfig
+from repro.msg.reliable import (
+    Delivery,
+    DeliveryError,
+    ReliableChannel,
+    ReliableConfig,
+)
+from repro.msg.sliding_window import SlidingWindowChannel, SlidingWindowConfig
 from repro.msg.striping import StripedChannel, StripingConfig
 
 __all__ = [
     "CommWorld",
+    "Delivery",
+    "DeliveryError",
     "LogPParameters",
     "MiniMpi",
     "RankContext",
     "ReliableChannel",
     "ReliableConfig",
+    "SlidingWindowChannel",
+    "SlidingWindowConfig",
     "StripedChannel",
     "StripingConfig",
     "build_cluster_world",

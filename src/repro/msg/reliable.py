@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.msg.api import CommWorld
 from repro.obs import OBS
@@ -34,6 +34,9 @@ class ReliableConfig:
     Attributes:
         error_rate: probability a transmission is corrupted on the wire
             (detected by CRC at the receiver and discarded).
+        ack_error_rate: probability an *acknowledgement* is corrupted;
+            ``None`` mirrors ``error_rate``.  A lost ack forces a
+            retransmission the receiver must suppress as a duplicate.
         ack_bytes: size of an acknowledgement message.
         retry_timeout_ns: sender timeout before retransmission.
         max_retries: give-up bound (raises DeliveryError beyond it).
@@ -41,6 +44,7 @@ class ReliableConfig:
     """
 
     error_rate: float = 0.0
+    ack_error_rate: Optional[float] = None
     ack_bytes: int = 8
     retry_timeout_ns: float = 60_000.0
     max_retries: int = 25
@@ -49,10 +53,18 @@ class ReliableConfig:
     def __post_init__(self):
         if not 0.0 <= self.error_rate < 1.0:
             raise ValueError("error rate must be in [0, 1)")
+        if self.ack_error_rate is not None and not (
+                0.0 <= self.ack_error_rate < 1.0):
+            raise ValueError("ack error rate must be in [0, 1)")
         if self.retry_timeout_ns <= 0:
             raise ValueError("retry timeout must be positive")
         if self.max_retries < 1:
             raise ValueError("need at least one retry")
+
+    @property
+    def effective_ack_error_rate(self) -> float:
+        return (self.error_rate if self.ack_error_rate is None
+                else self.ack_error_rate)
 
 
 class DeliveryError(RuntimeError):
@@ -78,6 +90,9 @@ class ReliableChannel:
         self.sim: Simulator = world.sim
         self.config = config
         self._rng = random.Random(config.seed)
+        # A separate stream for acks, so turning ack corruption on does
+        # not perturb the forward-path fault sequence of a given seed.
+        self._ack_rng = random.Random(config.seed ^ 0x5DEECE66D)
         self.stats = Counter("reliable")
         # Per node: application-facing delivery queue + ack wakeups.
         self._deliveries: Dict[int, FifoStore] = {}
@@ -157,6 +172,14 @@ class ReliableChannel:
                 raise SimulationError(
                     f"node {node}: non-protocol message on a reliable plane")
             if meta["kind"] == "ack":
+                if meta.get("corrupt") or not message.crc_ok:
+                    # A corrupted ack is dropped by CRC like any other
+                    # message; the sender retransmits and the receiver's
+                    # duplicate suppression absorbs the replay.
+                    self.stats.incr("acks_discarded")
+                    if OBS.enabled:
+                        OBS.metrics.incr("reliable.acks_discarded")
+                    continue
                 event = self._ack_events.pop(
                     (meta["src"], meta["dst"], meta["seq"]), None)
                 # A late/duplicate ack for an already-satisfied send is
@@ -166,7 +189,7 @@ class ReliableChannel:
                 continue
 
             # Data message.
-            if meta["corrupt"]:
+            if meta["corrupt"] or not message.crc_ok:
                 # The CRC flags it; the receiver discards silently and the
                 # sender's timeout drives the retransmission.
                 self.stats.incr("discarded")
@@ -188,13 +211,18 @@ class ReliableChannel:
                 # Duplicate of an already-delivered message (our ack was
                 # lost or late): re-ack, do not re-deliver.
                 self.stats.incr("duplicates")
+            ack_corrupt = (self._ack_rng.random()
+                           < self.config.effective_ack_error_rate)
             ack_tag = {"rel": {"kind": "ack", "seq": sequence, "src": src,
-                               "dst": node}}
+                               "dst": node, "corrupt": ack_corrupt}}
             ack = self.world.make_message(node, src, self.config.ack_bytes,
                                           tag=ack_tag)
-            # Fire-and-forget: acks themselves are not corrupted in this
-            # model (they are tiny; extending the injector to cover them
-            # only adds duplicate traffic the protocol already tolerates).
+            self.stats.incr("acks_sent")
+            if ack_corrupt:
+                self.stats.incr("acks_corrupted")
+                if OBS.enabled:
+                    OBS.metrics.incr("reliable.acks_corrupted")
+            # Fire-and-forget: the sender's timeout covers a lost ack.
             self.sim.process(
                 self.world.endpoint(node).driver.send_message(ack))
 

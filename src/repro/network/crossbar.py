@@ -15,8 +15,9 @@ Figure 5.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Set
 
+from repro.faults import FAULTS
 from repro.network.link import ByteFifo, Link
 from repro.network.message import Flit, FlitKind
 from repro.obs import OBS
@@ -36,12 +37,19 @@ class CrossbarConfig:
         route_setup_ns: collision-free through-routing time — "if there are
             no collisions, this through-routing takes only 0.2 microseconds".
         forward_ns: per-flit pass-through latency once the wormhole is open.
+        teardown_ns: watchdog on an open wormhole — when no flit arrives
+            for this long the connection is torn down and the input
+            resynchronises on the next route command.  Only armed under
+            fault injection; without it, killing an upstream port mid-
+            wormhole would leave the downstream connection (and its output
+            arbiter) held forever, wedging all traffic behind it.
     """
 
     ports: int = 16
     input_fifo_bytes: int = 64
     route_setup_ns: float = 200.0
     forward_ns: float = 16.7  # one 60 MHz cycle through the switch core
+    teardown_ns: float = 500_000.0
 
     def __post_init__(self):
         if self.ports < 2:
@@ -50,6 +58,8 @@ class CrossbarConfig:
             raise ValueError("input FIFO must hold at least one word")
         if self.route_setup_ns < 0 or self.forward_ns < 0:
             raise ValueError("timing parameters must be nonnegative")
+        if self.teardown_ns <= 0:
+            raise ValueError("the wormhole watchdog must be positive")
 
 
 class RoutingError(RuntimeError):
@@ -75,6 +85,7 @@ class Crossbar:
             Resource(sim, capacity=1, name=f"{name}.out{i}")
             for i in range(config.ports)
         ]
+        self._failed_outputs: Set[int] = set()
         self.stats = Counter(name)
         for i in range(config.ports):
             sim.process(self._input_channel(i))
@@ -87,6 +98,25 @@ class Crossbar:
         if self.output_links[port] is not None:
             raise ValueError(f"{self.name} output {port} already wired")
         self.output_links[port] = link
+
+    def fail_output(self, port: int) -> None:
+        """Hard-fail an output channel (fault injection).
+
+        Connections routed to a failed output are *black-holed*: the
+        crossbar keeps consuming the wormhole's flits (so upstream traffic
+        is not wedged behind them) but forwards nothing.  Recovery is the
+        software's job — end-to-end retransmission plus rerouting once the
+        route table learns of the failure.
+        """
+        self._check_port(port)
+        self._failed_outputs.add(port)
+        self.stats.incr("failed_outputs")
+        if OBS.enabled:
+            OBS.metrics.incr("faults.xbar_ports_down", xbar=self.name)
+
+    def output_failed(self, port: int) -> bool:
+        self._check_port(port)
+        return port in self._failed_outputs
 
     def input_fifo(self, port: int) -> ByteFifo:
         """The FIFO an incoming link should deliver into."""
@@ -102,15 +132,28 @@ class Crossbar:
 
     def _input_channel(self, port: int):
         fifo = self.inputs[port]
+        resync = False
         while True:
             flit = yield fifo.get()
             if flit.kind != FlitKind.ROUTE:
+                if resync:
+                    # Straggler flits of a torn-down wormhole: discard
+                    # until the next connection start.
+                    self.stats.incr("resync_discarded")
+                    continue
                 raise RoutingError(
                     f"{self.name} input {port}: expected a route command at "
                     f"connection start, got {flit.kind} "
                     f"(message {flit.message_id})")
+            resync = False
             out_port = flit.route_port
             self._check_route(port, out_port, flit)
+            if out_port in self._failed_outputs:
+                # Dead output: swallow the whole wormhole so traffic queued
+                # behind it on this input still progresses.
+                resync = yield from self._blackhole(port, out_port,
+                                                    flit.message_id)
+                continue
             arbiter = self._output_arbiters[out_port]
             arb_span = 0
             if OBS.enabled:
@@ -139,9 +182,23 @@ class Crossbar:
                     category="network", message=flit.message_id,
                     in_port=port, out_port=out_port)
             link = self.output_links[out_port]
+            message_id = flit.message_id
             try:
                 while True:
-                    flit = yield fifo.get()
+                    flit = yield from self._guarded_get(fifo)
+                    if flit is None:
+                        # Watchdog: the upstream of this wormhole died (a
+                        # failed port blackholed its tail); tear down the
+                        # connection instead of holding the output forever.
+                        self._note_teardown(port, out_port, message_id)
+                        resync = True
+                        break
+                    if out_port in self._failed_outputs:
+                        # Port died mid-wormhole: drain the rest unsent.
+                        resync = yield from self._blackhole(port, out_port,
+                                                            flit.message_id,
+                                                            first=flit)
+                        break
                     yield self.sim.timeout(self.config.forward_ns)
                     yield link.send(flit)
                     self.stats.incr("forwarded_bytes", flit.nbytes)
@@ -150,9 +207,58 @@ class Crossbar:
             finally:
                 arbiter.release()
                 self.tracer.record(self.sim.now, self.name, "close",
-                                   (port, out_port, flit.message_id))
+                                   (port, out_port, message_id))
                 if OBS.enabled:
                     OBS.tracer.end(fwd_span, self.sim.now)
+
+    def _guarded_get(self, fifo: ByteFifo):
+        """Next flit of an open wormhole, or None if the watchdog fires.
+
+        The watchdog is only armed under fault injection, and only when
+        the input is actually idle — a buffered flit resumes immediately
+        with no timer event.
+        """
+        get_event = fifo.get()
+        if not FAULTS.enabled or get_event.triggered:
+            flit = yield get_event
+            return flit
+        timer = self.sim.timeout(self.config.teardown_ns)
+        fired = yield self.sim.any_of([get_event, timer])
+        if get_event in fired:
+            return fired[get_event]
+        if get_event.triggered:
+            # The flit raced the watchdog at the same instant; take it.
+            return get_event.value
+        fifo.cancel_get(get_event)
+        return None
+
+    def _note_teardown(self, in_port: int, out_port: int,
+                       message_id: int) -> None:
+        self.stats.incr("torn_down")
+        self.tracer.record(self.sim.now, self.name, "teardown",
+                           (in_port, out_port, message_id))
+        if OBS.enabled:
+            OBS.metrics.incr("faults.wormhole_teardowns", xbar=self.name)
+
+    def _blackhole(self, in_port: int, out_port: int, message_id: int,
+                   first: Optional[Flit] = None):
+        """Consume a wormhole's flits up to CLOSE without forwarding.
+
+        Returns True when the watchdog ended the drain (the upstream died
+        before sending CLOSE), in which case the caller must resync.
+        """
+        self.stats.incr("blackholed")
+        self.tracer.record(self.sim.now, self.name, "blackhole",
+                           (in_port, out_port, message_id))
+        if OBS.enabled:
+            OBS.metrics.incr("faults.blackholed", xbar=self.name)
+        flit = first
+        while flit is None or flit.kind != FlitKind.CLOSE:
+            flit = yield from self._guarded_get(self.inputs[in_port])
+            if flit is None:
+                self._note_teardown(in_port, out_port, message_id)
+                return True
+        return False
 
     def _check_route(self, in_port: int, out_port: Optional[int],
                      flit: Flit) -> None:

@@ -13,6 +13,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional
 
+from repro.faults import FAULTS
 from repro.network.message import Flit, FlitKind
 from repro.obs import OBS
 from repro.sim.clock import Clock
@@ -70,6 +71,15 @@ class ByteFifo:
         self._getters.append(event)
         self._settle()
         return event
+
+    def cancel_get(self, event: Event) -> bool:
+        """Withdraw a pending getter (used by watchdog teardowns), so an
+        abandoned get event cannot silently swallow a later flit."""
+        try:
+            self._getters.remove(event)
+            return True
+        except ValueError:
+            return False
 
     def try_put(self, flit: Flit) -> bool:
         """Non-blocking put; returns False when the flit does not fit."""
@@ -198,6 +208,26 @@ class Link:
             wait = arrival - self.sim.now
             if wait > 0:
                 yield self.sim.timeout(wait)
+            if FAULTS.enabled:
+                # A dropped DATA flit shortens the payload; the receiving
+                # driver flags the message as corrupt (the CRC covers the
+                # whole message, so a hole fails the check like a flip).
+                if flit.kind == FlitKind.DATA and FAULTS.engine.fires(
+                        "flit_drop", self.name, self.sim.now):
+                    self.stats.incr("dropped_flits")
+                    if OBS.enabled:
+                        OBS.metrics.incr("faults.dropped_flits",
+                                         link=self.name)
+                    continue
+                # Bit-error bursts: one corruption draw per message per
+                # link, taken as the message's tail crosses.
+                if flit.kind == FlitKind.CLOSE and FAULTS.engine.fires(
+                        "link_corrupt", self.name, self.sim.now):
+                    FAULTS.engine.mark_corrupt(flit.message_id)
+                    self.stats.incr("corrupted_messages")
+                    if OBS.enabled:
+                        OBS.metrics.incr("faults.corrupted_messages",
+                                         link=self.name)
             # Blocking here *is* the stop signal: the wire stalls until the
             # receiver FIFO has room for the flit.
             yield self.rx.put(flit)

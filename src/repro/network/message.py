@@ -67,6 +67,9 @@ class Message:
         route: output-channel bytes, one per crossbar on the path.
         message_id: unique id (auto-assigned).
         sent_at / delivered_at: filled by the NI / driver models.
+        crc_ok: set False by the receiving link interface when the CRC
+            check failed (injected in-flight corruption); the reliable
+            protocols discard such deliveries and retransmit.
     """
 
     source: int
@@ -77,6 +80,7 @@ class Message:
     sent_at: Optional[float] = None
     delivered_at: Optional[float] = None
     tag: Optional[object] = None
+    crc_ok: bool = True
 
     def __post_init__(self):
         if self.payload_bytes < 0:

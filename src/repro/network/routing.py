@@ -8,7 +8,7 @@ crossbar on the path, each naming that crossbar's output channel.  The
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Set, Tuple
 
 import networkx as nx
 
@@ -23,11 +23,22 @@ class RouteTable:
     Graph vertices are component keys (crossbars and node interfaces);
     every directed edge leaving a crossbar carries the ``out_port``
     attribute naming the output channel used.
+
+    Fault awareness: failed edges/vertices are tracked *here* — callers
+    report failures through :meth:`mark_edge_failed` /
+    :meth:`mark_vertex_failed` rather than mutating the shared wiring
+    graph — and every path computation avoids them, so marking a failure
+    immediately reroutes all traffic that still has a surviving path.
     """
 
     def __init__(self, graph: nx.DiGraph):
         self.graph = graph
         self._cache: Dict[Tuple[Hashable, Hashable], List[int]] = {}
+        self._failed_edges: Set[Tuple[Hashable, Hashable]] = set()
+        self._failed_vertices: Set[Hashable] = set()
+        #: Bumped on every invalidation; protocols compare it to detect
+        #: that routes may have moved under them.
+        self.version = 0
 
     def route_bytes(self, src: Hashable, dst: Hashable) -> List[int]:
         """Route-command bytes for a message from ``src`` to ``dst``.
@@ -60,9 +71,12 @@ class RouteTable:
         """
 
         def allowed(vertex: Hashable) -> bool:
+            if vertex in self._failed_vertices:
+                return False
             return self._is_crossbar(vertex) or vertex in (src, dst)
 
-        view = nx.subgraph_view(self.graph, filter_node=allowed)
+        view = nx.subgraph_view(self.graph, filter_node=allowed,
+                                filter_edge=self._edge_alive)
         try:
             return nx.shortest_path(view, src, dst)
         except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
@@ -87,9 +101,10 @@ class RouteTable:
         crossbars = {v for v in self.graph.nodes if self._is_crossbar(v)}
         endpoint_set = set(endpoints)
         for src in endpoints:
-            allowed = crossbars | endpoint_set
+            allowed = (crossbars | endpoint_set) - self._failed_vertices
             view = nx.subgraph_view(self.graph,
-                                    filter_node=lambda v: v in allowed or v == src)
+                                    filter_node=lambda v: v in allowed or v == src,
+                                    filter_edge=self._edge_alive)
             paths = nx.single_source_shortest_path(view, src)
             for dst in endpoints:
                 if dst == src:
@@ -120,5 +135,41 @@ class RouteTable:
     def _is_crossbar(key: Hashable) -> bool:
         return isinstance(key, tuple) and len(key) >= 1 and key[0] == "xbar"
 
+    # -- failure reporting -------------------------------------------------
+
+    def _edge_alive(self, u: Hashable, v: Hashable) -> bool:
+        return (u, v) not in self._failed_edges
+
+    def mark_edge_failed(self, u: Hashable, v: Hashable) -> None:
+        """Report a directed wiring edge as dead; future routes avoid it."""
+        if not self.graph.has_edge(u, v):
+            raise KeyError(f"no wiring edge {u} -> {v} to fail")
+        self._failed_edges.add((u, v))
+        self.invalidate()
+
+    def mark_vertex_failed(self, vertex: Hashable) -> None:
+        """Report a component (crossbar or endpoint) as dead."""
+        if vertex not in self.graph:
+            raise KeyError(f"no wiring vertex {vertex} to fail")
+        self._failed_vertices.add(vertex)
+        self.invalidate()
+
+    def clear_failures(self) -> None:
+        """Forget all reported failures (component repaired/replaced)."""
+        self._failed_edges.clear()
+        self._failed_vertices.clear()
+        self.invalidate()
+
+    @property
+    def failed_edges(self) -> Set[Tuple[Hashable, Hashable]]:
+        return set(self._failed_edges)
+
+    @property
+    def failed_vertices(self) -> Set[Hashable]:
+        return set(self._failed_vertices)
+
     def invalidate(self) -> None:
+        """Drop cached routes (and bump :attr:`version`) so the next
+        :meth:`route_bytes` recomputes against current failure state."""
         self._cache.clear()
+        self.version += 1

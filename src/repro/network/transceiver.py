@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faults import FAULTS
 from repro.network.link import ByteFifo, Link, LinkConfig
 from repro.network.message import FlitKind
 from repro.obs import OBS
@@ -72,6 +73,17 @@ def make_async_link(sim: Simulator, link_config: LinkConfig,
                 relay_span = OBS.tracer.begin(
                     "xcvr.relay", name, sim.now, category="network",
                     message=flit.message_id)
+            if FAULTS.enabled:
+                # Transceiver stall: the clock-domain crossing hiccups and
+                # the relay pauses; upstream backpressure absorbs it in
+                # the 2-KB FIFO exactly as the stop signal would.
+                stall = FAULTS.engine.stall_ns("xcvr_stall", name, sim.now)
+                if stall > 0:
+                    if OBS.enabled:
+                        OBS.metrics.incr("faults.xcvr_stalls", xcvr=name)
+                        OBS.metrics.observe("faults.xcvr_stall_ns", stall,
+                                            xcvr=name)
+                    yield sim.timeout(stall)
             yield sim.timeout(cfg.serialize_ns(flit.nbytes))
             yield rx.put(flit)
             if flit.kind == FlitKind.CLOSE:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.faults import FAULTS
 from repro.network.message import Flit, FlitKind, Message, build_wire_format
 from repro.ni.interface import LinkInterface
 from repro.obs import OBS
@@ -118,6 +119,8 @@ class PioDriver:
                     message=message.message_id)
             self.registry[message.message_id] = message
             self.ni.register_crc(message)
+            if FAULTS.enabled:
+                yield from self._maybe_hang()
             yield self.sim.timeout(self.config.send_setup_ns)
 
             flits = build_wire_format(message)
@@ -141,6 +144,15 @@ class PioDriver:
             return message
         finally:
             self._send_lock.release()
+
+    def _maybe_hang(self):
+        """Fault hook: the CPU running the driver stalls mid-operation."""
+        stall = FAULTS.engine.stall_ns("node_hang", self.name, self.sim.now)
+        if stall > 0:
+            self.stats.incr("hangs")
+            if OBS.enabled:
+                OBS.metrics.incr("faults.driver_hangs", driver=self.name)
+            yield self.sim.timeout(stall)
 
     # -- unidirectional receive ------------------------------------------------
 
@@ -180,17 +192,31 @@ class PioDriver:
         tail_copy = max(0.0, copy_done - self.sim.now)
         if tail_copy:
             yield self.sim.timeout(tail_copy)
+        if FAULTS.enabled:
+            yield from self._maybe_hang()
         yield self.sim.timeout(self.config.recv_dispatch_ns)
 
         message = self.registry.get(flit.message_id)
         if message is None:
             raise KeyError(
                 f"{self.name}: received unknown message id {flit.message_id}")
+        message.crc_ok = True
         if payload != message.payload_bytes:
-            raise AssertionError(
-                f"{self.name}: message {message.message_id} carried {payload} "
-                f"payload bytes, expected {message.payload_bytes}")
-        self.ni.check_crc(message)
+            if FAULTS.enabled:
+                # A flit was dropped in flight: the payload is short, so
+                # the CRC over the full message cannot match.  Deliver as
+                # corrupt and let the reliable protocol retransmit.
+                self.stats.incr("short_messages")
+                self.ni.stats.incr("crc_errors")
+                if OBS.enabled:
+                    OBS.metrics.incr("ni.crc_errors", ni=self.ni.name)
+                message.crc_ok = False
+            else:
+                raise AssertionError(
+                    f"{self.name}: message {message.message_id} carried "
+                    f"{payload} payload bytes, expected {message.payload_bytes}")
+        elif not self.ni.check_crc(message):
+            message.crc_ok = False
         message.delivered_at = self.sim.now
         self.stats.incr("received")
         self.stats.incr("received_bytes", payload)
@@ -289,7 +315,7 @@ class PioDriver:
                 f"{self.name}: inbound {inbound.message_id} carried "
                 f"{in_payload} B, expected {inbound.payload_bytes}")
         yield self.sim.timeout(cfg.recv_dispatch_ns)
-        self.ni.check_crc(inbound)
+        inbound.crc_ok = self.ni.check_crc(inbound)
         inbound.delivered_at = self.sim.now
         self.stats.incr("exchanges")
         if OBS.enabled:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.faults import FAULTS
 from repro.network.link import ByteFifo, Link
 from repro.network.message import Flit, FlitKind, Message, build_wire_format
 from repro.ni.crc import message_checksum
@@ -103,6 +104,15 @@ class LinkInterface:
                 inject_span = OBS.tracer.begin(
                     "ni.inject", self.name, self.sim.now, category="ni",
                     message=flit.message_id)
+            if (FAULTS.enabled and flit.kind == FlitKind.DATA
+                    and FAULTS.engine.fires("ni_drop", self.name,
+                                            self.sim.now)):
+                # Send-FIFO overflow: a word is lost before it reaches the
+                # wire.  The receiver sees a short payload and fails CRC.
+                self.stats.incr("dropped_flits")
+                if OBS.enabled:
+                    OBS.metrics.incr("faults.ni_dropped_flits", ni=self.name)
+                continue
             yield self.tx_link.send(flit)
             self.stats.incr("tx_bytes", flit.nbytes)
             if flit.kind == FlitKind.CLOSE:
@@ -122,8 +132,21 @@ class LinkInterface:
         """CPU loads one flit from the receive FIFO."""
         return self.rx_fifo.get()
 
-    def check_crc(self, message: Message) -> None:
-        """Validate the received message's CRC (raises on corruption)."""
+    def check_crc(self, message: Message) -> bool:
+        """Validate the received message's CRC.
+
+        Injected in-flight corruption (the fault engine marked the
+        message) is reported by returning ``False`` — the hardware flags
+        the error in a status register and software decides what to do.
+        A stamped-CRC mismatch (tests forging ``message.tag['crc']``)
+        still raises :class:`CrcError`, as a protocol violation would.
+        """
+        if FAULTS.enabled and FAULTS.engine.consume_corrupt(
+                message.message_id):
+            self.stats.incr("crc_errors")
+            if OBS.enabled:
+                OBS.metrics.incr("ni.crc_errors", ni=self.name)
+            return False
         expected = message_checksum(message.message_id, message.payload_bytes,
                                     message.source, message.dest)
         stamped = self._lookup_remote_crc(message)
@@ -135,6 +158,7 @@ class LinkInterface:
                 f"{self.name}: CRC mismatch on message {message.message_id}: "
                 f"stamped {stamped:#010x}, computed {expected:#010x}")
         self.stats.incr("crc_checked")
+        return True
 
     def _lookup_remote_crc(self, message: Message) -> Optional[int]:
         # In hardware the CRC travels with the message; the simulator keeps

@@ -18,6 +18,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.faults import FAULTS
 from repro.memory.dram import InterleavedDram
 from repro.memory.snoop import AddressPhaseSequencer, SnoopConfig
 from repro.node.adsp import AdspSwitch
@@ -117,6 +118,17 @@ class Dispatcher:
             txn_span = OBS.tracer.begin(
                 "bus.txn", self.name, self.sim.now, category="node",
                 kind=txn.kind.value, master=txn.master, tag=txn.tag)
+        if FAULTS.enabled:
+            # Node hang: the protocol engine freezes before arbitration —
+            # every master on this node sees the stall.
+            stall = FAULTS.engine.stall_ns("node_hang", self.name,
+                                           self.sim.now)
+            if stall > 0:
+                self.stats.incr("hangs")
+                if OBS.enabled:
+                    OBS.metrics.incr("faults.dispatcher_hangs",
+                                     dispatcher=self.name)
+                yield self.sim.timeout(stall)
         # 1. Address phase: serialised across all masters (snoop protocol).
         #    The sequencer's conservative-time accounting composes with the
         #    event-driven world through a plain timeout to its grant.

@@ -1,0 +1,143 @@
+"""End-to-end chaos harness tests: injection, recovery, rerouting."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.faults.chaos import (
+    build_chaos_world,
+    default_flows,
+    format_report,
+    run_chaos,
+)
+from repro.network.routing import NoRouteError
+from repro.network.topology import node_key
+
+
+class TestHarnessBasics:
+    def test_fault_free_run_delivers_everything(self):
+        report = run_chaos(FaultPlan(seed=1), topology="cluster",
+                           flows=4, messages=4, nbytes=512)
+        assert report.delivered == report.total_messages == 16
+        assert report.undelivered == 0
+        assert report.goodput_mb_s > 0
+        assert report.fault_stats == {}
+        assert report.channel_stats.get("retransmissions", 0) == 0
+
+    def test_stopwait_protocol_path(self):
+        report = run_chaos(FaultPlan(seed=1), topology="cluster",
+                           protocol="stopwait", flows=2, messages=4)
+        assert report.protocol == "stopwait"
+        assert report.undelivered == 0
+
+    def test_unknown_topology_and_protocol(self):
+        with pytest.raises(ValueError):
+            run_chaos(FaultPlan(), topology="torus")
+        with pytest.raises(ValueError):
+            run_chaos(FaultPlan(), protocol="carrier-pigeon")
+
+    def test_report_round_trips_to_json(self):
+        report = run_chaos(FaultPlan(seed=2), flows=2, messages=2)
+        payload = report.to_dict()
+        assert payload["delivered"] == report.delivered
+        assert format_report(report).startswith("chaos run:")
+
+    def test_default_flows_are_reachable(self):
+        for topology in ("cluster", "manna", "grid"):
+            _, world = build_chaos_world(topology)
+            pairs = default_flows(world, 6)
+            assert len(pairs) == 6
+            for src, dst in pairs:
+                world.routes.path(node_key(src, world.plane),
+                                  node_key(dst, world.plane))
+
+
+class TestDeterminism:
+    def test_same_plan_same_seed_identical_report(self):
+        plan = FaultPlan(seed=7, faults=[
+            FaultSpec(kind="link_corrupt", probability=0.05),
+            FaultSpec(kind="flit_drop", probability=0.001),
+        ])
+        first = run_chaos(plan, flows=4, messages=4)
+        second = run_chaos(plan, flows=4, messages=4)
+        assert first.to_dict() == second.to_dict()
+
+    def test_seed_changes_outcome(self):
+        def run(seed):
+            plan = FaultPlan(seed=seed, faults=[
+                FaultSpec(kind="link_corrupt", probability=0.2)])
+            return run_chaos(plan, flows=2, messages=6).to_dict()
+
+        assert run(1) != run(2)
+
+
+class TestStochasticRecovery:
+    def test_corruption_recovers_with_zero_undelivered(self):
+        plan = FaultPlan(seed=7, faults=[
+            FaultSpec(kind="link_corrupt", probability=0.1)])
+        report = run_chaos(plan, flows=4, messages=4)
+        assert report.undelivered == 0
+        assert report.channel_stats["retransmissions"] > 0
+        assert report.fault_stats["link_corrupt"] > 0
+
+    def test_transceiver_stalls_slow_but_deliver(self):
+        # Transceivers only sit on inter-crossbar cables, so this needs
+        # the multi-crossbar manna topology (the cluster has none).
+        clean = run_chaos(FaultPlan(seed=5), topology="manna",
+                          flows=2, messages=4)
+        plan = FaultPlan(seed=5, faults=[
+            FaultSpec(kind="xcvr_stall", probability=0.2,
+                      stall_ns=20_000.0)])
+        stalled = run_chaos(plan, topology="manna", flows=2, messages=4)
+        assert stalled.undelivered == 0
+        assert stalled.fault_stats["xcvr_stall"] > 0
+        assert stalled.duration_ns > clean.duration_ns
+
+
+class TestScheduledFaults:
+    def test_port_kill_reroutes_and_completes(self):
+        """Killing a spine-facing crossbar port mid-run must reroute the
+        affected flows over a surviving spine and still deliver all."""
+        plan = FaultPlan(seed=3, faults=[
+            FaultSpec(kind="xbar_port_down", site="c0.plane0", port=4,
+                      at_ns=100_000.0)])
+        report = run_chaos(plan, topology="manna", flows=4, messages=6)
+        assert report.undelivered == 0
+        assert report.channel_stats["reroutes"] > 0
+        assert report.applied == [
+            ("xbar_port_down", "c0.plane0", 4, 100_000.0)]
+
+    def test_node_crash_fails_its_flows_fast(self):
+        """A crashed destination cannot be delivered to; its flows must
+        fail with NoRouteError-driven DeliveryErrors, not hang."""
+        _, world = build_chaos_world("cluster")
+        pairs = default_flows(world, 4)
+        victim = pairs[0][1]
+        plan = FaultPlan(seed=9, faults=[
+            FaultSpec(kind="node_crash", node=victim, at_ns=0.0)])
+        report = run_chaos(plan, topology="cluster", flows=4, messages=2)
+        assert report.undelivered > 0
+        assert report.failures
+        # Flows not involving the victim still complete.
+        untouched = sum(1 for src, dst in report.flows
+                        if victim not in (src, dst))
+        assert report.delivered >= untouched * report.messages_per_flow
+
+    def test_bad_site_raises(self):
+        plan = FaultPlan(seed=1, faults=[
+            FaultSpec(kind="xbar_port_down", site="nonesuch", port=0,
+                      at_ns=10.0)])
+        with pytest.raises(KeyError):
+            run_chaos(plan, flows=1, messages=1)
+
+
+class TestGridTopology:
+    def test_grid_plane_skips_cross_row_pairs(self):
+        _, world = build_chaos_world("grid")
+        nodes = world.fabric.node_ids()
+        with pytest.raises(NoRouteError):
+            # Row 0 and row 1 share no plane-0 crossbar in the 2x2 grid.
+            world.routes.path(node_key(nodes[0], world.plane),
+                              node_key(nodes[-1], world.plane))
+        report = run_chaos(FaultPlan(seed=4), topology="grid",
+                           flows=4, messages=2)
+        assert report.undelivered == 0

@@ -1,0 +1,125 @@
+"""Tests for the fault engine: determinism, state, the FAULTS guard."""
+
+from repro.faults import (
+    FAULTS,
+    FaultEngine,
+    FaultPlan,
+    FaultSpec,
+    inject,
+)
+
+
+def draw_sequence(engine, site, n=64, kind="flit_drop", now=0.0):
+    return [engine.fires(kind, site, now) is not None for _ in range(n)]
+
+
+def make_plan(probability=0.3, **kwargs):
+    return FaultPlan(seed=kwargs.pop("seed", 11), faults=[
+        FaultSpec(kind="flit_drop", probability=probability, **kwargs)])
+
+
+class TestDeterminism:
+    def test_same_plan_same_draws(self):
+        a = FaultEngine(make_plan())
+        b = FaultEngine(make_plan())
+        assert draw_sequence(a, "link.x") == draw_sequence(b, "link.x")
+
+    def test_sites_have_independent_streams(self):
+        """Interleaving queries for other sites must not perturb a site's
+        own decision sequence — the order-independence the chaos CI job
+        relies on."""
+        alone = FaultEngine(make_plan())
+        expected = draw_sequence(alone, "link.x")
+
+        mixed = FaultEngine(make_plan())
+        got = []
+        for _ in range(64):
+            mixed.fires("flit_drop", "link.other", 0.0)
+            got.append(mixed.fires("flit_drop", "link.x", 0.0) is not None)
+        assert got == expected
+
+    def test_seed_changes_draws(self):
+        a = FaultEngine(make_plan(seed=1))
+        b = FaultEngine(make_plan(seed=2))
+        assert draw_sequence(a, "link.x") != draw_sequence(b, "link.x")
+
+
+class TestGating:
+    def test_unmatched_site_never_fires(self):
+        engine = FaultEngine(make_plan(probability=1.0, site="*spine*"))
+        assert engine.fires("flit_drop", "cluster.link", 0.0) is None
+        assert engine.fires("flit_drop", "spine0.link", 0.0) is not None
+
+    def test_window_gates_firing(self):
+        engine = FaultEngine(make_plan(probability=1.0, start_ns=100.0,
+                                       end_ns=200.0))
+        assert engine.fires("flit_drop", "l", 50.0) is None
+        assert engine.fires("flit_drop", "l", 150.0) is not None
+        assert engine.fires("flit_drop", "l", 250.0) is None
+
+    def test_unused_kind_is_cheap_none(self):
+        engine = FaultEngine(make_plan())
+        assert engine.fires("node_hang", "cpu0", 0.0) is None
+
+    def test_stall_ns(self):
+        plan = FaultPlan(seed=1, faults=[
+            FaultSpec(kind="xcvr_stall", probability=1.0, stall_ns=123.0)])
+        engine = FaultEngine(plan)
+        assert engine.stall_ns("xcvr_stall", "x", 0.0) == 123.0
+        assert engine.stall_ns("node_hang", "x", 0.0) == 0.0
+
+
+class TestCrossLayerState:
+    def test_corruption_consumed_once(self):
+        engine = FaultEngine(FaultPlan())
+        engine.mark_corrupt(42)
+        assert engine.consume_corrupt(42)
+        assert not engine.consume_corrupt(42)
+        assert not engine.consume_corrupt(7)
+
+    def test_node_crash_state(self):
+        engine = FaultEngine(FaultPlan())
+        assert not engine.node_down(3)
+        engine.crash_node(3, 1_000.0)
+        assert engine.node_down(3)
+        assert engine.crashed_nodes() == {3: 1_000.0}
+        engine.crash_node(3, 2_000.0)  # idempotent, keeps first time
+        assert engine.crashed_nodes() == {3: 1_000.0}
+
+    def test_stats_count_fires(self):
+        engine = FaultEngine(make_plan(probability=1.0))
+        engine.fires("flit_drop", "l", 0.0)
+        engine.fires("flit_drop", "l", 0.0)
+        assert engine.stats["flit_drop"] == 2
+
+
+class TestInjectGuard:
+    def test_disabled_by_default(self):
+        assert not FAULTS.enabled
+        assert FAULTS.engine is None
+
+    def test_inject_scopes_activation(self):
+        plan = make_plan()
+        with inject(plan) as engine:
+            assert FAULTS.enabled
+            assert FAULTS.engine is engine
+            assert isinstance(engine, FaultEngine)
+        assert not FAULTS.enabled
+        assert FAULTS.engine is None
+
+    def test_inject_accepts_engine_and_nests(self):
+        outer = FaultEngine(make_plan(seed=1))
+        inner = FaultEngine(make_plan(seed=2))
+        with inject(outer):
+            with inject(inner):
+                assert FAULTS.engine is inner
+            assert FAULTS.engine is outer
+        assert not FAULTS.enabled
+
+    def test_restores_even_on_error(self):
+        try:
+            with inject(make_plan()):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not FAULTS.enabled

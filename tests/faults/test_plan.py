@@ -1,0 +1,116 @@
+"""Tests for fault plans: validation, serialisation, site matching."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    uniform_error_plan,
+)
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="gamma_ray")
+
+    def test_probability_bounds(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="link_corrupt", probability=1.5)
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="flit_drop", probability=-0.1)
+
+    def test_window_must_be_ordered(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="link_corrupt", probability=0.1,
+                      start_ns=100.0, end_ns=50.0)
+
+    def test_scheduled_needs_at_ns(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="node_crash", node=3)
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="xbar_port_down", port=1, at_ns=-5.0)
+
+    def test_port_and_node_required(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="xbar_port_down", at_ns=10.0)
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="node_crash", at_ns=10.0)
+
+    def test_site_glob_matching(self):
+        spec = FaultSpec(kind="xcvr_stall", site="*row0*", probability=0.5)
+        assert spec.matches("xcvr.row0.p3")
+        assert not spec.matches("xcvr.row1.p3")
+
+    def test_active_window(self):
+        spec = FaultSpec(kind="link_corrupt", probability=0.1,
+                         start_ns=100.0, end_ns=200.0)
+        assert not spec.active(50.0)
+        assert spec.active(100.0)
+        assert not spec.active(200.0)
+        always = FaultSpec(kind="link_corrupt", probability=0.1)
+        assert always.active(0.0) and always.end_ns == math.inf
+
+
+class TestPlanSerialisation:
+    def plan(self):
+        return FaultPlan(seed=42, faults=[
+            FaultSpec(kind="link_corrupt", site="*spine*", probability=0.02,
+                      start_ns=1000.0, end_ns=2e6),
+            FaultSpec(kind="xcvr_stall", probability=0.05, stall_ns=7_500.0),
+            FaultSpec(kind="xbar_port_down", site="c0.plane0", port=4,
+                      at_ns=100_000.0),
+            FaultSpec(kind="node_crash", node=5, at_ns=200_000.0),
+        ])
+
+    def test_dict_round_trip(self):
+        plan = self.plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_file_round_trip(self, tmp_path):
+        plan = self.plan()
+        path = str(tmp_path / "plan.json")
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_stochastic_scheduled_split(self):
+        plan = self.plan()
+        assert [s.kind for s in plan.stochastic] == ["link_corrupt",
+                                                     "xcvr_stall"]
+        assert [s.kind for s in plan.scheduled] == ["xbar_port_down",
+                                                    "node_crash"]
+
+    def test_with_seed(self):
+        plan = self.plan()
+        reseeded = plan.with_seed(7)
+        assert reseeded.seed == 7
+        assert reseeded.faults == plan.faults
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"seed": 1, "faults": [
+                {"kind": "flit_drop", "probability": 0.1, "severity": 9}]})
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"seed": 1, "extra": True})
+
+    def test_bad_json_reported(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(FaultPlanError):
+            FaultPlan.load(str(path))
+
+
+class TestUniformErrorPlan:
+    def test_zero_rate_is_empty(self):
+        assert uniform_error_plan(0.0, seed=3) == FaultPlan(seed=3)
+
+    def test_positive_rate(self):
+        plan = uniform_error_plan(0.07, seed=5, site="*fwd*")
+        assert len(plan.faults) == 1
+        spec = plan.faults[0]
+        assert spec.kind == "link_corrupt"
+        assert spec.probability == 0.07
+        assert spec.matches("cable.fwd")

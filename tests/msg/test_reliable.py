@@ -89,6 +89,32 @@ class TestLossyLinks:
         with pytest.raises(DeliveryError):
             sim.run_until_complete(send)
 
+    def test_ack_corruption_forces_suppressed_duplicates(self):
+        """A corrupted ack is discarded by CRC, the sender times out and
+        retransmits, and the receiver must re-ack without re-delivering."""
+        sim, channel = make_channel(error_rate=0.0, ack_error_rate=0.4,
+                                    seed=5)
+        count = 8
+        recv = sim.process(_collect(channel, count, node=1))
+
+        def sender():
+            for _ in range(count):
+                yield channel.send(0, 1, 128)
+
+        sim.process(sender())
+        deliveries = sim.run_until_complete(recv)
+        assert [d.sequence for d in deliveries] == list(range(count))
+        assert channel.stats["acks_discarded"] > 0
+        assert channel.stats["duplicates"] > 0
+        assert channel.stats["delivered"] == count  # exactly once
+        # Every duplicate was re-acked, not re-delivered.
+        assert channel.stats["acks_sent"] == count + channel.stats["duplicates"]
+
+    def test_ack_error_rate_mirrors_error_rate(self):
+        assert ReliableConfig(error_rate=0.2).effective_ack_error_rate == 0.2
+        assert ReliableConfig(
+            error_rate=0.2, ack_error_rate=0.0).effective_ack_error_rate == 0.0
+
     def test_deterministic_given_seed(self):
         def run():
             sim, channel = make_channel(error_rate=0.3, seed=11)

@@ -1,0 +1,187 @@
+"""Tests for the sliding-window (go-back-N) reliable protocol."""
+
+import pytest
+
+from repro.msg.api import build_cluster_world
+from repro.msg.reliable import (
+    DeliveryError,
+    ReliableChannel,
+    ReliableConfig,
+)
+from repro.msg.sliding_window import (
+    SlidingWindowChannel,
+    SlidingWindowConfig,
+)
+
+
+def make_channel(**kwargs):
+    _, world = build_cluster_world()
+    return world.sim, SlidingWindowChannel(world,
+                                           SlidingWindowConfig(**kwargs))
+
+
+def _collect(channel, count, node):
+    deliveries = []
+    for _ in range(count):
+        delivery = yield channel.recv(node)
+        deliveries.append(delivery)
+    return deliveries
+
+
+def _run(sim, channel, count, node=1):
+    recv = sim.process(_collect(channel, count, node))
+    return sim.run_until_complete(recv)
+
+
+class TestCleanLinks:
+    def test_in_order_exactly_once(self):
+        sim, channel = make_channel()
+        for _ in range(6):
+            channel.send(0, 1, 256)
+        deliveries = _run(sim, channel, 6)
+        assert [d.sequence for d in deliveries] == list(range(6))
+        assert channel.stats["delivered"] == 6
+        assert channel.stats["transmissions"] == 6
+        assert channel.stats.as_dict().get("retransmissions", 0) == 0
+
+    def test_window_pipelines_transmissions(self):
+        """With a window the sender does not wait a round trip per
+        message, so streaming the same traffic finishes sooner than
+        window=1 (which is stop-and-wait with an adaptive timer)."""
+
+        def finish_time(window):
+            sim, channel = make_channel(window=window)
+            for _ in range(8):
+                channel.send(0, 1, 512)
+            _run(sim, channel, 8)
+            return sim.now
+
+        assert finish_time(8) < finish_time(1)
+
+    def test_independent_flows(self):
+        sim, channel = make_channel()
+        channel.send(0, 2, 64)
+        channel.send(1, 2, 64)
+        deliveries = _run(sim, channel, 2, node=2)
+        assert sorted(d.source for d in deliveries) == [0, 1]
+        assert all(d.sequence == 0 for d in deliveries)
+
+    def test_send_to_self_rejected(self):
+        _, channel = make_channel()
+        with pytest.raises(ValueError):
+            channel.send(3, 3, 64)
+
+
+class TestLossyLinks:
+    def test_exactly_once_under_corruption(self):
+        sim, channel = make_channel(error_rate=0.3, seed=7)
+        count = 10
+        for _ in range(count):
+            channel.send(0, 1, 128)
+        deliveries = _run(sim, channel, count)
+        assert [d.sequence for d in deliveries] == list(range(count))
+        assert channel.stats["delivered"] == count
+        assert channel.stats["retransmissions"] > 0
+
+    def test_ack_corruption_tolerated(self):
+        """Corrupted acks only cost retransmissions the receiver must
+        suppress as duplicates — delivery stays exactly-once, in order."""
+        # window=1 so a lost ack cannot be covered by a later cumulative
+        # ack: every discard forces a timeout, a retransmission, and a
+        # duplicate the receiver must suppress.
+        sim, channel = make_channel(error_rate=0.0, ack_error_rate=0.4,
+                                    seed=5, window=1)
+        count = 8
+        for _ in range(count):
+            channel.send(0, 1, 128)
+        deliveries = _run(sim, channel, count)
+        assert [d.sequence for d in deliveries] == list(range(count))
+        assert channel.stats["acks_discarded"] > 0
+        assert channel.stats["retransmissions"] > 0
+        assert channel.stats["delivered"] == count
+        assert channel.stats["duplicates"] > 0
+
+    def test_gives_up_eventually(self):
+        sim, channel = make_channel(error_rate=0.97, seed=1, max_retries=3)
+        send = channel.send(0, 1, 64)
+        with pytest.raises(DeliveryError):
+            sim.run_until_complete(send)
+        assert channel.stats["failed_flows"] == 1
+
+    def test_send_outcome_does_not_raise(self):
+        sim, channel = make_channel(error_rate=0.97, seed=1, max_retries=3)
+        outcome = channel.send_outcome(0, 1, 64)
+        status, value = sim.run_until_complete(outcome)
+        assert status == "failed"
+        assert isinstance(value, DeliveryError)
+
+    def test_deterministic_given_seed(self):
+        def run():
+            sim, channel = make_channel(error_rate=0.25, seed=11)
+            for _ in range(6):
+                channel.send(0, 1, 256)
+            _run(sim, channel, 6)
+            return (sim.now, channel.stats.as_dict())
+
+        assert run() == run()
+
+
+class TestConfigValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindowConfig(window=0)
+        with pytest.raises(ValueError):
+            SlidingWindowConfig(error_rate=1.0)
+        with pytest.raises(ValueError):
+            SlidingWindowConfig(ack_error_rate=-0.1)
+        with pytest.raises(ValueError):
+            SlidingWindowConfig(max_rto_ns=1.0, min_rto_ns=2.0)
+        with pytest.raises(ValueError):
+            SlidingWindowConfig(backoff=0.5)
+        with pytest.raises(ValueError):
+            SlidingWindowConfig(link_down_after=0)
+
+    def test_ack_error_rate_mirrors_error_rate(self):
+        assert SlidingWindowConfig(
+            error_rate=0.2).effective_ack_error_rate == 0.2
+        assert SlidingWindowConfig(
+            error_rate=0.2,
+            ack_error_rate=0.05).effective_ack_error_rate == 0.05
+
+
+class TestGoodput:
+    def test_beats_stop_and_wait_on_small_messages(self):
+        """The acceptance bar: >= 2x stop-and-wait goodput where the
+        ack round trip dominates (small messages).  At 16 KB both sit at
+        wire speed, so the pipelining win necessarily vanishes there."""
+        for nbytes, factor in ((64, 2.0), (256, 2.0)):
+            _, sliding_world = build_cluster_world()
+            sliding = SlidingWindowChannel(sliding_world,
+                                           SlidingWindowConfig())
+            _, stopwait_world = build_cluster_world()
+            stopwait = ReliableChannel(stopwait_world, ReliableConfig())
+            fast = sliding.goodput_mb_s(0, 5, nbytes, count=32)
+            slow = stopwait.goodput_mb_s(0, 5, nbytes, count=32)
+            assert fast >= factor * slow, (nbytes, fast, slow)
+
+    def test_large_messages_near_wire_speed(self):
+        _, world = build_cluster_world()
+        channel = SlidingWindowChannel(world, SlidingWindowConfig())
+        goodput = channel.goodput_mb_s(0, 5, 16384, count=16)
+        raw = world.fabric.link_config.bandwidth_mb_s
+        assert goodput >= 0.9 * raw
+
+    @pytest.mark.slow
+    def test_monotonic_degradation_zero_undelivered(self):
+        """Goodput falls monotonically with the error rate up to 0.2 and
+        every message still arrives (count is large enough that the
+        seeded draws average out)."""
+        rates = []
+        for error_rate in (0.0, 0.05, 0.1, 0.2):
+            _, world = build_cluster_world()
+            channel = SlidingWindowChannel(world, SlidingWindowConfig(
+                error_rate=error_rate, seed=7))
+            rates.append(channel.goodput_mb_s(0, 5, 1024, count=128))
+            assert channel.stats["delivered"] == 128
+            assert channel.stats.as_dict().get("undeliverable", 0) == 0
+        assert all(a > b for a, b in zip(rates, rates[1:])), rates

@@ -1,0 +1,51 @@
+"""Property-based tests for the link chip's CRC-32.
+
+The fault-injection framework leans on two CRC properties: a single bit
+flip anywhere in a message is always detected (so the receiver's discard
+path fires for every injected corruption), and the incremental fold the
+hardware performs per word equals the one-shot checksum regardless of
+how the stream is chunked.
+"""
+
+import zlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ni.crc import crc32, crc32_incremental
+
+
+@given(data=st.binary(min_size=0, max_size=256))
+@settings(max_examples=100, deadline=None)
+def test_matches_zlib(data):
+    assert crc32(data) == zlib.crc32(data)
+
+
+@given(data=st.binary(min_size=1, max_size=128), bit=st.integers(min_value=0))
+@settings(max_examples=100, deadline=None)
+def test_single_bit_flip_always_detected(data, bit):
+    """CRC-32 detects every single-bit error (its minimum distance is
+    at least 2 for any length), so a flipped bit can never alias."""
+    bit %= len(data) * 8
+    flipped = bytearray(data)
+    flipped[bit // 8] ^= 1 << (bit % 8)
+    assert crc32(bytes(flipped)) != crc32(data)
+
+
+@given(data=st.binary(min_size=0, max_size=256),
+       cuts=st.lists(st.integers(min_value=0, max_value=256), max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_incremental_equals_one_shot_over_any_chunking(data, cuts):
+    bounds = sorted({min(c, len(data)) for c in cuts} | {0, len(data)})
+    chunks = [data[a:b] for a, b in zip(bounds, bounds[1:])]
+    assert b"".join(chunks) == data
+    assert crc32_incremental(chunks) == crc32(data)
+
+
+@given(data=st.binary(min_size=0, max_size=64))
+@settings(max_examples=50, deadline=None)
+def test_word_at_a_time_fold_matches(data):
+    """Folding word-by-word — how the hardware streams the FIFO — is
+    just one particular chunking."""
+    words = [data[i:i + 4] for i in range(0, len(data), 4)]
+    assert crc32_incremental(words) == crc32(data)
