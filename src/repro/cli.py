@@ -66,6 +66,7 @@ def cmd_list(_args) -> None:
         ["logp", "LogP parameters of the 8-node cluster"],
         ["trace", "run an experiment under span tracing (Perfetto JSON)"],
         ["metrics", "run an experiment under labeled metrics"],
+        ["bench", "time the hot kernels; write BENCH_perf.json"],
     ]
     _emit(format_table(["command", "regenerates"], rows,
                        title="Available experiments"))
@@ -226,6 +227,17 @@ def cmd_chaos(args) -> None:
         print(f"wrote {args.report_out}")
 
 
+def cmd_bench(args) -> None:
+    from repro.perf import format_bench_table, run_bench, write_bench_json
+
+    repeats = 1 if args.quick else args.repeats
+    results = run_bench(repeats=repeats, kernels=args.kernels or None)
+    _emit(format_bench_table(results))
+    write_bench_json(args.out, results, quick=args.quick)
+    print(f"wrote {args.out}: {len(results)} kernels, "
+          f"best of {repeats} repeat(s)")
+
+
 def cmd_logp(args) -> None:
     system = PowerMannaSystem.cluster()
     params = system.logp(0, 1, args.nbytes)
@@ -375,6 +387,18 @@ def build_parser() -> argparse.ArgumentParser:
     logp = sub.add_parser("logp", help="LogP parameters")
     logp.add_argument("--nbytes", type=int, default=8)
 
+    bench = sub.add_parser(
+        "bench", help="time the hot kernels and write BENCH_perf.json")
+    bench.add_argument("--quick", action="store_true",
+                       help="single repeat per kernel (CI smoke mode; "
+                            "kernel sizes are unchanged)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timing repeats per kernel (best is reported)")
+    bench.add_argument("--kernels", nargs="*", default=None,
+                       help="subset of kernels to run (default: all)")
+    bench.add_argument("--out", default="BENCH_perf.json",
+                       help="where to write the benchmark document")
+
     trace = sub.add_parser(
         "trace", help="run an experiment with span tracing enabled")
     trace.add_argument("experiment", choices=TRACEABLE)
@@ -408,6 +432,7 @@ _COMMANDS = {
     "fig12": cmd_fig12,
     "chaos": cmd_chaos,
     "logp": cmd_logp,
+    "bench": cmd_bench,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
 }

@@ -32,6 +32,13 @@ class AccessType(enum.IntEnum):
     INSTR = 2
 
 
+# Index -> member table: MESIState(value) walks the enum machinery on
+# every call, which is measurable on the per-access path; indexing this
+# tuple returns the identical singletons.
+_MESI_MEMBERS = (MESIState.INVALID, MESIState.SHARED, MESIState.EXCLUSIVE,
+                 MESIState.MODIFIED)
+
+
 @dataclass(frozen=True)
 class CacheGeometry:
     """Size/shape of a cache.
@@ -135,7 +142,7 @@ class Cache:
         """MESI state of the line containing ``addr`` (INVALID if absent)."""
         tag = self.tag_of(addr)
         state = self._sets[tag & self._set_mask].get(tag)
-        return MESIState.INVALID if state is None else MESIState(state)
+        return MESIState.INVALID if state is None else _MESI_MEMBERS[state]
 
     def contains(self, addr: int) -> bool:
         tag = self.tag_of(addr)
@@ -183,7 +190,8 @@ class Cache:
                 OBS.metrics.incr("cache.hit", cache=self.name,
                                  level=self.level,
                                  op="write" if is_write else "read")
-            return AccessResult(hit=True, state=MESIState(state), upgraded=upgraded)
+            return AccessResult(hit=True, state=_MESI_MEMBERS[state],
+                                upgraded=upgraded)
 
         # Miss: evict LRU if the set is full, then fill.
         writeback = evicted = None
@@ -206,7 +214,7 @@ class Cache:
             if writeback is not None:
                 OBS.metrics.incr("cache.writeback", cache=self.name,
                                  level=self.level)
-        return AccessResult(hit=False, state=MESIState(new_state),
+        return AccessResult(hit=False, state=_MESI_MEMBERS[new_state],
                             writeback=writeback, evicted=evicted)
 
     # -- coherence-side operations (driven by the snoop engine) --------------

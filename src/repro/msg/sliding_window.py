@@ -323,8 +323,11 @@ class SlidingWindowChannel:
         rto = max(cfg.min_rto_ns, min(cfg.max_rto_ns, flow.rto_ns))
         scaled = (rto + 2.0 * wire_ns) * (
             cfg.backoff ** min(flow.retries, 12))
-        scaled = min(scaled, cfg.max_rto_ns + 2.0 * wire_ns)
-        return scaled * (1.0 + cfg.jitter * self._rng.random())
+        jittered = scaled * (1.0 + cfg.jitter * self._rng.random())
+        # max_rto_ns is a hard ceiling on the armed timer: the backoff
+        # multiplier, the in-flight drain allowance, and the jitter factor
+        # all scale *within* it, never past it.
+        return min(jittered, cfg.max_rto_ns)
 
     def _fail_flow(self, flow: _Flow, error: DeliveryError) -> None:
         self.stats.incr("failed_flows")

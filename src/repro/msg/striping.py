@@ -138,7 +138,7 @@ class StripedChannel:
                 parts = pending.pop(meta["sid"])
                 break
         if meta["parts"] > 1:
-            yield self.sim.timeout(self.config.reassembly_ns)
+            yield self.sim.pooled_timeout(self.config.reassembly_ns)
         total = meta["total"]
         got = sum(p.payload_bytes for p in parts)
         if got != total:

@@ -132,9 +132,17 @@ class Crossbar:
 
     def _input_channel(self, port: int):
         fifo = self.inputs[port]
+        sim = self.sim
+        fifo_get = fifo.get_pooled
+        pooled_timeout = sim.pooled_timeout
+        stats_incr = self.stats.incr
+        route_setup_ns = self.config.route_setup_ns
+        forward_ns = self.config.forward_ns
+        close_kind = FlitKind.CLOSE
+        failed = self._failed_outputs
         resync = False
         while True:
-            flit = yield fifo.get()
+            flit = yield fifo_get()
             if flit.kind != FlitKind.ROUTE:
                 if resync:
                     # Straggler flits of a torn-down wormhole: discard
@@ -148,7 +156,7 @@ class Crossbar:
             resync = False
             out_port = flit.route_port
             self._check_route(port, out_port, flit)
-            if out_port in self._failed_outputs:
+            if out_port in failed:
                 # Dead output: swallow the whole wormhole so traffic queued
                 # behind it on this input still progresses.
                 resync = yield from self._blackhole(port, out_port,
@@ -163,14 +171,14 @@ class Crossbar:
                     in_port=port, out_port=out_port)
             waited = yield arbiter.acquire()
             if waited > 0:
-                self.stats.incr("collisions")
+                stats_incr("collisions")
                 if OBS.enabled:
                     OBS.metrics.incr("xbar.collisions", xbar=self.name)
             # Collision-free through-routing costs route_setup_ns; the route
             # byte is consumed here and never forwarded.
-            yield self.sim.timeout(self.config.route_setup_ns)
-            self.stats.incr("connections")
-            self.tracer.record(self.sim.now, self.name, "route",
+            yield pooled_timeout(route_setup_ns)
+            stats_incr("connections")
+            self.tracer.record(sim.now, self.name, "route",
                                (port, out_port, flit.message_id))
             fwd_span = 0
             if OBS.enabled:
@@ -182,10 +190,17 @@ class Crossbar:
                     category="network", message=flit.message_id,
                     in_port=port, out_port=out_port)
             link = self.output_links[out_port]
+            link_send = link.tx.put_pooled
             message_id = flit.message_id
             try:
                 while True:
-                    flit = yield from self._guarded_get(fifo)
+                    if FAULTS.enabled:
+                        flit = yield from self._guarded_get(fifo)
+                    else:
+                        # The watchdog is only armed under fault injection;
+                        # without it this is a plain get, inlined to skip
+                        # the per-flit generator allocation.
+                        flit = yield fifo_get()
                     if flit is None:
                         # Watchdog: the upstream of this wormhole died (a
                         # failed port blackholed its tail); tear down the
@@ -193,20 +208,20 @@ class Crossbar:
                         self._note_teardown(port, out_port, message_id)
                         resync = True
                         break
-                    if out_port in self._failed_outputs:
+                    if out_port in failed:
                         # Port died mid-wormhole: drain the rest unsent.
                         resync = yield from self._blackhole(port, out_port,
                                                             flit.message_id,
                                                             first=flit)
                         break
-                    yield self.sim.timeout(self.config.forward_ns)
-                    yield link.send(flit)
-                    self.stats.incr("forwarded_bytes", flit.nbytes)
-                    if flit.kind == FlitKind.CLOSE:
+                    yield pooled_timeout(forward_ns)
+                    yield link_send(flit)
+                    stats_incr("forwarded_bytes", flit.nbytes)
+                    if flit.kind == close_kind:
                         break
             finally:
                 arbiter.release()
-                self.tracer.record(self.sim.now, self.name, "close",
+                self.tracer.record(sim.now, self.name, "close",
                                    (port, out_port, message_id))
                 if OBS.enabled:
                     OBS.tracer.end(fwd_span, self.sim.now)

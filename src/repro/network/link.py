@@ -17,7 +17,7 @@ from repro.faults import FAULTS
 from repro.network.message import Flit, FlitKind
 from repro.obs import OBS
 from repro.sim.clock import Clock
-from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.engine import Event, SimulationError, Simulator, _heappush
 from repro.sim.resources import FifoStore
 from repro.sim.stats import Counter
 from repro.sim.trace import NULL_TRACER, Tracer
@@ -37,6 +37,8 @@ class ByteFifo:
         self.sim = sim
         self.capacity_bytes = capacity_bytes
         self.name = name
+        self._put_name = name + ".put"
+        self._get_name = name + ".get"
         self.items: Deque[Flit] = deque()
         self.level_bytes = 0
         self._putters: Deque[tuple[Event, Flit]] = deque()
@@ -57,19 +59,75 @@ class ByteFifo:
         return not self.items
 
     def put(self, flit: Flit) -> Event:
-        if flit.nbytes > self.capacity_bytes:
+        return self._put(Event(self.sim, self._put_name), flit)
+
+    def put_pooled(self, flit: Flit) -> Event:
+        """Like :meth:`put` with a recycled event — only for call sites
+        that ``yield`` the event immediately (see
+        :meth:`~repro.sim.engine.Simulator.pooled_event`)."""
+        return self._put(self.sim.pooled_event(self._put_name), flit)
+
+    def _put(self, event: Event, flit: Flit) -> Event:
+        nbytes = flit.nbytes
+        if nbytes > self.capacity_bytes:
             raise SimulationError(
-                f"flit of {flit.nbytes} B can never fit FIFO {self.name!r} "
+                f"flit of {nbytes} B can never fit FIFO {self.name!r} "
                 f"of {self.capacity_bytes} B")
-        event = Event(self.sim, name=f"{self.name}.put")
+        if not self._putters and nbytes <= self.capacity_bytes - self.level_bytes:
+            # Accepted immediately — same trigger order as _settle (put
+            # event first, then the getter it satisfies, if any).
+            self.items.append(flit)
+            level = self.level_bytes + nbytes
+            self.level_bytes = level
+            self.total_bytes_in += nbytes
+            if level > self.high_water_bytes:
+                self.high_water_bytes = level
+            # Inline event.trigger(flit): the event is fresh, so the
+            # double-trigger check cannot fire.
+            event._triggered = True
+            event._value = flit
+            sim = self.sim
+            _heappush(sim._queue, (sim._now, next(sim._tiebreak), event))
+            getters = self._getters
+            if getters:
+                gev = getters.popleft()
+                item = self.items.popleft()
+                self.level_bytes -= item.nbytes
+                self.total_bytes_out += item.nbytes
+                gev.trigger(item)
+                if getters and self.items:
+                    self._settle()
+            return event
+        # Queued behind other putters, or too big right now.  No match is
+        # possible (the head putter still does not fit, and a waiting
+        # getter implies the FIFO is empty), so skip the settle loop.
         self._putters.append((event, flit))
-        self._settle()
         return event
 
     def get(self) -> Event:
-        event = Event(self.sim, name=f"{self.name}.get")
+        return self._get(Event(self.sim, self._get_name))
+
+    def get_pooled(self) -> Event:
+        """Like :meth:`get` with a recycled event — only for call sites
+        that ``yield`` the event immediately."""
+        return self._get(self.sim.pooled_event(self._get_name))
+
+    def _get(self, event: Event) -> Event:
+        items = self.items
+        if items and not self._getters:
+            flit = items.popleft()
+            self.level_bytes -= flit.nbytes
+            self.total_bytes_out += flit.nbytes
+            event._triggered = True
+            event._value = flit
+            sim = self.sim
+            _heappush(sim._queue, (sim._now, next(sim._tiebreak), event))
+            if self._putters:
+                self._settle()
+            return event
         self._getters.append(event)
-        self._settle()
+        if items:
+            self._settle()
         return event
 
     def cancel_get(self, event: Event) -> bool:
@@ -103,23 +161,28 @@ class ByteFifo:
         return True, flit
 
     def _settle(self) -> None:
+        items = self.items
+        putters = self._putters
+        getters = self._getters
         progressed = True
         while progressed:
             progressed = False
-            if self._putters:
-                event, flit = self._putters[0]
-                if flit.nbytes <= self.free_bytes:
-                    self._putters.popleft()
-                    self.items.append(flit)
-                    self.level_bytes += flit.nbytes
-                    self.total_bytes_in += flit.nbytes
-                    self.high_water_bytes = max(self.high_water_bytes,
-                                                self.level_bytes)
+            if putters:
+                event, flit = putters[0]
+                nbytes = flit.nbytes
+                if nbytes <= self.capacity_bytes - self.level_bytes:
+                    putters.popleft()
+                    items.append(flit)
+                    level = self.level_bytes + nbytes
+                    self.level_bytes = level
+                    self.total_bytes_in += nbytes
+                    if level > self.high_water_bytes:
+                        self.high_water_bytes = level
                     event.trigger(flit)
                     progressed = True
-            if self._getters and self.items:
-                event = self._getters.popleft()
-                flit = self.items.popleft()
+            if getters and items:
+                event = getters.popleft()
+                flit = items.popleft()
                 self.level_bytes -= flit.nbytes
                 self.total_bytes_out += flit.nbytes
                 event.trigger(flit)
@@ -190,55 +253,69 @@ class Link:
         return self.tx.put(flit)
 
     def _serialize(self):
+        sim = self.sim
+        tx_get = self.tx.get_pooled
+        pooled_timeout = sim.pooled_timeout
+        serialize_ns = self.config.serialize_ns
+        propagation_ns = self.config.propagation_ns
+        wire_put = self._in_flight.put_pooled
         while True:
-            flit = yield self.tx.get()
+            flit = yield tx_get()
             if OBS.enabled and flit.message_id not in self._spans:
                 self._spans[flit.message_id] = OBS.tracer.begin(
-                    "link.transmit", self.name, self.sim.now,
+                    "link.transmit", self.name, sim.now,
                     category="network", message=flit.message_id)
-            start = self.sim.now
-            yield self.sim.timeout(self.config.serialize_ns(flit.nbytes))
-            self.busy_ns += self.sim.now - start
-            arrival = self.sim.now + self.config.propagation_ns
-            yield self._in_flight.put((flit, arrival))
+            start = sim.now
+            yield pooled_timeout(serialize_ns(flit.nbytes))
+            self.busy_ns += sim.now - start
+            arrival = sim.now + propagation_ns
+            yield wire_put((flit, arrival))
 
     def _deliver(self):
+        sim = self.sim
+        wire_get = self._in_flight.get_pooled
+        pooled_timeout = sim.pooled_timeout
+        rx_put = self.rx.put_pooled
+        stats_incr = self.stats.incr
+        tracer_record = self.tracer.record
+        data_kind = FlitKind.DATA
+        close_kind = FlitKind.CLOSE
         while True:
-            flit, arrival = yield self._in_flight.get()
-            wait = arrival - self.sim.now
+            flit, arrival = yield wire_get()
+            wait = arrival - sim.now
             if wait > 0:
-                yield self.sim.timeout(wait)
+                yield pooled_timeout(wait)
             if FAULTS.enabled:
                 # A dropped DATA flit shortens the payload; the receiving
                 # driver flags the message as corrupt (the CRC covers the
                 # whole message, so a hole fails the check like a flip).
-                if flit.kind == FlitKind.DATA and FAULTS.engine.fires(
-                        "flit_drop", self.name, self.sim.now):
-                    self.stats.incr("dropped_flits")
+                if flit.kind == data_kind and FAULTS.engine.fires(
+                        "flit_drop", self.name, sim.now):
+                    stats_incr("dropped_flits")
                     if OBS.enabled:
                         OBS.metrics.incr("faults.dropped_flits",
                                          link=self.name)
                     continue
                 # Bit-error bursts: one corruption draw per message per
                 # link, taken as the message's tail crosses.
-                if flit.kind == FlitKind.CLOSE and FAULTS.engine.fires(
-                        "link_corrupt", self.name, self.sim.now):
+                if flit.kind == close_kind and FAULTS.engine.fires(
+                        "link_corrupt", self.name, sim.now):
                     FAULTS.engine.mark_corrupt(flit.message_id)
-                    self.stats.incr("corrupted_messages")
+                    stats_incr("corrupted_messages")
                     if OBS.enabled:
                         OBS.metrics.incr("faults.corrupted_messages",
                                          link=self.name)
             # Blocking here *is* the stop signal: the wire stalls until the
             # receiver FIFO has room for the flit.
-            yield self.rx.put(flit)
-            self.stats.incr("flits")
-            self.stats.incr("bytes", flit.nbytes)
-            self.tracer.record(self.sim.now, self.name, "delivered",
-                               (flit.kind.value, flit.message_id, flit.seq))
-            if self._spans and flit.kind == FlitKind.CLOSE:
+            yield rx_put(flit)
+            stats_incr("flits")
+            stats_incr("bytes", flit.nbytes)
+            tracer_record(sim.now, self.name, "delivered",
+                          (flit.kind.value, flit.message_id, flit.seq))
+            if self._spans and flit.kind == close_kind:
                 span = self._spans.pop(flit.message_id, 0)
                 if OBS.enabled:
-                    OBS.tracer.end(span, self.sim.now)
+                    OBS.tracer.end(span, sim.now)
                     OBS.metrics.incr("link.messages", link=self.name)
 
     def utilization(self, elapsed_ns: Optional[float] = None) -> float:

@@ -83,8 +83,8 @@ def make_async_link(sim: Simulator, link_config: LinkConfig,
                         OBS.metrics.incr("faults.xcvr_stalls", xcvr=name)
                         OBS.metrics.observe("faults.xcvr_stall_ns", stall,
                                             xcvr=name)
-                    yield sim.timeout(stall)
-            yield sim.timeout(cfg.serialize_ns(flit.nbytes))
+                    yield sim.pooled_timeout(stall)
+            yield sim.pooled_timeout(cfg.serialize_ns(flit.nbytes))
             yield rx.put(flit)
             if flit.kind == FlitKind.CLOSE:
                 if OBS.enabled:

@@ -121,18 +121,22 @@ class PioDriver:
             self.ni.register_crc(message)
             if FAULTS.enabled:
                 yield from self._maybe_hang()
-            yield self.sim.timeout(self.config.send_setup_ns)
+            pooled_timeout = self.sim.pooled_timeout
+            copy_out_ns = self.config.copy_out_ns
+            stage_flit = self.ni.send_fifo.put_pooled
+            batch = self._batch
+            yield pooled_timeout(self.config.send_setup_ns)
 
             flits = build_wire_format(message)
             pending = 0
             for flit in flits:
                 pending += flit.nbytes
-                if pending >= self._batch:
-                    yield self.sim.timeout(self.config.copy_out_ns(pending))
+                if pending >= batch:
+                    yield pooled_timeout(copy_out_ns(pending))
                     pending = 0
-                yield self.ni.stage_flit(flit)
+                yield stage_flit(flit)
             if pending:
-                yield self.sim.timeout(self.config.copy_out_ns(pending))
+                yield pooled_timeout(copy_out_ns(pending))
             self.stats.incr("sent")
             self.stats.incr("sent_bytes", message.payload_bytes)
             self.send_times.add(self.sim.now - start)
@@ -152,7 +156,7 @@ class PioDriver:
             self.stats.incr("hangs")
             if OBS.enabled:
                 OBS.metrics.incr("faults.driver_hangs", driver=self.name)
-            yield self.sim.timeout(stall)
+            yield self.sim.pooled_timeout(stall)
 
     # -- unidirectional receive ------------------------------------------------
 
@@ -171,30 +175,36 @@ class PioDriver:
         return self._last_received
 
     def _receive_locked(self):
+        sim = self.sim
+        read_flit = self.ni.rx_fifo.get_pooled
+        copy_in_ns = self.config.copy_in_ns
+        data_kind = FlitKind.DATA
+        close_kind = FlitKind.CLOSE
         copy_done = 0.0
         payload = 0
         first: Optional[Flit] = None
         drain_span = 0
         while True:
-            flit = yield self.ni.read_flit()
+            flit = yield read_flit()
             if first is None:
                 first = flit
                 if OBS.enabled:
                     drain_span = OBS.tracer.begin(
-                        "driver.drain", self.name, self.sim.now,
+                        "driver.drain", self.name, sim.now,
                         category="driver", message=flit.message_id)
-            copy_done = max(copy_done, self.sim.now) + \
-                self.config.copy_in_ns(flit.nbytes)
-            if flit.kind == FlitKind.DATA:
+            now = sim._now
+            copy_done = (copy_done if copy_done > now else now) + \
+                copy_in_ns(flit.nbytes)
+            if flit.kind == data_kind:
                 payload += flit.nbytes
-            elif flit.kind == FlitKind.CLOSE:
+            elif flit.kind == close_kind:
                 break
         tail_copy = max(0.0, copy_done - self.sim.now)
         if tail_copy:
-            yield self.sim.timeout(tail_copy)
+            yield self.sim.pooled_timeout(tail_copy)
         if FAULTS.enabled:
             yield from self._maybe_hang()
-        yield self.sim.timeout(self.config.recv_dispatch_ns)
+        yield self.sim.pooled_timeout(self.config.recv_dispatch_ns)
 
         message = self.registry.get(flit.message_id)
         if message is None:
@@ -263,7 +273,7 @@ class PioDriver:
                 category="driver", message=outgoing.message_id)
         self.registry[outgoing.message_id] = outgoing
         self.ni.register_crc(outgoing)
-        yield self.sim.timeout(cfg.send_setup_ns)
+        yield self.sim.pooled_timeout(cfg.send_setup_ns)
 
         out_flits = build_wire_format(outgoing)
         out_index = 0
@@ -285,7 +295,7 @@ class PioDriver:
                     staged += flit.nbytes
                     out_index += 1
                 if staged:
-                    yield self.sim.timeout(cfg.copy_out_ns(staged))
+                    yield self.sim.pooled_timeout(cfg.copy_out_ns(staged))
                     switched = True
 
             # Receive phase: drain up to one batch of whatever has arrived.
@@ -302,11 +312,11 @@ class PioDriver:
                     in_done = True
                     break
             if drained:
-                yield self.sim.timeout(cfg.copy_in_ns(drained))
+                yield self.sim.pooled_timeout(cfg.copy_in_ns(drained))
                 switched = True
 
             # Direction-switch / poll cost.
-            yield self.sim.timeout(cfg.switch_ns if switched else cfg.poll_ns)
+            yield self.sim.pooled_timeout(cfg.switch_ns if switched else cfg.poll_ns)
 
         if inbound is None:
             raise AssertionError(f"{self.name}: exchange ended with no inbound message")
@@ -314,7 +324,7 @@ class PioDriver:
             raise AssertionError(
                 f"{self.name}: inbound {inbound.message_id} carried "
                 f"{in_payload} B, expected {inbound.payload_bytes}")
-        yield self.sim.timeout(cfg.recv_dispatch_ns)
+        yield self.sim.pooled_timeout(cfg.recv_dispatch_ns)
         inbound.crc_ok = self.ni.check_crc(inbound)
         inbound.delivered_at = self.sim.now
         self.stats.incr("exchanges")

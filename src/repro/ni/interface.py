@@ -97,28 +97,34 @@ class LinkInterface:
             message.dest)
 
     def _drain_send_fifo(self):
+        sim = self.sim
+        fifo_get = self.send_fifo.get_pooled
+        link_send = self.tx_link.tx.put_pooled
+        stats_incr = self.stats.incr
+        data_kind = FlitKind.DATA
+        close_kind = FlitKind.CLOSE
         inject_span = 0
         while True:
-            flit = yield self.send_fifo.get()
+            flit = yield fifo_get()
             if OBS.enabled and not inject_span:
                 inject_span = OBS.tracer.begin(
-                    "ni.inject", self.name, self.sim.now, category="ni",
+                    "ni.inject", self.name, sim.now, category="ni",
                     message=flit.message_id)
-            if (FAULTS.enabled and flit.kind == FlitKind.DATA
+            if (FAULTS.enabled and flit.kind == data_kind
                     and FAULTS.engine.fires("ni_drop", self.name,
-                                            self.sim.now)):
+                                            sim.now)):
                 # Send-FIFO overflow: a word is lost before it reaches the
                 # wire.  The receiver sees a short payload and fails CRC.
-                self.stats.incr("dropped_flits")
+                stats_incr("dropped_flits")
                 if OBS.enabled:
                     OBS.metrics.incr("faults.ni_dropped_flits", ni=self.name)
                 continue
-            yield self.tx_link.send(flit)
-            self.stats.incr("tx_bytes", flit.nbytes)
-            if flit.kind == FlitKind.CLOSE:
-                self.stats.incr("tx_messages")
+            yield link_send(flit)
+            stats_incr("tx_bytes", flit.nbytes)
+            if flit.kind == close_kind:
+                stats_incr("tx_messages")
                 if OBS.enabled:
-                    OBS.tracer.end(inject_span, self.sim.now)
+                    OBS.tracer.end(inject_span, sim.now)
                     OBS.metrics.incr("ni.tx_messages", ni=self.name)
                 inject_span = 0
 

@@ -128,7 +128,7 @@ class Dispatcher:
                 if OBS.enabled:
                     OBS.metrics.incr("faults.dispatcher_hangs",
                                      dispatcher=self.name)
-                yield self.sim.timeout(stall)
+                yield self.sim.pooled_timeout(stall)
         # 1. Address phase: serialised across all masters (snoop protocol).
         #    The sequencer's conservative-time accounting composes with the
         #    event-driven world through a plain timeout to its grant.
@@ -136,7 +136,7 @@ class Dispatcher:
             grant, done = self.sequencer.occupy(self.sim.now)
             wait = done - self.sim.now
             if wait > 0:
-                yield self.sim.timeout(wait)
+                yield self.sim.pooled_timeout(wait)
             self.stats.incr("address_phases")
 
         # 2. Data phase.  Memory reads are *split transactions*: the
@@ -149,7 +149,7 @@ class Dispatcher:
             transfer = self.dram.config.transfer_ns(txn.nbytes)
             lead = max(0.0, done - transfer - self.sim.now)
             if lead:
-                yield self.sim.timeout(lead)
+                yield self.sim.pooled_timeout(lead)
             yield from self._data_phase(txn.master, target, transfer)
         elif txn.kind == TransactionKind.IO:
             yield from self._data_phase(txn.master, target, self.io_access_ns)
@@ -179,7 +179,7 @@ class Dispatcher:
         yield target_gate.acquire()
         pair = self.switch.connect(master, target)
         try:
-            yield self.sim.timeout(duration_ns)
+            yield self.sim.pooled_timeout(duration_ns)
         finally:
             self.switch.disconnect(pair)
             target_gate.release()

@@ -9,7 +9,7 @@ replay address traces on any subset of its CPUs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence
+from typing import Iterable, List, Sequence
 
 from repro.cpu.model import CpuSpec
 from repro.cpu.pipeline import PipelineModel, make_stall_model
@@ -18,8 +18,7 @@ from repro.memory.hierarchy import HierarchyConfig
 from repro.memory.mp import (
     FabricConfig,
     MultiprocessorMemory,
-    TraceStep,
-    run_interleaved,
+    replay_traces,
 )
 from repro.memory.trace_gen import MemRef
 
@@ -55,6 +54,7 @@ class NodeModel:
 
     def run_traces(self, traces: Sequence[Iterable[MemRef]],
                    compute_ns_per_access: float,
+                   use_fast_path: bool = True,
                    ) -> TraceRunResult:
         """Replay one ``(addr, AccessType)`` stream per active CPU.
 
@@ -65,20 +65,19 @@ class NodeModel:
         DRAM/bus reservations are cleared) while cache contents persist —
         so a warming replay followed by a measured replay behaves like two
         timed sections of one program.
+
+        The replay normally takes the batched fast path of
+        :func:`repro.memory.mp.replay_traces` (identical semantics,
+        counters and timing); ``use_fast_path=False`` forces the
+        reference per-access path.
         """
         self.memory.reset_timing()
-        steps = [self._steps(trace, compute_ns_per_access)
-                 for trace in traces]
-        results = run_interleaved(self.memory, steps,
-                                  [self._stall] * len(traces))
+        results = replay_traces(self.memory, traces, compute_ns_per_access,
+                                [self._stall] * len(traces),
+                                use_fast_path=use_fast_path)
         per_cpu = [r.finish_ns for r in results]
         return TraceRunResult(elapsed_ns=max(per_cpu), per_cpu_ns=per_cpu,
                               steps=sum(r.steps for r in results))
-
-    @staticmethod
-    def _steps(trace: Iterable[MemRef],
-               compute_ns: float) -> Iterator[TraceStep]:
-        return (TraceStep(compute_ns, addr, access) for addr, access in trace)
 
     def reset(self) -> None:
         self.memory.reset()

@@ -1,0 +1,32 @@
+"""repro.perf — the performance-regression harness.
+
+Times the hot kernels behind the figures (trace replay and the DES
+network stack) at fixed scaled sizes and writes ``BENCH_perf.json`` so
+every PR has a throughput trajectory to beat.  See
+:mod:`repro.perf.harness` for the kernel definitions and
+:mod:`repro.perf.baseline` for the recorded seed baseline.
+"""
+
+from repro.perf.baseline import SEED_BASELINE
+from repro.perf.harness import (
+    KERNELS,
+    KernelResult,
+    SCHEMA,
+    bench_payload,
+    format_bench_table,
+    run_bench,
+    run_kernel,
+    write_bench_json,
+)
+
+__all__ = [
+    "KERNELS",
+    "KernelResult",
+    "SCHEMA",
+    "SEED_BASELINE",
+    "bench_payload",
+    "format_bench_table",
+    "run_bench",
+    "run_kernel",
+    "write_bench_json",
+]

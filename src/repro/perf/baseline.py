@@ -1,0 +1,24 @@
+"""The recorded pre-optimization (seed) baseline of the hot kernels.
+
+These wall times were measured with :func:`repro.perf.harness.run_bench`
+(3 repeats, best-of) against the *seed* implementations of the trace
+replay and DES kernels — i.e. immediately before the batch-replay and
+event-kernel fast paths landed — on the reference development machine.
+``speedup_vs_seed`` in ``BENCH_perf.json`` is computed against these
+numbers, so the speedup is only meaningful on comparable hardware; the
+absolute trajectory to track across PRs is the ``kernels`` section of
+successive ``BENCH_perf.json`` artifacts on the same machine.
+"""
+
+from __future__ import annotations
+
+SEED_BASELINE = {
+    "recorded": "2026-08-06",
+    "commit": "seed (pre fast-path)",
+    "kernels": {
+        "fig6_hint": {"wall_s": 0.0999},
+        "fig7_matmult": {"wall_s": 2.9401},
+        "fig9_pingpong": {"wall_s": 0.1490},
+        "fig11_unidir": {"wall_s": 0.2956},
+    },
+}

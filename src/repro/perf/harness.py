@@ -1,0 +1,238 @@
+"""Perf-regression harness: time the hot kernels behind the figures.
+
+Every figure in the reproduction funnels through two engines — the
+trace-driven cache/TLB replay (:mod:`repro.memory`) and the flit-level
+discrete-event kernel (:mod:`repro.sim`).  This harness times one
+representative kernel per figure family at fixed, scaled sizes and writes
+``BENCH_perf.json`` so each PR leaves a throughput trajectory the next one
+has to beat:
+
+* ``fig6_hint`` — HINT refinement + checkpoint scan replays (DOUBLE).
+* ``fig7_matmult`` — full naive MatMult address-trace replay (N=48,
+  caches scaled 1/16): the cache/TLB hot loop.
+* ``fig9_pingpong`` — one-way latency ping-pongs over the full DES stack
+  (driver -> NI -> link -> crossbar -> drain): the event-kernel hot loop.
+* ``fig11_unidir`` — back-to-back streaming bandwidth (DES under load).
+
+Kernel sizes are identical in ``--quick`` and full mode (only the repeat
+count differs) so every ``BENCH_perf.json`` is comparable with every
+other, including the recorded seed baseline in
+:mod:`repro.perf.baseline`.  Wall times take the *best* of ``repeats``
+runs — the minimum is the least noisy estimator of the achievable time.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.perf.baseline import SEED_BASELINE
+
+SCHEMA = "repro.perf/v1"
+
+FIG9_SIZES = (8, 64, 512, 1024)
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """One timed kernel.
+
+    Attributes:
+        name: kernel key (``fig7_matmult``, ...).
+        wall_s: best wall time over the repeats.
+        mean_s: mean wall time over the repeats.
+        repeats: how many times the kernel ran.
+        work: deterministic work units performed per run (simulated
+            memory accesses for replay kernels, processed DES events for
+            network kernels).
+        work_unit: "accesses" or "events".
+        check: a deterministic simulation-side figure from the run (a
+            latency, a bandwidth, a QUIPS value) — any drift here means
+            the kernel's *semantics* changed, not just its speed.
+    """
+
+    name: str
+    wall_s: float
+    mean_s: float
+    repeats: int
+    work: int
+    work_unit: str
+    check: float
+
+    @property
+    def rate(self) -> float:
+        """Work units per second of host wall time."""
+        return self.work / self.wall_s if self.wall_s > 0 else 0.0
+
+    def speedup_vs_seed(self) -> Optional[float]:
+        base = SEED_BASELINE["kernels"].get(self.name)
+        if base is None or self.wall_s <= 0:
+            return None
+        return base["wall_s"] / self.wall_s
+
+
+# ---------------------------------------------------------------------------
+# The kernels.  Each returns (work_units, work_unit_name, check_value).
+# ---------------------------------------------------------------------------
+
+
+def _kernel_fig6_hint() -> Tuple[int, str, float]:
+    from repro.bench.hint import hint_on_machine
+    from repro.core.specs import POWERMANNA
+
+    result = hint_on_machine(POWERMANNA, data_type="double", scale=16,
+                             max_subintervals=2048)
+    # run_hint builds its own node; charge the refinement count as work.
+    return 2048, "refinements", result.final_quips
+
+
+def _kernel_fig7_matmult() -> Tuple[int, str, float]:
+    from repro.bench.matmult import run_matmult
+    from repro.core.specs import POWERMANNA
+
+    node = POWERMANNA.node(scale=16)
+    result = run_matmult(node, 48, version="naive",
+                         machine_key="powermanna")
+    accesses = sum(l1.access_count() for l1 in node.memory.l1s)
+    return accesses, "accesses", result.mflops
+
+
+def _kernel_fig9_pingpong() -> Tuple[int, str, float]:
+    from repro.msg.api import build_cluster_world
+
+    _, world = build_cluster_world()
+    total = 0.0
+    for nbytes in FIG9_SIZES:
+        total += world.one_way_latency_ns(0, 1, nbytes)
+    events = getattr(world.sim, "events_processed", 0)
+    return events, "events", total
+
+
+def _kernel_fig11_unidir() -> Tuple[int, str, float]:
+    from repro.msg.api import build_cluster_world
+
+    _, world = build_cluster_world()
+    bw = world.unidirectional_mb_s(0, 1, 4096, count=8)
+    events = getattr(world.sim, "events_processed", 0)
+    return events, "events", bw
+
+
+KERNELS: Dict[str, Callable[[], Tuple[int, str, float]]] = {
+    "fig6_hint": _kernel_fig6_hint,
+    "fig7_matmult": _kernel_fig7_matmult,
+    "fig9_pingpong": _kernel_fig9_pingpong,
+    "fig11_unidir": _kernel_fig11_unidir,
+}
+
+
+def _warm_imports() -> None:
+    """Import the kernels' dependency trees before the clock starts.
+
+    The kernel functions import lazily (so ``import repro.perf`` stays
+    light); without this, a single-repeat run would charge the first
+    kernel of each family its whole import chain.
+    """
+    import repro.bench.hint  # noqa: F401
+    import repro.bench.matmult  # noqa: F401
+    import repro.core.specs  # noqa: F401
+    import repro.msg.api  # noqa: F401
+
+
+def run_kernel(name: str, repeats: int = 3) -> KernelResult:
+    """Time one kernel; the first run's work/check values are recorded
+    (they are deterministic, so later repeats must match)."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    _warm_imports()
+    fn = KERNELS[name]
+    best = float("inf")
+    total = 0.0
+    work, unit, check = 0, "", 0.0
+    for rep in range(repeats):
+        start = time.perf_counter()
+        w, unit, c = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        total += elapsed
+        if rep == 0:
+            work, check = w, c
+        elif (w, c) != (work, check):
+            raise AssertionError(
+                f"kernel {name} is nondeterministic: "
+                f"({w}, {c}) != ({work}, {check})")
+    return KernelResult(name=name, wall_s=best, mean_s=total / repeats,
+                        repeats=repeats, work=work, work_unit=unit,
+                        check=check)
+
+
+def run_bench(repeats: int = 3,
+              kernels: Optional[Sequence[str]] = None) -> List[KernelResult]:
+    names = list(kernels) if kernels else list(KERNELS)
+    unknown = [n for n in names if n not in KERNELS]
+    if unknown:
+        raise ValueError(f"unknown kernels {unknown}; have {list(KERNELS)}")
+    return [run_kernel(name, repeats=repeats) for name in names]
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+def bench_payload(results: Sequence[KernelResult],
+                  quick: bool = False) -> dict:
+    """The ``BENCH_perf.json`` document."""
+    kernels = {}
+    for r in results:
+        entry = {
+            "wall_s": r.wall_s,
+            "mean_s": r.mean_s,
+            "repeats": r.repeats,
+            "work": r.work,
+            "work_unit": r.work_unit,
+            f"{r.work_unit}_per_s": r.rate,
+            "check": r.check,
+        }
+        speedup = r.speedup_vs_seed()
+        if speedup is not None:
+            entry["speedup_vs_seed"] = speedup
+        kernels[r.name] = entry
+    return {
+        "schema": SCHEMA,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": quick,
+        "kernels": kernels,
+        "seed_baseline": SEED_BASELINE,
+    }
+
+
+def write_bench_json(path: str, results: Sequence[KernelResult],
+                     quick: bool = False) -> dict:
+    payload = bench_payload(results, quick=quick)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def format_bench_table(results: Sequence[KernelResult]) -> str:
+    from repro.bench.report import format_table
+
+    rows = []
+    for r in results:
+        speedup = r.speedup_vs_seed()
+        rows.append([
+            r.name,
+            f"{r.wall_s:.3f}",
+            f"{r.rate:,.0f} {r.work_unit}/s",
+            f"{r.check:.4g}",
+            "-" if speedup is None else f"{speedup:.2f}x",
+        ])
+    return format_table(
+        ["kernel", "best wall (s)", "throughput", "check", "vs seed"],
+        rows, title="Hot-kernel performance")

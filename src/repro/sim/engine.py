@@ -4,6 +4,14 @@ Time is a float measured in **nanoseconds**.  All hardware models in the
 library convert cycles to nanoseconds through :class:`repro.sim.clock.Clock`
 so that components in different clock domains (180 MHz CPUs, 60 MHz links)
 compose on one timeline.
+
+The event loop is the hot path of every network figure, so the kernel
+keeps allocation off the per-event path where it can: the run loops pop
+the heap inline, events with a single waiter (the dominant case — one
+process blocked on one FIFO slot or timeout) dispatch without building a
+fresh callback list, and the link/crossbar/driver processes draw their
+delays from a :meth:`Simulator.pooled_timeout` free list instead of
+allocating a new :class:`Timeout` per flit.
 """
 
 from __future__ import annotations
@@ -11,6 +19,8 @@ from __future__ import annotations
 import heapq
 import itertools
 from typing import Any, Callable, Iterable, Optional
+
+_heappush = heapq.heappush
 
 
 class SimulationError(RuntimeError):
@@ -25,7 +35,11 @@ class Event:
     resumed with the event's value.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_triggered", "_processed", "name")
+    # ``delay`` lives here (not on Timeout) so the recycled-object pool can
+    # hand the same instance back as either a pooled event or a pooled
+    # timeout; see :meth:`Simulator.pooled_event`.
+    __slots__ = ("sim", "callbacks", "_value", "_triggered", "_processed",
+                 "_pooled", "name", "delay")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -33,6 +47,7 @@ class Event:
         self._value: Any = None
         self._triggered = False
         self._processed = False
+        self._pooled = False
         self.name = name
 
     @property
@@ -53,7 +68,8 @@ class Event:
             raise SimulationError(f"event {self.name!r} triggered twice")
         self._triggered = True
         self._value = value
-        self.sim._schedule(self, delay=0.0)
+        sim = self.sim
+        _heappush(sim._queue, (sim._now, next(sim._tiebreak), self))
         return self
 
     def succeed(self, value: Any = None) -> "Event":
@@ -69,24 +85,29 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed delay."""
 
-    __slots__ = ("delay",)
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(sim, name=f"timeout({delay})")
+        super().__init__(sim, name="timeout")
         self.delay = delay
         self._triggered = True
         self._value = value
-        sim._schedule(self, delay=delay)
+        _heappush(sim._queue, (sim._now + delay, next(sim._tiebreak), self))
 
 
 class AnyOf(Event):
     """Fires when the first of several events fires.
 
     The value is a dict mapping the fired event(s) to their values at the
-    moment the first fires.
+    moment the first fires.  On firing, the combinator deregisters its
+    callback from the events that have *not* fired, so waiting repeatedly
+    alongside a long-lived event (e.g. a persistent link-down event polled
+    in a loop) does not accumulate dead callbacks on it.
     """
+
+    __slots__ = ("events",)
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, name="any_of")
@@ -104,10 +125,19 @@ class AnyOf(Event):
             return
         fired = {e: e.value for e in self.events if e.processed}
         self.trigger(fired)
+        collect = self._collect
+        for event in self.events:
+            if not event.processed and event.callbacks:
+                try:
+                    event.callbacks.remove(collect)
+                except ValueError:
+                    pass
 
 
 class AllOf(Event):
     """Fires when every one of several events has fired."""
+
+    __slots__ = ("events", "_remaining")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, name="all_of")
@@ -124,6 +154,13 @@ class AllOf(Event):
         self._remaining -= 1
         if self._remaining == 0 and not self._triggered:
             self.trigger({e: e.value for e in self.events})
+            collect = self._collect
+            for event in self.events:
+                if not event.processed and event.callbacks:
+                    try:
+                        event.callbacks.remove(collect)
+                    except ValueError:
+                        pass
 
 
 class Simulator:
@@ -134,6 +171,8 @@ class Simulator:
         self._queue: list[tuple[float, int, Event]] = []
         self._tiebreak = itertools.count()
         self._running = False
+        self._timeout_pool: list[Timeout] = []
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -147,6 +186,59 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value=value)
+
+    def pooled_timeout(self, delay: float, value: Any = None) -> Timeout:
+        """A :class:`Timeout` drawn from a free list.
+
+        Once processed, the timeout is recycled for a later call, so hot
+        process loops (link pumps, drivers, the crossbar) do not allocate
+        a fresh object per flit.  Callers must drop their reference after
+        the timeout fires — i.e. use it only as ``yield
+        sim.pooled_timeout(...)`` — because the object is reused; code
+        that stores a timeout and inspects it later (``timer in fired``)
+        must use :meth:`timeout`.
+        """
+        pool = self._timeout_pool
+        if not pool:
+            timeout = Timeout(self, delay, value=value)
+            timeout._pooled = True
+            return timeout
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        timeout = pool.pop()
+        timeout._triggered = True
+        timeout._processed = False
+        timeout._value = value
+        timeout.delay = delay
+        if timeout.callbacks:
+            timeout.callbacks.clear()
+        _heappush(self._queue,
+                  (self._now + delay, next(self._tiebreak), timeout))
+        return timeout
+
+    def pooled_event(self, name: str = "") -> Event:
+        """An :class:`Event` drawn from the same free list.
+
+        The same caveat as :meth:`pooled_timeout` applies: use only at
+        call sites that ``yield`` the event immediately and never touch it
+        again afterwards (FIFO put/get in the link, NI and crossbar pumps).
+        Code that stores the event — combinators, ``cancel_get`` watchdog
+        patterns, tests reading ``.value`` after the run — must use
+        :meth:`event`.
+        """
+        pool = self._timeout_pool
+        if not pool:
+            event = Event(self, name)
+            event._pooled = True
+            return event
+        event = pool.pop()
+        event._triggered = False
+        event._processed = False
+        event._value = None
+        event.name = name
+        if event.callbacks:
+            event.callbacks.clear()
+        return event
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
@@ -172,37 +264,67 @@ class Simulator:
             raise SimulationError("time ran backwards")
         self._now = when
         event._processed = True
-        callbacks, event.callbacks = event.callbacks, []
-        for callback in callbacks:
+        callbacks = event.callbacks
+        if len(callbacks) == 1:
+            callback = callbacks[0]
+            callbacks.clear()
             callback(event)
+        else:
+            event.callbacks = []
+            for callback in callbacks:
+                callback(event)
+        if event._pooled:
+            self._timeout_pool.append(event)
+        self.events_processed += 1
         return when
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
         """Run until the queue drains or simulated time exceeds ``until``.
 
         Returns the final simulation time.  ``max_events`` is a runaway
-        backstop; exceeding it raises :class:`SimulationError`.
+        backstop: the loop processes at most ``max_events`` events and
+        raises :class:`SimulationError` the moment more work would exceed
+        that budget.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        events = 0
+        queue = self._queue
+        pool = self._timeout_pool
+        heappop = heapq.heappop
         try:
-            events = 0
-            while self._queue:
-                when = self._queue[0][0]
+            while queue:
+                when = queue[0][0]
                 if until is not None and when > until:
                     self._now = until
                     break
-                self.step()
-                events += 1
-                if events > max_events:
+                if events >= max_events:
                     raise SimulationError(
                         f"exceeded {max_events} events; runaway simulation?")
+                _, _, event = heappop(queue)
+                if when < self._now:
+                    raise SimulationError("time ran backwards")
+                self._now = when
+                event._processed = True
+                callbacks = event.callbacks
+                if len(callbacks) == 1:
+                    callback = callbacks[0]
+                    callbacks.clear()
+                    callback(event)
+                else:
+                    event.callbacks = []
+                    for callback in callbacks:
+                        callback(event)
+                if event._pooled:
+                    pool.append(event)
+                events += 1
             else:
                 if until is not None and until > self._now:
                     self._now = until
         finally:
             self._running = False
+            self.events_processed += events
         return self._now
 
     def run_until_complete(self, process: "Process",
@@ -216,16 +338,35 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        events = 0
+        queue = self._queue
+        pool = self._timeout_pool
+        heappop = heapq.heappop
         try:
-            events = 0
-            while self._queue and not process.finished:
-                self.step()
-                events += 1
-                if events > max_events:
+            while queue and not process._triggered:
+                if events >= max_events:
                     raise SimulationError(
                         f"exceeded {max_events} events; runaway simulation?")
+                when, _, event = heappop(queue)
+                if when < self._now:
+                    raise SimulationError("time ran backwards")
+                self._now = when
+                event._processed = True
+                callbacks = event.callbacks
+                if len(callbacks) == 1:
+                    callback = callbacks[0]
+                    callbacks.clear()
+                    callback(event)
+                else:
+                    event.callbacks = []
+                    for callback in callbacks:
+                        callback(event)
+                if event._pooled:
+                    pool.append(event)
+                events += 1
         finally:
             self._running = False
+            self.events_processed += events
         if not process.finished:
             raise SimulationError(
                 f"event queue drained but process {process!r} never finished "

@@ -33,6 +33,8 @@ class Interrupt(Exception):
 class Process(Event):
     """A running generator, resumable by the events it yields."""
 
+    __slots__ = ("_generator", "_send", "_waiting_on")
+
     def __init__(self, sim: Simulator, generator: Generator):
         if not hasattr(generator, "send"):
             raise SimulationError(
@@ -40,9 +42,10 @@ class Process(Event):
                 "did you forget to call the process function?")
         super().__init__(sim, name=getattr(generator, "__name__", "process"))
         self._generator = generator
+        self._send = generator.send
         self._waiting_on: Event | None = None
         # Bootstrap: resume once at the current time.
-        start = Event(sim, name=f"start:{self.name}")
+        start = Event(sim, "start")
         start.callbacks.append(self._resume)
         start.trigger()
 
@@ -66,34 +69,57 @@ class Process(Event):
             except ValueError:
                 pass
         self._waiting_on = None
-        poke = Event(self.sim, name=f"interrupt:{self.name}")
+        poke = Event(self.sim, f"interrupt:{self.name}")
         poke.callbacks.append(lambda _e: self._step(Interrupt(cause), throw=True))
         poke.trigger()
 
     # -- internal ---------------------------------------------------------
 
     def _resume(self, event: Event) -> None:
+        # The per-event hot path: _step with the throw branch and the extra
+        # call frame peeled off.
         self._waiting_on = None
-        self._step(event.value, throw=False)
+        try:
+            target = self._send(event._value)
+        except StopIteration as stop:
+            self.trigger(stop.value)
+            return
+        try:
+            processed = target._processed
+        except AttributeError:
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes may "
+                "only yield Events") from None
+        if processed:
+            # Already fired: resume immediately (but via the queue, to keep
+            # deterministic ordering).
+            poke = Event(self.sim, "immediate")
+            poke.callbacks.append(lambda _e: self._step(target._value))
+            poke.trigger()
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
 
-    def _step(self, value: Any, throw: bool) -> None:
+    def _step(self, value: Any, throw: bool = False) -> None:
         try:
             if throw:
                 target = self._generator.throw(value)
             else:
-                target = self._generator.send(value)
+                target = self._send(value)
         except StopIteration as stop:
             self.trigger(stop.value)
             return
-        if not isinstance(target, Event):
+        try:
+            processed = target._processed
+        except AttributeError:
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes may "
-                "only yield Events")
-        if target.processed:
+                "only yield Events") from None
+        if processed:
             # Already fired: resume immediately (but via the queue, to keep
             # deterministic ordering).
-            poke = Event(self.sim, name=f"immediate:{self.name}")
-            poke.callbacks.append(lambda _e: self._step(target.value, throw=False))
+            poke = Event(self.sim, "immediate")
+            poke.callbacks.append(lambda _e: self._step(target._value))
             poke.trigger()
         else:
             self._waiting_on = target

@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Optional
 
-from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.engine import Event, SimulationError, Simulator, _heappush
 
 
 class FifoStore:
@@ -30,6 +30,8 @@ class FifoStore:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._put_name = name + ".put"
+        self._get_name = name + ".get"
         self.items: Deque[Any] = deque()
         self._putters: Deque[tuple[Event, Any]] = deque()
         self._getters: Deque[Event] = deque()
@@ -54,16 +56,68 @@ class FifoStore:
 
     def put(self, item: Any) -> Event:
         """Return an event that fires once ``item`` has been enqueued."""
-        event = Event(self.sim, name=f"{self.name}.put")
+        return self._put(Event(self.sim, self._put_name), item)
+
+    def put_pooled(self, item: Any) -> Event:
+        """Like :meth:`put` with a recycled event — only for call sites
+        that ``yield`` the event immediately (see
+        :meth:`~repro.sim.engine.Simulator.pooled_event`)."""
+        return self._put(self.sim.pooled_event(self._put_name), item)
+
+    def _put(self, event: Event, item: Any) -> Event:
+        items = self.items
+        if not self._putters and len(items) < self.capacity:
+            # Accepted immediately — same trigger order as _settle (put
+            # event first, then the getter it satisfies, if any).
+            items.append(item)
+            self.total_put += 1
+            if len(items) > self.high_water:
+                self.high_water = len(items)
+            # Inline event.trigger(item): the event is fresh, so the
+            # double-trigger check cannot fire.
+            event._triggered = True
+            event._value = item
+            sim = self.sim
+            _heappush(sim._queue, (sim._now, next(sim._tiebreak), event))
+            getters = self._getters
+            if getters:
+                gev = getters.popleft()
+                got = items.popleft()
+                self.total_got += 1
+                gev.trigger(got)
+                if getters and items:
+                    self._settle()
+            return event
+        # Queued behind other putters, or the store is full.  No match is
+        # possible (the head putter is still blocked, and a waiting getter
+        # implies the store is empty), so skip the settle loop.
         self._putters.append((event, item))
-        self._settle()
         return event
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
-        event = Event(self.sim, name=f"{self.name}.get")
+        return self._get(Event(self.sim, self._get_name))
+
+    def get_pooled(self) -> Event:
+        """Like :meth:`get` with a recycled event — only for call sites
+        that ``yield`` the event immediately."""
+        return self._get(self.sim.pooled_event(self._get_name))
+
+    def _get(self, event: Event) -> Event:
+        items = self.items
+        if items and not self._getters:
+            got = items.popleft()
+            self.total_got += 1
+            event._triggered = True
+            event._value = got
+            sim = self.sim
+            _heappush(sim._queue, (sim._now, next(sim._tiebreak), event))
+            if self._putters:
+                self._settle()
+            return event
         self._getters.append(event)
-        self._settle()
+        if items:
+            self._settle()
         return event
 
     def try_put(self, item: Any) -> bool:
@@ -92,19 +146,24 @@ class FifoStore:
 
     def _settle(self) -> None:
         """Match putters to free slots and getters to items."""
+        items = self.items
+        putters = self._putters
+        getters = self._getters
+        capacity = self.capacity
         progressed = True
         while progressed:
             progressed = False
-            if self._putters and len(self.items) < self.capacity:
-                event, item = self._putters.popleft()
-                self.items.append(item)
+            if putters and len(items) < capacity:
+                event, item = putters.popleft()
+                items.append(item)
                 self.total_put += 1
-                self.high_water = max(self.high_water, len(self.items))
+                if len(items) > self.high_water:
+                    self.high_water = len(items)
                 event.trigger(item)
                 progressed = True
-            if self._getters and self.items:
-                event = self._getters.popleft()
-                item = self.items.popleft()
+            if getters and items:
+                event = getters.popleft()
+                item = items.popleft()
                 self.total_got += 1
                 event.trigger(item)
                 progressed = True
@@ -123,6 +182,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._acquire_name = name + ".acquire"
         self.in_use = 0
         self._waiters: Deque[tuple[Event, float]] = deque()
         # Statistics for contention analysis.
@@ -140,7 +200,7 @@ class Resource:
 
         The event's value is the wait time spent queued.
         """
-        event = Event(self.sim, name=f"{self.name}.acquire")
+        event = Event(self.sim, self._acquire_name)
         if self.in_use < self.capacity:
             self._grant(event, self.sim.now)
         else:
@@ -189,11 +249,12 @@ class Signal:
     def __init__(self, sim: Simulator, name: str = "signal"):
         self.sim = sim
         self.name = name
+        self._wait_name = name + ".wait"
         self._waiters: list[Event] = []
         self.fire_count = 0
 
     def wait(self) -> Event:
-        event = Event(self.sim, name=f"{self.name}.wait")
+        event = Event(self.sim, self._wait_name)
         self._waiters.append(event)
         return event
 

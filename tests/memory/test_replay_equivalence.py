@@ -1,0 +1,166 @@
+"""Fast-path vs. reference equivalence for the batch trace replay.
+
+``replay_traces(use_fast_path=True)`` must be *access-for-access*
+identical to the reference ``run_interleaved`` path: same hit/miss/
+evict/upgrade/TLB counters, same float operation order (hence
+bit-identical timing).  These property tests pin that over randomized
+traces designed to hit every replay regime — L1 hits, SHARED-line write
+upgrades, capacity misses, TLB thrashing — on one- and multi-CPU nodes.
+
+A second group pins the DES side the same way: the seeded fig9 run must
+produce an identical metrics snapshot run-to-run, so the pooled-event /
+inlined-trigger engine fast paths cannot perturb the instrumented path.
+"""
+
+import random
+
+import pytest
+
+from repro.memory.cache import AccessType, CacheGeometry
+from repro.memory.dram import DramConfig
+from repro.memory.hierarchy import HierarchyConfig
+from repro.memory.mp import (
+    FabricConfig,
+    FabricKind,
+    MultiprocessorMemory,
+    replay_traces,
+)
+from repro.memory.snoop import SnoopConfig
+from repro.memory.tlb import TlbConfig
+from repro.sim.clock import Clock
+
+
+def make_memory(cpus):
+    """A deliberately tiny node so short random traces still evict."""
+    hierarchy = HierarchyConfig(
+        cpu_clock=Clock(180.0),
+        bus_clock=Clock(60.0),
+        l1=CacheGeometry(1024, 64, 2),
+        l2=CacheGeometry(4096, 64, 2),
+        dram=DramConfig(num_banks=4, interleave_bytes=64,
+                        access_ns=60.0, bandwidth_mb_s=640.0),
+        tlb=TlbConfig(entries=8, page_bytes=4096, miss_cycles=12.0),
+        l1_hit_cycles=1.0, l2_hit_cycles=6.0, bus_overhead_bus_cycles=4.0)
+    fabric = FabricConfig(
+        kind=FabricKind.SWITCHED,
+        snoop=SnoopConfig(bus_clock=Clock(60.0), phase_cycles=3.0,
+                          queue_depth=4),
+        data_bus_mb_s=480.0, c2c_transfer_mb_s=480.0, c2c_latency_ns=50.0)
+    return MultiprocessorMemory(hierarchy, cpus, fabric)
+
+
+def random_trace(rng, length):
+    """A mixed-regime access stream.
+
+    Draws from a hot set (L1 hits), a shared region (cross-CPU MESI
+    traffic), a wide span (misses/evictions) and many pages (TLB churn),
+    with a read-heavy but write-significant mix.
+    """
+    hot = [rng.randrange(0, 2048) * 8 for _ in range(16)]
+    trace = []
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.45:
+            addr = rng.choice(hot)
+        elif roll < 0.70:
+            addr = rng.randrange(0, 4096) * 8  # shared region, all CPUs
+        else:
+            addr = rng.randrange(0, 1 << 22) & ~0x7  # wide span
+        access = AccessType.WRITE if rng.random() < 0.3 else AccessType.READ
+        trace.append((addr, access))
+    return trace
+
+
+def counters(memory):
+    """Every counter the replay touches, per CPU."""
+    return {
+        "l1": [l1.stats.as_dict() for l1 in memory.l1s],
+        "l2": [l2.stats.as_dict() for l2 in memory.l2s],
+        "tlb": [tlb.stats.as_dict() for tlb in memory.tlbs],
+    }
+
+
+def run_both(cpus, seed, length=3000, compute_ns=5.0):
+    rng = random.Random(seed)
+    traces = [random_trace(rng, length) for _ in range(cpus)]
+    stalls = [lambda latency, compute: latency] * cpus
+
+    fast_mem = make_memory(cpus)
+    fast = replay_traces(fast_mem, [list(t) for t in traces],
+                         compute_ns, stalls, use_fast_path=True)
+    ref_mem = make_memory(cpus)
+    ref = replay_traces(ref_mem, [list(t) for t in traces],
+                        compute_ns, stalls, use_fast_path=False)
+    return (fast, counters(fast_mem)), (ref, counters(ref_mem))
+
+
+class TestReplayFastPathEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 7, 42])
+    def test_single_cpu_identical(self, seed):
+        (fast, fast_counts), (ref, ref_counts) = run_both(1, seed)
+        assert fast == ref  # exact float equality, field for field
+        assert fast_counts == ref_counts
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_two_cpus_identical(self, seed):
+        (fast, fast_counts), (ref, ref_counts) = run_both(2, seed)
+        assert fast == ref
+        assert fast_counts == ref_counts
+
+    @pytest.mark.parametrize("seed", [4, 13])
+    def test_four_cpus_identical(self, seed):
+        (fast, fast_counts), (ref, ref_counts) = run_both(4, seed)
+        assert fast == ref
+        assert fast_counts == ref_counts
+
+    def test_access_counts_match_trace_length(self):
+        (fast, fast_counts), _ = run_both(2, seed=9, length=500)
+        for res in fast:
+            assert res.steps == 500
+        for l1_counts in fast_counts["l1"]:
+            hits = (l1_counts.get("read_hit", 0)
+                    + l1_counts.get("write_hit", 0))
+            misses = (l1_counts.get("read_miss", 0)
+                      + l1_counts.get("write_miss", 0))
+            assert hits + misses == 500
+
+    def test_all_regimes_exercised(self):
+        """The random traces must actually cover the interesting paths —
+        otherwise the equivalence assertions above prove nothing."""
+        _, (_, ref_counts) = run_both(2, seed=0)
+        l1_total = {}
+        for counts in ref_counts["l1"]:
+            for key, value in counts.items():
+                l1_total[key] = l1_total.get(key, 0) + value
+        tlb_total = {}
+        for counts in ref_counts["tlb"]:
+            for key, value in counts.items():
+                tlb_total[key] = tlb_total.get(key, 0) + value
+        for key in ("read_hit", "write_hit", "read_miss", "write_miss",
+                    "upgrade"):
+            assert l1_total.get(key, 0) > 0, f"trace never hit {key}"
+        assert tlb_total.get("misses", 0) > 0
+        assert tlb_total.get("hits", 0) > 0
+        assert tlb_total.get("evictions", 0) > 0
+
+
+class TestFig9MetricsSnapshotDeterminism:
+    def test_seeded_fig9_metrics_snapshot_identical(self):
+        from repro.msg.api import build_cluster_world
+        from repro.obs import observe
+
+        def run():
+            with observe() as session:
+                _, world = build_cluster_world()
+                total = 0.0
+                for nbytes in (8, 64, 512):
+                    total += world.one_way_latency_ns(0, 1, nbytes)
+            return total, session.metrics.snapshot()
+
+        total_a, snap_a = run()
+        total_b, snap_b = run()
+        assert total_a == total_b
+        assert dict(snap_a.items()) == dict(snap_b.items())
+        assert snap_b.diff(snap_a) == {}
+        # The snapshot is non-trivial: the whole message path reported in.
+        assert len(snap_a) > 10

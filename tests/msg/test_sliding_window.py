@@ -185,3 +185,50 @@ class TestGoodput:
             assert channel.stats["delivered"] == 128
             assert channel.stats.as_dict().get("undeliverable", 0) == 0
         assert all(a > b for a, b in zip(rates, rates[1:])), rates
+
+
+class TestRtoClamp:
+    """``max_rto_ns`` is a hard ceiling on the armed retransmit timer.
+
+    Pre-fix, the in-flight drain allowance (2x wire time of outstanding
+    bytes) and the jitter factor were applied *after* the clamp, so a
+    window full of large messages on a high-retry flow could arm timers
+    far past ``max_rto_ns``, stretching recovery well beyond the
+    configured bound.
+    """
+
+    def _loaded_flow(self, channel, retries=10, inflight_msgs=8,
+                     nbytes=64 * 1024):
+        from repro.msg.sliding_window import _InFlight
+
+        flow = channel._flow(0, 1)
+        flow.retries = retries
+        flow.rto_ns = channel.config.max_rto_ns  # already saturated
+        for seq in range(inflight_msgs):
+            flow.inflight.append(_InFlight(
+                seq=seq, nbytes=nbytes, request=None,
+                sent_at=channel.sim.now))
+        return flow
+
+    def test_timeout_never_exceeds_max_rto(self):
+        sim, channel = make_channel(max_rto_ns=4_000_000.0)
+        flow = self._loaded_flow(channel)
+        ceiling = channel.config.max_rto_ns
+        for _ in range(200):
+            assert channel._timeout_ns(flow) <= ceiling
+
+    def test_timeout_clamped_even_with_zero_jitter(self):
+        """The wire-time allowance alone must not escape the clamp."""
+        sim, channel = make_channel(max_rto_ns=1_000_000.0, jitter=0.0)
+        flow = self._loaded_flow(channel, retries=12, inflight_msgs=16)
+        assert channel._timeout_ns(flow) == channel.config.max_rto_ns
+
+    def test_timeout_unclamped_below_ceiling(self):
+        """A quiet flow (no retries, small window) keeps its scaled RTO."""
+        sim, channel = make_channel(jitter=0.0)
+        flow = self._loaded_flow(channel, retries=0, inflight_msgs=1,
+                                 nbytes=64)
+        flow.rto_ns = channel.config.initial_rto_ns
+        timeout = channel._timeout_ns(flow)
+        assert timeout < channel.config.max_rto_ns
+        assert timeout >= channel.config.initial_rto_ns
