@@ -250,3 +250,21 @@ def hint_on_machine(spec: MachineSpec, data_type: str = "double",
     return run_hint(node, data_type=data_type,
                     max_subintervals=max_subintervals,
                     machine_key=spec.key)
+
+
+#: What a HINT (or any trace-replay node) point imports — the cache
+#: fingerprint set shared by the fig6/fig7/fig8 sweeps.
+NODE_SWEEP_MODULES = ("repro.sim", "repro.memory", "repro.cpu", "repro.node",
+                      "repro.core", "repro.bench.hint",
+                      "repro.bench.matmult")
+
+
+def hint_point_task(config: dict, seed: int) -> HintResult:
+    """One Figure-6 cell as a sweep task (module-level: pools pickle it).
+
+    The replay is deterministic, so ``seed`` is unused — it still keys
+    the cache fingerprint through the scheduler.
+    """
+    return hint_on_machine(config["spec"], data_type=config["data_type"],
+                           scale=config["scale"],
+                           max_subintervals=config["max_subintervals"])

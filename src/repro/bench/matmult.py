@@ -161,6 +161,16 @@ def run_matmult(node: NodeModel, n: int, version: str = "naive",
 DEFAULT_SAMPLE = (2, 3)
 
 
+def matmult_point(spec: MachineSpec, n: int, version: str = "naive",
+                  cpus: int = 1, scale: int = 16,
+                  sample_threshold: int = 48) -> MatMultResult:
+    """One Figure-7 cell: n x n MatMult on a fresh node of ``spec``."""
+    node = spec.node(scale=scale)
+    sample = DEFAULT_SAMPLE if n > sample_threshold else None
+    return run_matmult(node, n, version=version, cpus=cpus,
+                       sample_rows=sample, machine_key=spec.key)
+
+
 def matmult_sweep(spec: MachineSpec, sizes: Sequence[int],
                   version: str = "naive", cpus: int = 1, scale: int = 16,
                   sample_threshold: int = 48) -> List[MatMultResult]:
@@ -169,14 +179,21 @@ def matmult_sweep(spec: MachineSpec, sizes: Sequence[int],
     ``scale`` shrinks the caches (line sizes preserved); sizes above
     ``sample_threshold`` use row sampling.
     """
-    results = []
-    for n in sizes:
-        node = spec.node(scale=scale)
-        sample = DEFAULT_SAMPLE if n > sample_threshold else None
-        results.append(run_matmult(node, n, version=version, cpus=cpus,
-                                   sample_rows=sample,
-                                   machine_key=spec.key))
-    return results
+    return [matmult_point(spec, n, version=version, cpus=cpus, scale=scale,
+                          sample_threshold=sample_threshold)
+            for n in sizes]
+
+
+def matmult_point_task(config: dict, seed: int) -> MatMultResult:
+    """One (machine, size, version) cell as a sweep task (picklable)."""
+    return matmult_point(config["spec"], config["n"],
+                         version=config["version"], scale=config["scale"])
+
+
+def smp_point_task(config: dict, seed: int) -> float:
+    """One Figure-8 cell (dual-processor speedup) as a sweep task."""
+    return smp_speedup(config["spec"], config["n"], config["version"],
+                       scale=config["scale"])
 
 
 def smp_speedup(spec: MachineSpec, n: int, version: str = "naive",

@@ -9,14 +9,20 @@ figure.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.comparators.models import bip_model, fm_model
 from repro.msg.api import CommWorld, build_cluster_world
 from repro.ni.dma import DmaNicModel
 from repro.ni.driver import DriverConfig
 from repro.obs import OBS
+
+#: What a PowerMANNA comm point imports — the cache fingerprint set.
+COMM_SWEEP_MODULES = ("repro.sim", "repro.network", "repro.ni", "repro.msg",
+                      "repro.node", "repro.core", "repro.comparators",
+                      "repro.bench.microbench")
 
 DEFAULT_SIZES = (4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
                  8192, 16384, 32768, 65536)
@@ -90,19 +96,56 @@ def comparator_point(model: DmaNicModel, nbytes: int) -> CommPoint:
         bidir_mb_s=model.bidirectional_mb_s(nbytes))
 
 
+def _comm_point_task(config: Dict[str, Any], seed: int) -> CommPoint:
+    """One PowerMANNA point as a sweep task (module-level: pools pickle it).
+
+    When the sweep carries a fault plan, the plan is armed *per point*
+    with the derived seed, so a point's fault draws depend only on its
+    own identity — never on how many draws earlier points consumed.
+    """
+    plan_dict = config.get("fault_plan")
+    if plan_dict is not None:
+        from repro.faults import FaultPlan, inject
+
+        fault_ctx = inject(FaultPlan.from_dict(plan_dict).with_seed(seed))
+    else:
+        fault_ctx = contextlib.nullcontext()
+    with fault_ctx:
+        return powermanna_point(config["nbytes"], config["metric"],
+                                config["fifo_words"],
+                                config["driver_config"])
+
+
 def comm_sweep(metric: str, sizes: Sequence[int] = DEFAULT_SIZES,
                fifo_words: int = 32,
                driver_config: DriverConfig = DriverConfig(),
                include_comparators: bool = True,
+               jobs: int = 1,
+               cache=None,
+               fault_plan=None,
                ) -> Dict[str, List[CommPoint]]:
     """One figure's worth of data: metric across sizes and systems.
 
     ``metric`` is one of "latency" (Fig. 9), "gap" (Fig. 10), "unidir"
-    (Fig. 11), "bidir" (Fig. 12).
+    (Fig. 11), "bidir" (Fig. 12).  The PowerMANNA points (the expensive
+    discrete-event runs) fan out over ``jobs`` workers and consult
+    ``cache``; the BIP/FM comparator points are closed-form arithmetic
+    and stay in-process.  ``fault_plan`` (a :class:`repro.faults.FaultPlan`)
+    is armed per point with a seed derived from the point's identity.
     """
+    from repro.parallel import run_sweep, sweep_values
+
+    plan_dict = fault_plan.to_dict() if fault_plan is not None else None
+    points = [((metric, n), {"metric": metric, "nbytes": n,
+                             "fifo_words": fifo_words,
+                             "driver_config": driver_config,
+                             "fault_plan": plan_dict})
+              for n in sizes]
+    outcomes = run_sweep(f"comm:{metric}", points, _comm_point_task,
+                         jobs=jobs, cache=cache, modules=COMM_SWEEP_MODULES,
+                         seed_base=fault_plan.seed if fault_plan else 0)
     result: Dict[str, List[CommPoint]] = {}
-    result["PowerMANNA"] = [
-        powermanna_point(n, metric, fifo_words, driver_config) for n in sizes]
+    result["PowerMANNA"] = sweep_values(outcomes)
     if include_comparators:
         for model in (bip_model(), fm_model()):
             result[model.name] = [comparator_point(model, n) for n in sizes]

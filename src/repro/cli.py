@@ -17,17 +17,27 @@ Observability::
     python -m repro trace fig9 --out trace.json     # Perfetto-loadable
     python -m repro metrics fig7 --out metrics.json
     python -m repro fig9 --trace t.json --metrics-out m.json
+
+Parallelism and caching::
+
+    python -m repro fig7 --jobs 4                   # fan points out
+    python -m repro chaos --seeds 16 --jobs 4       # multi-seed campaign
+    python -m repro fig9 --no-cache                 # force recomputation
+
+Every sweep-style command farms its independent points over ``--jobs``
+worker processes and consults a content-addressed result cache
+(``~/.cache/repro`` or ``--cache-dir``); output is byte-identical at any
+``--jobs`` level, and re-running an unchanged figure is a cache hit.
 """
 
 from __future__ import annotations
 
 import argparse
-import contextlib
 import sys
 from typing import Optional, Sequence
 
-from repro.bench.hint import hint_on_machine
-from repro.bench.matmult import matmult_sweep, smp_speedup
+from repro.bench.hint import NODE_SWEEP_MODULES, hint_point_task
+from repro.bench.matmult import matmult_point_task, smp_point_task
 from repro.bench.microbench import comm_sweep, metric_value
 from repro.bench.report import format_config_table, format_series, format_table
 from repro.core.machine import PowerMannaSystem
@@ -41,6 +51,7 @@ from repro.core.specs import (
 from repro.obs import observe
 from repro.obs.export import write_metrics_csv, write_metrics_json, write_trace
 from repro.obs.metrics import format_series as format_metric_series
+from repro.parallel import ResultCache, run_sweep
 
 NODE_MACHINES = (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180, PC_CLUSTER_266)
 DEFAULT_COMM_SIZES = (8, 64, 512, 4096, 16384)
@@ -50,6 +61,35 @@ DEFAULT_MATMULT_SIZES = (8, 24, 48, 96)
 def _emit(text: str) -> None:
     print(text)
     print()
+
+
+def _sweep_options(args) -> dict:
+    """The shared --jobs/--no-cache/--cache-dir surface as run_sweep
+    keywords; commands without the flags fall back to serial, uncached."""
+    cache = None
+    if hasattr(args, "no_cache") and not args.no_cache:
+        cache = ResultCache(getattr(args, "cache_dir", None))
+    return {"jobs": getattr(args, "jobs", 1) or 1, "cache": cache}
+
+
+def _report_cache(cache: Optional[ResultCache]) -> None:
+    """Cache accounting goes to stderr so stdout stays byte-comparable
+    between cold and warm runs."""
+    if cache is not None and (cache.hits or cache.misses):
+        print(cache.stats_line(), file=sys.stderr)
+
+
+def _write_session_artifacts(session, trace_path: Optional[str],
+                             metrics_path: Optional[str]) -> None:
+    """The one write-and-print block every traced/metered command shares."""
+    if trace_path:
+        write_trace(trace_path, session.tracer)
+        print(f"wrote {trace_path}: "
+              f"{len(session.tracer.finished_spans())} spans, "
+              f"{len(session.tracer.message_ids())} messages")
+    if metrics_path:
+        write_metrics_json(metrics_path, session.metrics)
+        print(f"wrote {metrics_path}: {len(session.metrics)} series")
 
 
 def cmd_list(_args) -> None:
@@ -77,40 +117,65 @@ def cmd_table1(_args) -> None:
 
 
 def cmd_fig6(args) -> None:
+    sweep = _sweep_options(args)
+    points = [((data_type, spec.key),
+               {"spec": spec, "data_type": data_type, "scale": args.scale,
+                "max_subintervals": args.subintervals})
+              for data_type in ("double", "int")
+              for spec in NODE_MACHINES]
+    outcomes = run_sweep("fig6", points, hint_point_task,
+                         modules=NODE_SWEEP_MODULES, **sweep)
+    results = {outcome.key: outcome.value for outcome in outcomes}
     for data_type in ("double", "int"):
-        results = {spec.key: hint_on_machine(
-            spec, data_type=data_type, scale=args.scale,
-            max_subintervals=args.subintervals)
-            for spec in NODE_MACHINES}
-        marks = [p.subintervals for p in results["powermanna"].points]
-        series = {key: [r.quips_at_subintervals(m) for m in marks]
-                  for key, r in results.items()}
+        marks = [p.subintervals
+                 for p in results[(data_type, "powermanna")].points]
+        series = {spec.key: [results[(data_type, spec.key)]
+                             .quips_at_subintervals(m) for m in marks]
+                  for spec in NODE_MACHINES}
         _emit(format_series(series, marks, "subintervals",
                             title=f"Figure 6 ({data_type.upper()}): QUIPS"))
+    _report_cache(sweep["cache"])
 
 
 def cmd_fig7(args) -> None:
     sizes = args.sizes or list(DEFAULT_MATMULT_SIZES)
+    sweep = _sweep_options(args)
+    machines = (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180)
+    points = [((version, spec.key, n),
+               {"spec": spec, "n": n, "version": version,
+                "scale": args.scale})
+              for version in ("naive", "transposed")
+              for spec in machines
+              for n in sizes]
+    outcomes = run_sweep("fig7", points, matmult_point_task,
+                         modules=NODE_SWEEP_MODULES, **sweep)
+    results = {outcome.key: outcome.value for outcome in outcomes}
     for version in ("naive", "transposed"):
-        series = {}
-        for spec in (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180):
-            results = matmult_sweep(spec, sizes, version, scale=args.scale)
-            series[spec.key] = [r.mflops for r in results]
+        series = {spec.key: [results[(version, spec.key, n)].mflops
+                             for n in sizes]
+                  for spec in machines}
         _emit(format_series(series, sizes, "N",
                             title=f"Figure 7 ({version}): MFLOPS"))
+    _report_cache(sweep["cache"])
 
 
 def cmd_fig8(args) -> None:
     sizes = args.sizes or [40, 96]
-    rows = []
-    for spec in (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180):
-        for version in ("naive", "transposed"):
-            for n in sizes:
-                rows.append([spec.key, version, n,
-                             round(smp_speedup(spec, n, version,
-                                               scale=args.scale), 3)])
+    sweep = _sweep_options(args)
+    machines = (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180)
+    points = [((spec.key, version, n),
+               {"spec": spec, "n": n, "version": version,
+                "scale": args.scale})
+              for spec in machines
+              for version in ("naive", "transposed")
+              for n in sizes]
+    outcomes = run_sweep("fig8", points, smp_point_task,
+                         modules=NODE_SWEEP_MODULES, **sweep)
+    rows = [[key[0], key[1], key[2], round(outcome.value, 3)]
+            for key, outcome in ((o.key, o) for o in outcomes)]
     _emit(format_table(["machine", "version", "N", "speedup"], rows,
                        title="Figure 8: dual-processor speedup"))
+    _report_cache(sweep["cache"])
 
 
 def _fault_plan_from_args(args):
@@ -141,29 +206,18 @@ def _comm_figure(metric: str, title: str, args) -> None:
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics_out", None)
     plan = _fault_plan_from_args(args)
-    if plan is None:
-        fault_ctx = contextlib.nullcontext()
-    else:
-        from repro.faults import inject
-
-        fault_ctx = inject(plan)
+    options = _sweep_options(args)
     if trace_path or metrics_path:
-        with observe() as session, fault_ctx:
-            sweep = comm_sweep(metric, sizes=sizes)
-        if trace_path:
-            write_trace(trace_path, session.tracer)
-            print(f"wrote {trace_path}: "
-                  f"{len(session.tracer.finished_spans())} spans, "
-                  f"{len(session.tracer.message_ids())} messages")
-        if metrics_path:
-            write_metrics_json(metrics_path, session.metrics)
-            print(f"wrote {metrics_path}: {len(session.metrics)} series")
+        with observe() as session:
+            sweep = comm_sweep(metric, sizes=sizes, fault_plan=plan,
+                               **options)
+        _write_session_artifacts(session, trace_path, metrics_path)
     else:
-        with fault_ctx:
-            sweep = comm_sweep(metric, sizes=sizes)
+        sweep = comm_sweep(metric, sizes=sizes, fault_plan=plan, **options)
     series = {system: [metric_value(p, metric) for p in points]
               for system, points in sweep.items()}
     _emit(format_series(series, list(sizes), "bytes", title=title))
+    _report_cache(options["cache"])
 
 
 def cmd_fig9(args) -> None:
@@ -196,6 +250,9 @@ def cmd_chaos(args) -> None:
     if args.seed is not None:
         plan = plan.with_seed(args.seed)
 
+    if args.seeds:
+        return _chaos_campaign(plan, args)
+
     def run():
         return run_chaos(plan,
                          topology=args.topology,
@@ -209,14 +266,7 @@ def cmd_chaos(args) -> None:
     if args.trace or args.metrics_out:
         with observe() as session:
             report = run()
-        if args.trace:
-            write_trace(args.trace, session.tracer)
-            print(f"wrote {args.trace}: "
-                  f"{len(session.tracer.finished_spans())} spans, "
-                  f"{len(session.tracer.message_ids())} messages")
-        if args.metrics_out:
-            write_metrics_json(args.metrics_out, session.metrics)
-            print(f"wrote {args.metrics_out}: {len(session.metrics)} series")
+        _write_session_artifacts(session, args.trace, args.metrics_out)
     else:
         report = run()
     _emit(format_report(report))
@@ -227,15 +277,93 @@ def cmd_chaos(args) -> None:
         print(f"wrote {args.report_out}")
 
 
-def cmd_bench(args) -> None:
-    from repro.perf import format_bench_table, run_bench, write_bench_json
+def _chaos_campaign(plan, args) -> None:
+    """``chaos --seeds N``: a multi-seed campaign over the sweep scheduler."""
+    from repro.parallel.campaign import format_campaign, run_campaign
+
+    options = _sweep_options(args)
+
+    def run():
+        return run_campaign(plan, args.seeds,
+                            topology=args.topology,
+                            protocol=args.protocol,
+                            flows=args.flows,
+                            messages=args.messages,
+                            nbytes=args.nbytes,
+                            window=args.window,
+                            error_rate=args.error_rate,
+                            **options)
+
+    if args.trace or args.metrics_out:
+        with observe() as session:
+            report = run()
+        _write_session_artifacts(session, args.trace, args.metrics_out)
+    else:
+        report = run()
+    _emit(format_campaign(report))
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        print(f"wrote {args.report_out}")
+    _report_cache(options["cache"])
+
+
+def _default_bench_out(quick: bool) -> str:
+    return "BENCH_perf.quick.json" if quick else "BENCH_perf.json"
+
+
+def cmd_bench(args) -> Optional[int]:
+    from repro.perf import (
+        compare_payloads,
+        format_bench_table,
+        format_compare_table,
+        load_payload,
+        run_bench,
+        write_bench_json,
+    )
+
+    if args.compare:
+        old_path, new_path = args.compare
+        deltas, regressions = compare_payloads(
+            load_payload(old_path), load_payload(new_path),
+            threshold=args.threshold)
+        _emit(format_compare_table(deltas, args.threshold))
+        if regressions:
+            names = ", ".join(d.name for d in regressions)
+            print(f"FAIL: {len(regressions)} kernel(s) regressed beyond "
+                  f"{args.threshold * 100.0:.0f}%: {names}")
+            return 1
+        print(f"OK: no kernel regressed beyond "
+              f"{args.threshold * 100.0:.0f}%")
+        return 0
+
+    out = args.out if args.out is not None else _default_bench_out(args.quick)
+    if args.quick and args.out is None:
+        # A quick run must never silently clobber a recorded full run:
+        # the default quick path refuses if it holds a non-quick payload.
+        import json as _json
+        import os as _os
+
+        if _os.path.exists(out):
+            try:
+                existing_quick = _json.load(open(out)).get("quick", True)
+            except (OSError, ValueError):
+                existing_quick = True
+            if existing_quick is False:
+                print(f"refusing to overwrite {out}: it holds a full "
+                      f"(non-quick) benchmark run; pass --out explicitly "
+                      f"to replace it", file=sys.stderr)
+                return 2
 
     repeats = 1 if args.quick else args.repeats
-    results = run_bench(repeats=repeats, kernels=args.kernels or None)
+    results = run_bench(repeats=repeats, kernels=args.kernels or None,
+                        jobs=getattr(args, "jobs", 1) or 1)
     _emit(format_bench_table(results))
-    write_bench_json(args.out, results, quick=args.quick)
-    print(f"wrote {args.out}: {len(results)} kernels, "
+    write_bench_json(out, results, quick=args.quick)
+    print(f"wrote {out}: {len(results)} kernels, "
           f"best of {repeats} repeat(s)")
+    return 0
 
 
 def cmd_logp(args) -> None:
@@ -309,12 +437,25 @@ def cmd_metrics(args) -> None:
         print(f"wrote {args.out}: {len(registry)} series")
 
 
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    """The shared --jobs/--no-cache/--cache-dir surface of every sweep."""
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the point sweep; output "
+                             "is byte-identical at any jobs level")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the content-addressed result cache")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="result cache location (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+
+
 def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
     """The union of options the wrapped experiment commands read."""
     parser.add_argument("--scale", type=int, default=16)
     parser.add_argument("--sizes", type=int, nargs="*", default=None)
     parser.add_argument("--subintervals", type=int, default=4096)
     parser.add_argument("--nbytes", type=int, default=8)
+    _add_sweep_options(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -329,12 +470,14 @@ def build_parser() -> argparse.ArgumentParser:
     fig6 = sub.add_parser("fig6", help="HINT QUIPS curves")
     fig6.add_argument("--scale", type=int, default=16)
     fig6.add_argument("--subintervals", type=int, default=4096)
+    _add_sweep_options(fig6)
 
     for name, helptext in (("fig7", "MatMult MFLOPS"),
                            ("fig8", "SMP speedup")):
         p = sub.add_parser(name, help=helptext)
         p.add_argument("--scale", type=int, default=16)
         p.add_argument("--sizes", type=int, nargs="*", default=None)
+        _add_sweep_options(p)
 
     for name, helptext in (("fig9", "one-way latency"),
                            ("fig10", "send gap"),
@@ -355,6 +498,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(JSON; see the chaos subcommand)")
         p.add_argument("--fault-seed", type=int, default=None,
                        help="override the fault plan's seed")
+        _add_sweep_options(p)
 
     chaos = sub.add_parser(
         "chaos", help="run a fault-injection experiment from a plan file")
@@ -382,7 +526,13 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--metrics-out", metavar="FILE", default=None,
                        help="write labeled metrics of the run as JSON")
     chaos.add_argument("--report-out", metavar="FILE", default=None,
-                       help="write the chaos report as JSON")
+                       help="write the chaos report (or campaign report "
+                            "with --seeds) as JSON")
+    chaos.add_argument("--seeds", type=int, default=0, metavar="N",
+                       help="campaign mode: run the experiment under N "
+                            "derived seeds and aggregate goodput/reroute "
+                            "statistics (mean/p50/p99)")
+    _add_sweep_options(chaos)
 
     logp = sub.add_parser("logp", help="LogP parameters")
     logp.add_argument("--nbytes", type=int, default=8)
@@ -396,8 +546,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timing repeats per kernel (best is reported)")
     bench.add_argument("--kernels", nargs="*", default=None,
                        help="subset of kernels to run (default: all)")
-    bench.add_argument("--out", default="BENCH_perf.json",
-                       help="where to write the benchmark document")
+    bench.add_argument("--out", default=None,
+                       help="where to write the benchmark document "
+                            "(default: BENCH_perf.json, or "
+                            "BENCH_perf.quick.json with --quick)")
+    bench.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the (kernel, repeat) "
+                            "units; keep 1 when walls are the deliverable")
+    bench.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                       default=None,
+                       help="compare two BENCH_perf.json documents instead "
+                            "of running; exit non-zero on regression")
+    bench.add_argument("--threshold", type=float, default=0.10,
+                       help="--compare: relative wall regression that "
+                            "fails the gate (default 0.10 = 10%%)")
 
     trace = sub.add_parser(
         "trace", help="run an experiment with span tracing enabled")
@@ -440,8 +602,8 @@ _COMMANDS = {
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    _COMMANDS[args.command](args)
-    return 0
+    rc = _COMMANDS[args.command](args)
+    return rc or 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,10 +15,31 @@ from __future__ import annotations
 
 import enum
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 _message_ids = itertools.count(1)
+
+
+@contextmanager
+def message_id_namespace(start: int = 1):
+    """Run a block with its own message-id counter, restoring the old one.
+
+    Message ids are normally process-global, which makes them depend on
+    everything that ran earlier in the process.  The parallel sweep
+    scheduler runs every sweep point inside its own namespace so a point
+    produces the same ids whether it executes first, last, in-process or
+    in a worker — the property that makes ``--jobs N`` traces byte-compare
+    equal to ``--jobs 1``.
+    """
+    global _message_ids
+    saved = _message_ids
+    _message_ids = itertools.count(start)
+    try:
+        yield
+    finally:
+        _message_ids = saved
 
 PAYLOAD_FLIT_BYTES = 8  # one 64-bit word, the NI FIFO granularity
 

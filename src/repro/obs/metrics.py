@@ -135,6 +135,29 @@ class MetricsSnapshot:
                 out[key] = delta
         return out
 
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Combine two snapshots (e.g. from two sweep workers) into one.
+
+        Counter and histogram series accumulate (their snapshot value is a
+        count), so the merged value is the sum.  Gauges are levels, not
+        totals: the merge takes the *max* level — the only combining rule
+        that keeps ``merge`` commutative and associative, which is what
+        lets a fan-out merge per-worker snapshots in any order and land on
+        the same result (see tests/obs/test_merge.py).
+        """
+        values = dict(self._values)
+        kinds = dict(self._kinds)
+        for key, value in other._values.items():
+            kind = other._kinds.get(key)
+            if key not in values:
+                values[key] = value
+                kinds[key] = kind
+            elif kind == "gauge":
+                values[key] = max(values[key], value)
+            else:
+                values[key] = values[key] + value
+        return MetricsSnapshot(values, kinds)
+
 
 class MetricsRegistry:
     """Get-or-create store of labeled instruments (see module docstring)."""
@@ -230,6 +253,55 @@ class MetricsRegistry:
         return MetricsSnapshot(
             {key: inst.value for key, inst in self._store.items()},
             {key: inst.kind for key, inst in self._store.items()})
+
+    # -- fan-out transport ---------------------------------------------------
+
+    def encode(self) -> List[Tuple[str, LabelItems, str, Any]]:
+        """The registry as a flat, picklable payload for cross-process
+        transport: ``(name, labels, kind, data)`` per series, sorted by
+        series key.  Counters and gauges ship their value; histograms ship
+        their full sorted sample list so the merged quantiles stay exact.
+        """
+        out: List[Tuple[str, LabelItems, str, Any]] = []
+        for (name, labels), inst in sorted(self._store.items()):
+            if inst.kind == "histogram":
+                data: Any = tuple(sorted(inst.hist.samples()))
+            else:
+                data = inst.value
+            out.append((name, labels, inst.kind, data))
+        return out
+
+    def merge_encoded(self,
+                      payload: List[Tuple[str, LabelItems, str, Any]]) -> None:
+        """Fold an :meth:`encode` payload from another registry into this
+        one.  Counters and histogram samples accumulate exactly; a gauge
+        collision keeps the max level (the commutative choice — see
+        :meth:`MetricsSnapshot.merge`).  Prefixes and ambient labels do
+        not apply: the payload already carries final series keys.
+        """
+        classes = {"counter": CounterMetric, "gauge": GaugeMetric,
+                   "histogram": HistogramMetric}
+        for name, labels, kind, data in payload:
+            key = (name, tuple(tuple(item) for item in labels))
+            inst = self._store.get(key)
+            created = inst is None
+            if created:
+                inst = classes[kind](key[0], key[1])
+                self._store[key] = inst
+            elif inst.kind != kind:
+                raise TypeError(
+                    f"metric {format_series(*key)} is a {inst.kind} here "
+                    f"but a {kind} in the merged payload")
+            if kind == "counter":
+                inst.value += data
+            elif kind == "gauge":
+                inst.value = data if created else max(inst.value, data)
+            else:
+                inst.hist.merge_sorted(data)
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """In-process variant of :meth:`merge_encoded`."""
+        self.merge_encoded(other.encode())
 
     # Columns the exporter itself owns; a label with one of these names is
     # prefixed rather than allowed to clobber the column.

@@ -113,6 +113,69 @@ class SpanTracer:
         if span_id is not None:
             self.end(span_id, end_ns, **attrs)
 
+    # -- fan-out transport ----------------------------------------------------
+
+    def encode(self) -> Dict[str, Any]:
+        """The tracer as a picklable payload for cross-process transport.
+
+        Spans ship in span-id order (their recording order) so a later
+        :meth:`merge_point` reallocates ids deterministically; the
+        message-root table and drop count ride along.
+        """
+        spans = [(s.span_id, s.name, s.component, s.start_ns, s.category,
+                  s.end_ns, s.parent_id, s.message_id, dict(s.attrs))
+                 for _, s in sorted(self.spans.items())]
+        return {"spans": spans,
+                "roots": dict(self._root_by_message),
+                "dropped": self.dropped}
+
+    def max_message_id(self) -> int:
+        """Largest message id any span references (0 when none)."""
+        ids = [s.message_id for s in self.spans.values()
+               if s.message_id is not None]
+        ids.extend(self._root_by_message)
+        return max(ids, default=0)
+
+    def merge_point(self, payload: Dict[str, Any],
+                    message_offset: int = 0) -> int:
+        """Fold one captured sweep point's spans into this tracer.
+
+        Span ids are reallocated from this tracer's counter in the
+        payload's recording order (parent links follow the same map), and
+        every message id is shifted by ``message_offset`` so points that
+        each counted messages from 1 stay distinct after the merge.
+        Returns the largest *shifted* message id, i.e. the offset the next
+        point should build on.  Merging the same payloads in the same
+        order therefore reproduces identical span ids and message ids no
+        matter which worker produced each payload — the ``--jobs N``
+        byte-identity property.
+        """
+        idmap: Dict[int, int] = {}
+        top = message_offset
+        for (old_id, name, component, start_ns, category, end_ns,
+             parent_id, message_id, attrs) in payload["spans"]:
+            if len(self.spans) >= self.limit:
+                self.dropped += 1
+                continue
+            new_id = next(self._ids)
+            idmap[old_id] = new_id
+            if message_id is not None:
+                message_id += message_offset
+                top = max(top, message_id)
+            self.spans[new_id] = Span(
+                span_id=new_id, name=name, component=component,
+                start_ns=start_ns, category=category, end_ns=end_ns,
+                parent_id=idmap.get(parent_id) if parent_id is not None
+                else None,
+                message_id=message_id, attrs=dict(attrs))
+        for message_id, root_id in sorted(payload["roots"].items()):
+            if root_id in idmap:
+                shifted = message_id + message_offset
+                top = max(top, shifted)
+                self._root_by_message[shifted] = idmap[root_id]
+        self.dropped += payload.get("dropped", 0)
+        return top
+
     # -- inspection ---------------------------------------------------------------
 
     def __len__(self) -> int:

@@ -1,0 +1,44 @@
+"""repro.parallel — deterministic fan-out of sweeps plus a result cache.
+
+The paper's evaluation is a family of independent sweeps (message sizes,
+matrix sizes, HINT machines, chaos seeds); this package farms those
+points over a process pool with strict ``jobs=N == jobs=1`` determinism
+and never recomputes a point whose (source digest, config, seed)
+fingerprint already has a cached result.  See :mod:`repro.parallel.sweep`
+for the scheduler contract and :mod:`repro.parallel.cache` for the
+fingerprinting rules.
+"""
+
+from repro.parallel.cache import (
+    CACHE_ENV,
+    ResultCache,
+    canonical,
+    clear_digest_memo,
+    default_cache_dir,
+    fingerprint,
+    source_digest,
+)
+from repro.parallel.sweep import (
+    Point,
+    PointFn,
+    PointOutcome,
+    derive_seed,
+    run_sweep,
+    sweep_values,
+)
+
+__all__ = [
+    "CACHE_ENV",
+    "Point",
+    "PointFn",
+    "PointOutcome",
+    "ResultCache",
+    "canonical",
+    "clear_digest_memo",
+    "default_cache_dir",
+    "derive_seed",
+    "fingerprint",
+    "run_sweep",
+    "source_digest",
+    "sweep_values",
+]

@@ -1,0 +1,188 @@
+"""The parallel sweep scheduler: deterministic fan-out of sweep points.
+
+Every figure in the reproduction is a family of *independent* points —
+message sizes (Figs. 9-12), matrix sizes (Figs. 7-8), HINT machines
+(Fig. 6), chaos seeds — so :func:`run_sweep` farms them over a process
+pool and merges the results back as if they had run serially.  The
+contract is **strict determinism**: ``jobs=N`` must produce byte-identical
+output to ``jobs=1``.  Three mechanisms enforce it:
+
+* **seeding** — every point's RNG seed is derived from
+  ``(sweep_id, point_key, seed_base)`` by SHA-256, never from worker
+  identity, scheduling order or wall time;
+* **isolation** — each point runs inside its own message-id namespace
+  (:func:`repro.network.message.message_id_namespace`) and, when
+  observability is enabled, its own :func:`repro.obs.observe` session, so
+  a point's spans/metrics do not depend on what ran before it in the
+  same process;
+* **ordered merge** — per-point metric registries and span sets come
+  back as encoded payloads and are folded into the ambient session in
+  *submission* order (span ids reallocated, message ids offset per
+  point), regardless of completion order.
+
+Workers are plain ``multiprocessing`` pool processes (fork where
+available, spawn otherwise); ``fn`` must therefore be a module-level
+callable and configs must pickle.  A :class:`~repro.parallel.cache.ResultCache`
+short-circuits any point whose fingerprint (source digest + config +
+seed) already has a stored result — including its captured metrics and
+spans, so a warm-cache ``--trace`` run still writes the full trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs import OBS, observe
+from repro.parallel.cache import ResultCache, fingerprint, source_digest
+
+#: A sweep point: (hashable key with a deterministic repr, config kwargs).
+Point = Tuple[Any, Dict[str, Any]]
+
+#: Point functions take (config, seed) and return a picklable value.
+PointFn = Callable[[Dict[str, Any], int], Any]
+
+
+def derive_seed(sweep_id: str, key: Any, base: int = 0) -> int:
+    """A 63-bit seed from (sweep id, point key, base seed), by SHA-256.
+
+    Depends only on the identity of the point — not on worker ids,
+    scheduling, or how many points ran before it — so a point is seeded
+    identically at any ``jobs`` level, which is the root of the
+    ``--jobs N == --jobs 1`` guarantee.
+    """
+    blob = repr((sweep_id, key, base)).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """One executed (or cache-replayed) sweep point."""
+
+    key: Any
+    value: Any
+    seed: int
+    cached: bool
+
+
+def _execute_point(payload: Dict[str, Any]) -> Tuple[Any, Any, Any]:
+    """Run one point in isolation; module-level so pools can pickle it.
+
+    Returns ``(value, metrics_payload, spans_payload)`` — the payloads are
+    ``None`` unless capture was requested.
+    """
+    from repro.network.message import message_id_namespace
+
+    fn: PointFn = payload["fn"]
+    config = payload["config"]
+    seed = payload["seed"]
+    if payload["capture"]:
+        with message_id_namespace():
+            with observe(span_limit=payload["span_limit"]) as session:
+                value = fn(config, seed)
+        return value, session.metrics.encode(), session.tracer.encode()
+    with message_id_namespace():
+        return fn(config, seed), None, None
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def run_sweep(sweep_id: str,
+              points: Sequence[Point],
+              fn: PointFn,
+              *,
+              jobs: int = 1,
+              cache: Optional[ResultCache] = None,
+              modules: Sequence[str] = (),
+              seed_base: int = 0,
+              capture: Optional[bool] = None) -> List[PointOutcome]:
+    """Run every point of a sweep, possibly in parallel, deterministically.
+
+    Args:
+        sweep_id: stable identity of the sweep (part of seeds and cache
+            fingerprints).
+        points: ordered ``(key, config)`` pairs; ``key`` needs a
+            deterministic ``repr`` and both must pickle.
+        fn: module-level ``fn(config, seed) -> value``.
+        jobs: worker processes; ``1`` runs in-process through the exact
+            same per-point isolation and merge path.
+        cache: optional :class:`ResultCache`; hits skip execution and
+            replay the stored value plus any captured metrics/spans.
+        modules: module/package names whose source digest keys the cache
+            fingerprint (ignored without ``cache``).
+        seed_base: folded into every derived seed (e.g. a fault plan's
+            base seed).
+        capture: capture per-point metrics/spans and merge them into the
+            ambient observability session; defaults to ``OBS.enabled``.
+
+    Returns:
+        One :class:`PointOutcome` per input point, in input order.
+    """
+    points = list(points)
+    if capture is None:
+        capture = OBS.enabled
+    span_limit = OBS.tracer.limit if capture else 0
+    digest = source_digest(modules) if cache is not None else ""
+
+    slots: List[Optional[Tuple[Any, Any, Any, bool, int]]] = [None] * len(points)
+    prints: List[Optional[str]] = [None] * len(points)
+    pending: List[Tuple[int, Dict[str, Any]]] = []
+    for index, (key, config) in enumerate(points):
+        seed = derive_seed(sweep_id, key, seed_base)
+        if cache is not None:
+            fp = fingerprint(sweep_id, key, config, seed, digest,
+                             capture=capture)
+            prints[index] = fp
+            hit, stored = cache.get(fp)
+            if hit:
+                slots[index] = (stored["value"], stored["metrics"],
+                                stored["spans"], True, seed)
+                continue
+        pending.append((index, {"fn": fn, "config": config, "seed": seed,
+                                "capture": capture,
+                                "span_limit": span_limit}))
+
+    if pending:
+        payloads = [task for _, task in pending]
+        if jobs > 1 and len(pending) > 1:
+            with _pool_context().Pool(
+                    processes=min(jobs, len(pending))) as pool:
+                # map() preserves input order whatever the completion
+                # order; chunksize=1 keeps long points load-balanced.
+                produced = pool.map(_execute_point, payloads, chunksize=1)
+        else:
+            produced = [_execute_point(task) for task in payloads]
+        for (index, task), (value, metrics, spans) in zip(pending, produced):
+            slots[index] = (value, metrics, spans, False, task["seed"])
+            if cache is not None:
+                cache.put(prints[index], {"value": value, "metrics": metrics,
+                                          "spans": spans})
+
+    # Merge in submission order — the only order both jobs=1 and jobs=N
+    # agree on — so span ids, message ids and metric accumulation are
+    # identical at every jobs level.
+    outcomes: List[PointOutcome] = []
+    merge_obs = capture and OBS.enabled  # never write into the null session
+    message_base = OBS.tracer.max_message_id() if merge_obs else 0
+    for (key, _), slot in zip(points, slots):
+        value, metrics, spans, cached, seed = slot
+        if merge_obs:
+            if metrics:
+                OBS.metrics.merge_encoded(metrics)
+            if spans and spans["spans"]:
+                message_base = OBS.tracer.merge_point(
+                    spans, message_offset=message_base)
+        outcomes.append(PointOutcome(key=key, value=value, seed=seed,
+                                     cached=cached))
+    return outcomes
+
+
+def sweep_values(outcomes: Iterable[PointOutcome]) -> List[Any]:
+    """Just the values, in point order."""
+    return [outcome.value for outcome in outcomes]

@@ -8,6 +8,12 @@ every PR has a throughput trajectory to beat.  See
 """
 
 from repro.perf.baseline import SEED_BASELINE
+from repro.perf.compare import (
+    KernelDelta,
+    compare_payloads,
+    format_compare_table,
+    load_payload,
+)
 from repro.perf.harness import (
     KERNELS,
     KernelResult,
@@ -21,11 +27,15 @@ from repro.perf.harness import (
 
 __all__ = [
     "KERNELS",
+    "KernelDelta",
     "KernelResult",
     "SCHEMA",
     "SEED_BASELINE",
     "bench_payload",
+    "compare_payloads",
     "format_bench_table",
+    "format_compare_table",
+    "load_payload",
     "run_bench",
     "run_kernel",
     "write_bench_json",

@@ -1,0 +1,124 @@
+"""Compare two ``BENCH_perf.json`` documents: the perf trajectory gate.
+
+``repro bench --compare OLD.json NEW.json`` prints a per-kernel delta
+table (best wall and throughput) and exits non-zero when any kernel's
+wall time regressed by more than ``--threshold`` (default 10%), when a
+kernel disappeared, or when a kernel's deterministic *check* value
+drifted — a check drift means the kernel's semantics changed, so its
+wall times are no longer comparable at all.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.perf.harness import SCHEMA
+
+
+def load_payload(path: str) -> dict:
+    """Read one bench document, insisting on the known schema."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    schema = payload.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(f"{path}: schema {schema!r}, expected {SCHEMA!r}")
+    if not isinstance(payload.get("kernels"), dict):
+        raise ValueError(f"{path}: payload lacks a kernels table")
+    return payload
+
+
+@dataclass(frozen=True)
+class KernelDelta:
+    """One kernel's movement between two bench documents."""
+
+    name: str
+    old_wall_s: Optional[float]
+    new_wall_s: Optional[float]
+    old_rate: Optional[float]
+    new_rate: Optional[float]
+    check_drift: bool
+
+    @property
+    def wall_change(self) -> Optional[float]:
+        """Relative wall change (positive = slower) or None if unpaired."""
+        if not self.old_wall_s or self.new_wall_s is None:
+            return None
+        return (self.new_wall_s - self.old_wall_s) / self.old_wall_s
+
+    def regressed(self, threshold: float) -> bool:
+        if self.new_wall_s is None or self.check_drift:
+            return True  # vanished or incomparable counts as a regression
+        change = self.wall_change
+        return change is not None and change > threshold
+
+
+def compare_payloads(old: dict, new: dict,
+                     threshold: float = 0.10) -> Tuple[List[KernelDelta],
+                                                       List[KernelDelta]]:
+    """(all deltas sorted by name, the subset that regressed)."""
+    old_kernels: Dict[str, dict] = old["kernels"]
+    new_kernels: Dict[str, dict] = new["kernels"]
+    deltas = []
+    for name in sorted(set(old_kernels) | set(new_kernels)):
+        before = old_kernels.get(name)
+        after = new_kernels.get(name)
+
+        def rate(entry: Optional[dict]) -> Optional[float]:
+            if entry is None:
+                return None
+            unit = entry.get("work_unit", "")
+            return entry.get(f"{unit}_per_s")
+
+        drift = (before is not None and after is not None
+                 and before.get("check") != after.get("check"))
+        deltas.append(KernelDelta(
+            name=name,
+            old_wall_s=before.get("wall_s") if before else None,
+            new_wall_s=after.get("wall_s") if after else None,
+            old_rate=rate(before),
+            new_rate=rate(after),
+            check_drift=drift))
+    regressions = [d for d in deltas if d.regressed(threshold)]
+    return deltas, regressions
+
+
+def format_compare_table(deltas: Sequence[KernelDelta],
+                         threshold: float) -> str:
+    from repro.bench.report import format_table
+
+    def pct(value: Optional[float]) -> str:
+        return "-" if value is None else f"{value * 100.0:+.1f}%"
+
+    def num(value: Optional[float], fmt: str) -> str:
+        return "-" if value is None else format(value, fmt)
+
+    rows = []
+    for d in deltas:
+        if d.check_drift:
+            verdict = "CHECK DRIFT"
+        elif d.new_wall_s is None:
+            verdict = "MISSING"
+        elif d.old_wall_s is None:
+            verdict = "new"
+        elif d.regressed(threshold):
+            verdict = "REGRESSED"
+        else:
+            verdict = "ok"
+        rate_change = None
+        if d.old_rate and d.new_rate is not None:
+            rate_change = (d.new_rate - d.old_rate) / d.old_rate
+        rows.append([
+            d.name,
+            num(d.old_wall_s, ".3f"),
+            num(d.new_wall_s, ".3f"),
+            pct(d.wall_change),
+            pct(rate_change),
+            verdict,
+        ])
+    return format_table(
+        ["kernel", "old wall (s)", "new wall (s)", "wall delta",
+         "throughput delta", "verdict"],
+        rows,
+        title=f"Bench comparison (threshold {threshold * 100.0:.0f}%)")

@@ -168,13 +168,66 @@ def run_kernel(name: str, repeats: int = 3) -> KernelResult:
                         check=check)
 
 
+def _bench_unit(config: Dict[str, str], seed: int) -> Tuple[float, int, str,
+                                                            float]:
+    """One (kernel, repeat) timing unit as a sweep task (picklable).
+
+    ``_warm_imports`` runs before the clock starts; pool workers persist
+    across units, so each worker pays the import chain once.
+    """
+    _warm_imports()
+    fn = KERNELS[config["kernel"]]
+    start = time.perf_counter()
+    work, unit, check = fn()
+    elapsed = time.perf_counter() - start
+    return elapsed, work, unit, check
+
+
 def run_bench(repeats: int = 3,
-              kernels: Optional[Sequence[str]] = None) -> List[KernelResult]:
+              kernels: Optional[Sequence[str]] = None,
+              jobs: int = 1) -> List[KernelResult]:
+    """Time every kernel ``repeats`` times, optionally over ``jobs`` workers.
+
+    The (kernel, repeat) units fan out through the sweep scheduler; the
+    deterministic work/check values are identical at any jobs level (and
+    asserted to be), but wall times are host measurements — running
+    timing units concurrently trades timing fidelity for throughput, so
+    keep ``jobs=1`` when the walls themselves are the deliverable.
+    """
     names = list(kernels) if kernels else list(KERNELS)
     unknown = [n for n in names if n not in KERNELS]
     if unknown:
         raise ValueError(f"unknown kernels {unknown}; have {list(KERNELS)}")
-    return [run_kernel(name, repeats=repeats) for name in names]
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if jobs <= 1:
+        return [run_kernel(name, repeats=repeats) for name in names]
+
+    from repro.parallel import run_sweep
+
+    units = [((name, rep), {"kernel": name})
+             for name in names for rep in range(repeats)]
+    # Timings must always be measured, never replayed: no cache, and no
+    # observability capture inside the timed region.
+    outcomes = run_sweep("bench", units, _bench_unit, jobs=jobs,
+                         cache=None, capture=False)
+    by_kernel: Dict[str, List[Tuple[float, int, str, float]]] = {}
+    for outcome in outcomes:
+        by_kernel.setdefault(outcome.key[0], []).append(outcome.value)
+    results = []
+    for name in names:
+        runs = by_kernel[name]
+        work, unit, check = runs[0][1], runs[0][2], runs[0][3]
+        for elapsed, w, u, c in runs[1:]:
+            if (w, c) != (work, check):
+                raise AssertionError(
+                    f"kernel {name} is nondeterministic: "
+                    f"({w}, {c}) != ({work}, {check})")
+        walls = [run[0] for run in runs]
+        results.append(KernelResult(
+            name=name, wall_s=min(walls), mean_s=sum(walls) / len(walls),
+            repeats=repeats, work=work, work_unit=unit, check=check))
+    return results
 
 
 # ---------------------------------------------------------------------------

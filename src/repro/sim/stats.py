@@ -172,6 +172,10 @@ class Histogram:
     def __len__(self) -> int:
         return len(self._samples)
 
+    def samples(self) -> List[float]:
+        """A copy of the raw samples (the merge/serialisation surface)."""
+        return list(self._samples)
+
     @property
     def count(self) -> int:
         return len(self._samples)
@@ -232,6 +236,33 @@ class Histogram:
     def p99(self) -> float:
         """99th percentile via the same incremental fast path as p50."""
         return self._fast_quantile(0.99, self._p2_p99)
+
+    def merge_sorted(self, samples: Iterable[float]) -> None:
+        """Fold another histogram's samples into this one, exactly.
+
+        The combined sample list is re-sorted and the running sum is
+        recomputed with :func:`math.fsum`, so the merged histogram's
+        count/mean/min/max and exact quantiles depend only on the final
+        sample *multiset* — merging in any order or grouping produces the
+        same statistics (the property the parallel sweep merge relies on).
+        The P² estimators are re-fed the sorted samples so later
+        incremental reads stay consistent.
+        """
+        incoming = list(samples)
+        if not incoming:
+            return
+        combined = self._samples + incoming
+        combined.sort()
+        self._samples = combined
+        self._sorted = True
+        self._sum = math.fsum(combined)
+        self._min = combined[0]
+        self._max = combined[-1]
+        self._p2_p50 = P2Quantile(0.5)
+        self._p2_p99 = P2Quantile(0.99)
+        for value in combined:
+            self._p2_p50.add(value)
+            self._p2_p99.add(value)
 
     def summary(self) -> Dict[str, float]:
         """The exporter-facing digest; never sorts past P2_EXACT_LIMIT."""

@@ -1,0 +1,228 @@
+"""Merge semantics behind the parallel sweep: snapshots, registries, spans.
+
+The fan-out scheduler (repro.parallel.sweep) folds per-point metric and
+span payloads back into the ambient session.  Byte-identity between
+``--jobs 1`` and ``--jobs N`` rests on these merges being associative and
+order-insensitive, so that property is pinned here directly.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.spans import SpanTracer
+
+# ---------------------------------------------------------------------------
+# MetricsSnapshot.merge
+# ---------------------------------------------------------------------------
+
+# A fixed pool of series whose kind is determined by the name, so two
+# random snapshots can never disagree about a series' kind.
+_SERIES = [("counter." + s, "counter") for s in "abc"] \
+    + [("gauge." + s, "gauge") for s in "ab"] \
+    + [("hist." + s, "histogram") for s in "ab"]
+
+
+@st.composite
+def snapshots(draw):
+    values, kinds = {}, {}
+    for name, kind in _SERIES:
+        if not draw(st.booleans()):
+            continue
+        key = (name, (("node", draw(st.sampled_from(["0", "1"]))),))
+        # Integer values keep counter sums exact, so associativity is
+        # testable with ==; gauges/histogram counts are ints anyway.
+        values[key] = draw(st.integers(min_value=0, max_value=1 << 20))
+        kinds[key] = kind
+    return MetricsSnapshot(values, kinds)
+
+
+def _as_dict(snap: MetricsSnapshot) -> dict:
+    return dict(snap.items())
+
+
+class TestSnapshotMerge:
+    @settings(max_examples=60, deadline=None)
+    @given(snapshots(), snapshots(), snapshots())
+    def test_merge_is_associative(self, a, b, c):
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert _as_dict(left) == _as_dict(right)
+
+    @settings(max_examples=60, deadline=None)
+    @given(snapshots(), snapshots())
+    def test_merge_is_commutative(self, a, b):
+        assert _as_dict(a.merge(b)) == _as_dict(b.merge(a))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(snapshots(), min_size=2, max_size=5),
+           st.randoms(use_true_random=False))
+    def test_fold_order_is_irrelevant(self, snaps, rng):
+        ordered = snaps[0]
+        for snap in snaps[1:]:
+            ordered = ordered.merge(snap)
+        shuffled_list = list(snaps)
+        rng.shuffle(shuffled_list)
+        shuffled = shuffled_list[0]
+        for snap in shuffled_list[1:]:
+            shuffled = shuffled.merge(snap)
+        assert _as_dict(ordered) == _as_dict(shuffled)
+
+    def test_counters_sum_gauges_max(self):
+        a = MetricsSnapshot({("c", ()): 3, ("g", ()): 7.0},
+                            {("c", ()): "counter", ("g", ()): "gauge"})
+        b = MetricsSnapshot({("c", ()): 4, ("g", ()): 5.0},
+                            {("c", ()): "counter", ("g", ()): "gauge"})
+        merged = a.merge(b)
+        assert merged[("c", ())] == 7
+        assert merged[("g", ())] == 7.0
+
+
+# ---------------------------------------------------------------------------
+# MetricsRegistry.merge_encoded
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def registries(draw):
+    reg = MetricsRegistry()
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        name, kind = draw(st.sampled_from(_SERIES))
+        node = draw(st.sampled_from(["0", "1"]))
+        if kind == "counter":
+            reg.incr(name, draw(st.integers(min_value=1, max_value=100)),
+                     node=node)
+        elif kind == "gauge":
+            reg.set_gauge(name, draw(st.integers(min_value=0, max_value=100)),
+                          node=node)
+        else:
+            reg.observe(name, draw(st.floats(min_value=0.0, max_value=1e6,
+                                             allow_nan=False)), node=node)
+    return reg
+
+
+def _registry_state(reg: MetricsRegistry):
+    """Everything observable about a registry, summaries included."""
+    state = {}
+    for inst in reg.instruments():
+        key = (inst.name, inst.labels)
+        if inst.kind == "histogram":
+            state[key] = ("histogram", inst.summary())
+        else:
+            state[key] = (inst.kind, inst.value)
+    return state
+
+
+class TestRegistryMergeEncoded:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(registries(), min_size=2, max_size=4),
+           st.randoms(use_true_random=False))
+    def test_merge_order_is_irrelevant(self, regs, rng):
+        payloads = [reg.encode() for reg in regs]
+        forward = MetricsRegistry()
+        for payload in payloads:
+            forward.merge_encoded(payload)
+        shuffled = list(payloads)
+        rng.shuffle(shuffled)
+        other = MetricsRegistry()
+        for payload in shuffled:
+            other.merge_encoded(payload)
+        assert _registry_state(forward) == _registry_state(other)
+
+    def test_histogram_merge_is_exact(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        left = [0.5, 100.0, 3.25]
+        right = [2.0, 0.125]
+        for v in left:
+            a.observe("lat", v)
+        for v in right:
+            b.observe("lat", v)
+        merged = MetricsRegistry()
+        merged.merge_encoded(a.encode())
+        merged.merge_encoded(b.encode())
+        summary = merged.histogram("lat").summary()
+        combined = sorted(left + right)
+        assert summary["count"] == len(combined)
+        assert summary["mean"] == math.fsum(combined) / len(combined)
+        assert summary["min"] == combined[0]
+        assert summary["max"] == combined[-1]
+
+    def test_encode_roundtrip_identity(self):
+        reg = MetricsRegistry()
+        reg.incr("hits", 3, node="0")
+        reg.set_gauge("depth", 9.0)
+        reg.observe("lat", 4.0)
+        clone = MetricsRegistry()
+        clone.merge_encoded(reg.encode())
+        assert _registry_state(clone) == _registry_state(reg)
+
+
+# ---------------------------------------------------------------------------
+# SpanTracer.merge_point
+# ---------------------------------------------------------------------------
+
+
+def _record_message(tracer: SpanTracer, message: int, t0: float) -> None:
+    """One synthetic message tree: root covering two pipeline stages."""
+    tracer.begin("message", "driver", t0, message=message, root=True)
+    s1 = tracer.begin("ni.inject", "ni0", t0 + 1.0, message=message)
+    tracer.end(s1, t0 + 4.0)
+    s2 = tracer.begin("link.transmit", "link0", t0 + 4.0, message=message)
+    tracer.end(s2, t0 + 9.0)
+    tracer.end_message(message, t0 + 10.0)
+
+
+class TestSpanMerge:
+    def _point_payload(self, messages: int, t0: float = 0.0) -> dict:
+        tracer = SpanTracer()
+        for m in range(1, messages + 1):
+            _record_message(tracer, m, t0 + 100.0 * m)
+        return tracer.encode()
+
+    def test_merge_preserves_parentage(self):
+        parent = SpanTracer()
+        parent.merge_point(self._point_payload(messages=2))
+        for message in parent.message_ids():
+            root = parent.root_of(message)
+            children = parent.children_of(root.span_id)
+            assert [c.name for c in children] == ["ni.inject",
+                                                  "link.transmit"]
+            for child in children:
+                assert child.parent_id == root.span_id
+                assert child.message_id == message
+
+    def test_merge_offsets_keep_messages_distinct(self):
+        parent = SpanTracer()
+        base = parent.max_message_id()
+        for _ in range(3):  # three points, each counting messages from 1
+            base = parent.merge_point(self._point_payload(messages=2),
+                                      message_offset=base)
+        assert parent.message_ids() == [1, 2, 3, 4, 5, 6]
+        assert base == 6
+
+    def test_merge_preserves_critical_path_sums(self):
+        solo = SpanTracer()
+        _record_message(solo, 1, 50.0)
+        merged = SpanTracer()
+        merged.merge_point(solo.encode())
+        assert merged.breakdown_totals(1) == solo.breakdown_totals(1)
+        root = merged.root_of(1)
+        assert sum(d for _, d in merged.breakdown(1)) == root.duration_ns
+
+    def test_merge_reallocates_ids_deterministically(self):
+        payloads = [self._point_payload(messages=1, t0=float(i))
+                    for i in range(3)]
+        a, b = SpanTracer(), SpanTracer()
+        for tracer in (a, b):
+            offset = 0
+            for payload in payloads:
+                offset = tracer.merge_point(payload, message_offset=offset)
+        assert a.encode() == b.encode()
+
+    def test_merge_respects_limit(self):
+        parent = SpanTracer(limit=2)
+        parent.merge_point(self._point_payload(messages=2))  # 6 spans
+        assert len(parent) == 2
+        assert parent.dropped == 4

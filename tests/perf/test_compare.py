@@ -1,0 +1,158 @@
+"""bench --compare: payload deltas, the regression gate, quick-out safety."""
+
+import json
+
+import pytest
+
+import repro.perf
+from repro.cli import main
+from repro.perf import (
+    SCHEMA,
+    KernelResult,
+    compare_payloads,
+    format_compare_table,
+    load_payload,
+)
+
+
+def _payload(kernels, quick=False):
+    table = {}
+    for name, wall, check in kernels:
+        table[name] = {"wall_s": wall, "mean_s": wall, "repeats": 1,
+                       "work": 1000, "work_unit": "events",
+                       "events_per_s": 1000 / wall, "check": check}
+    return {"schema": SCHEMA, "quick": quick, "kernels": table}
+
+
+class TestComparePayloads:
+    def test_within_threshold_is_ok(self):
+        old = _payload([("a", 1.0, 5.0)])
+        new = _payload([("a", 1.05, 5.0)])
+        deltas, regressions = compare_payloads(old, new, threshold=0.10)
+        assert regressions == []
+        assert deltas[0].wall_change == pytest.approx(0.05)
+
+    def test_regression_beyond_threshold(self):
+        old = _payload([("a", 1.0, 5.0), ("b", 1.0, 7.0)])
+        new = _payload([("a", 1.5, 5.0), ("b", 0.9, 7.0)])
+        _, regressions = compare_payloads(old, new, threshold=0.10)
+        assert [d.name for d in regressions] == ["a"]
+
+    def test_improvement_is_never_a_regression(self):
+        old = _payload([("a", 2.0, 5.0)])
+        new = _payload([("a", 0.5, 5.0)])
+        _, regressions = compare_payloads(old, new, threshold=0.0)
+        assert regressions == []
+
+    def test_missing_kernel_regresses(self):
+        old = _payload([("a", 1.0, 5.0), ("gone", 1.0, 1.0)])
+        new = _payload([("a", 1.0, 5.0)])
+        _, regressions = compare_payloads(old, new)
+        assert [d.name for d in regressions] == ["gone"]
+
+    def test_new_kernel_is_fine(self):
+        old = _payload([("a", 1.0, 5.0)])
+        new = _payload([("a", 1.0, 5.0), ("fresh", 9.0, 1.0)])
+        deltas, regressions = compare_payloads(old, new)
+        assert regressions == []
+        fresh = next(d for d in deltas if d.name == "fresh")
+        assert fresh.old_wall_s is None and fresh.wall_change is None
+
+    def test_check_drift_regresses_even_when_faster(self):
+        old = _payload([("a", 1.0, 5.0)])
+        new = _payload([("a", 0.5, 6.0)])  # faster but semantics changed
+        _, regressions = compare_payloads(old, new)
+        assert [d.name for d in regressions] == ["a"]
+
+    def test_table_names_the_verdicts(self):
+        old = _payload([("a", 1.0, 5.0), ("b", 1.0, 5.0), ("c", 1.0, 1.0)])
+        new = _payload([("a", 2.0, 5.0), ("b", 1.0, 6.0), ("d", 1.0, 1.0)])
+        deltas, _ = compare_payloads(old, new, threshold=0.10)
+        table = format_compare_table(deltas, 0.10)
+        for verdict in ("REGRESSED", "CHECK DRIFT", "MISSING", "new"):
+            assert verdict in table
+
+
+class TestLoadPayload:
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other", "kernels": {}}))
+        with pytest.raises(ValueError):
+            load_payload(str(path))
+
+    def test_rejects_missing_kernels(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": SCHEMA}))
+        with pytest.raises(ValueError):
+            load_payload(str(path))
+
+
+class TestCompareCli:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _payload([("a", 1.0, 5.0)]))
+        new = self._write(tmp_path, "new.json", _payload([("a", 1.0, 5.0)]))
+        assert main(["bench", "--compare", old, new]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_regression(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _payload([("a", 1.0, 5.0)]))
+        new = self._write(tmp_path, "new.json", _payload([("a", 2.0, 5.0)]))
+        assert main(["bench", "--compare", old, new]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_threshold_is_respected(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _payload([("a", 1.0, 5.0)]))
+        new = self._write(tmp_path, "new.json", _payload([("a", 1.5, 5.0)]))
+        assert main(["bench", "--compare", old, new,
+                     "--threshold", "0.60"]) == 0
+        capsys.readouterr()
+
+
+class TestQuickOutSafety:
+    @pytest.fixture
+    def fake_bench(self, monkeypatch):
+        result = KernelResult(name="a", wall_s=1.0, mean_s=1.0, repeats=1,
+                              work=10, work_unit="events", check=5.0)
+        monkeypatch.setattr(repro.perf, "run_bench",
+                            lambda repeats, kernels, jobs: [result])
+
+    def test_quick_defaults_to_its_own_file(self, tmp_path, monkeypatch,
+                                            capsys, fake_bench):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--quick"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "BENCH_perf.quick.json").exists()
+        assert not (tmp_path / "BENCH_perf.json").exists()
+
+    def test_full_run_defaults_to_the_main_file(self, tmp_path, monkeypatch,
+                                                capsys, fake_bench):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench"]) == 0
+        capsys.readouterr()
+        payload = json.loads((tmp_path / "BENCH_perf.json").read_text())
+        assert payload["quick"] is False
+
+    def test_quick_refuses_to_clobber_a_full_payload(self, tmp_path,
+                                                     monkeypatch, capsys,
+                                                     fake_bench):
+        monkeypatch.chdir(tmp_path)
+        full = json.dumps(_payload([("a", 9.0, 9.0)], quick=False))
+        (tmp_path / "BENCH_perf.quick.json").write_text(full)
+        assert main(["bench", "--quick"]) == 2
+        capsys.readouterr()
+        assert (tmp_path / "BENCH_perf.quick.json").read_text() == full
+
+    def test_explicit_out_overrides_the_refusal(self, tmp_path, monkeypatch,
+                                                capsys, fake_bench):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "BENCH_perf.quick.json"
+        target.write_text(json.dumps(_payload([("a", 9.0, 9.0)],
+                                              quick=False)))
+        assert main(["bench", "--quick", "--out", str(target)]) == 0
+        capsys.readouterr()
+        assert json.loads(target.read_text())["quick"] is True
