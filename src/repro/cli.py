@@ -48,8 +48,13 @@ from repro.core.specs import (
     SUN_ULTRA,
     table1,
 )
-from repro.obs import observe
-from repro.obs.export import write_metrics_csv, write_metrics_json, write_trace
+from repro.obs import DEFAULT_SAMPLE_INTERVAL_NS, observe
+from repro.obs.export import (
+    write_metrics_csv,
+    write_metrics_json,
+    write_timeline_json,
+    write_trace,
+)
 from repro.obs.metrics import format_series as format_metric_series
 from repro.parallel import ResultCache, run_sweep
 
@@ -80,7 +85,8 @@ def _report_cache(cache: Optional[ResultCache]) -> None:
 
 
 def _write_session_artifacts(session, trace_path: Optional[str],
-                             metrics_path: Optional[str]) -> None:
+                             metrics_path: Optional[str],
+                             timeline_path: Optional[str] = None) -> None:
     """The one write-and-print block every traced/metered command shares."""
     if trace_path:
         write_trace(trace_path, session.tracer)
@@ -90,6 +96,33 @@ def _write_session_artifacts(session, trace_path: Optional[str],
     if metrics_path:
         write_metrics_json(metrics_path, session.metrics)
         print(f"wrote {metrics_path}: {len(session.metrics)} series")
+    if timeline_path:
+        write_timeline_json(timeline_path, session.timeline)
+        print(f"wrote {timeline_path}: {len(session.timeline)} series")
+
+
+def _sampling_interval(args) -> Optional[float]:
+    """The --sample-interval value; timeline/health flags imply sampling
+    at the default interval when no explicit interval was given."""
+    interval = getattr(args, "sample_interval", None)
+    if interval is not None:
+        return float(interval)
+    if getattr(args, "timeline_out", None) or getattr(args, "health", None):
+        return DEFAULT_SAMPLE_INTERVAL_NS
+    return None
+
+
+def _check_health(args, session) -> int:
+    """Evaluate --health gates against the session; 1 on violation."""
+    health_path = getattr(args, "health", None)
+    if not health_path:
+        return 0
+    from repro.obs.health import HealthSpec, format_health
+
+    report = HealthSpec.load(health_path).evaluate(
+        timeline=session.timeline, metrics=session.metrics)
+    _emit(format_health(report))
+    return 0 if report.ok else 1
 
 
 def cmd_list(_args) -> None:
@@ -106,6 +139,7 @@ def cmd_list(_args) -> None:
         ["logp", "LogP parameters of the 8-node cluster"],
         ["trace", "run an experiment under span tracing (Perfetto JSON)"],
         ["metrics", "run an experiment under labeled metrics"],
+        ["report", "run fully observed; render an HTML dashboard"],
         ["bench", "time the hot kernels; write BENCH_perf.json"],
     ]
     _emit(format_table(["command", "regenerates"], rows,
@@ -116,66 +150,95 @@ def cmd_table1(_args) -> None:
     _emit(format_config_table(table1()))
 
 
-def cmd_fig6(args) -> None:
-    sweep = _sweep_options(args)
-    points = [((data_type, spec.key),
-               {"spec": spec, "data_type": data_type, "scale": args.scale,
-                "max_subintervals": args.subintervals})
-              for data_type in ("double", "int")
-              for spec in NODE_MACHINES]
-    outcomes = run_sweep("fig6", points, hint_point_task,
-                         modules=NODE_SWEEP_MODULES, **sweep)
-    results = {outcome.key: outcome.value for outcome in outcomes}
-    for data_type in ("double", "int"):
-        marks = [p.subintervals
-                 for p in results[(data_type, "powermanna")].points]
-        series = {spec.key: [results[(data_type, spec.key)]
-                             .quips_at_subintervals(m) for m in marks]
-                  for spec in NODE_MACHINES}
-        _emit(format_series(series, marks, "subintervals",
-                            title=f"Figure 6 ({data_type.upper()}): QUIPS"))
-    _report_cache(sweep["cache"])
+def _node_figure(args, body) -> Optional[int]:
+    """Run a trace-driven node figure, optionally under a sampling session.
+
+    The node kernels never build a Simulator, so their timelines stay
+    empty — the flags exist so every figure shares one observability
+    surface (and so a HealthSpec with metric rules still gates them).
+    """
+    interval = _sampling_interval(args)
+    if not interval:
+        body()
+        return 0
+    with observe(sample_interval_ns=interval) as session:
+        body()
+    _write_session_artifacts(session, None, None,
+                             getattr(args, "timeline_out", None))
+    return _check_health(args, session)
 
 
-def cmd_fig7(args) -> None:
-    sizes = args.sizes or list(DEFAULT_MATMULT_SIZES)
-    sweep = _sweep_options(args)
-    machines = (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180)
-    points = [((version, spec.key, n),
-               {"spec": spec, "n": n, "version": version,
-                "scale": args.scale})
-              for version in ("naive", "transposed")
-              for spec in machines
-              for n in sizes]
-    outcomes = run_sweep("fig7", points, matmult_point_task,
-                         modules=NODE_SWEEP_MODULES, **sweep)
-    results = {outcome.key: outcome.value for outcome in outcomes}
-    for version in ("naive", "transposed"):
-        series = {spec.key: [results[(version, spec.key, n)].mflops
-                             for n in sizes]
-                  for spec in machines}
-        _emit(format_series(series, sizes, "N",
-                            title=f"Figure 7 ({version}): MFLOPS"))
-    _report_cache(sweep["cache"])
+def cmd_fig6(args) -> Optional[int]:
+    def body() -> None:
+        sweep = _sweep_options(args)
+        points = [((data_type, spec.key),
+                   {"spec": spec, "data_type": data_type,
+                    "scale": args.scale,
+                    "max_subintervals": args.subintervals})
+                  for data_type in ("double", "int")
+                  for spec in NODE_MACHINES]
+        outcomes = run_sweep("fig6", points, hint_point_task,
+                             modules=NODE_SWEEP_MODULES, **sweep)
+        results = {outcome.key: outcome.value for outcome in outcomes}
+        for data_type in ("double", "int"):
+            marks = [p.subintervals
+                     for p in results[(data_type, "powermanna")].points]
+            series = {spec.key: [results[(data_type, spec.key)]
+                                 .quips_at_subintervals(m) for m in marks]
+                      for spec in NODE_MACHINES}
+            _emit(format_series(
+                series, marks, "subintervals",
+                title=f"Figure 6 ({data_type.upper()}): QUIPS"))
+        _report_cache(sweep["cache"])
+
+    return _node_figure(args, body)
 
 
-def cmd_fig8(args) -> None:
-    sizes = args.sizes or [40, 96]
-    sweep = _sweep_options(args)
-    machines = (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180)
-    points = [((spec.key, version, n),
-               {"spec": spec, "n": n, "version": version,
-                "scale": args.scale})
-              for spec in machines
-              for version in ("naive", "transposed")
-              for n in sizes]
-    outcomes = run_sweep("fig8", points, smp_point_task,
-                         modules=NODE_SWEEP_MODULES, **sweep)
-    rows = [[key[0], key[1], key[2], round(outcome.value, 3)]
-            for key, outcome in ((o.key, o) for o in outcomes)]
-    _emit(format_table(["machine", "version", "N", "speedup"], rows,
-                       title="Figure 8: dual-processor speedup"))
-    _report_cache(sweep["cache"])
+def cmd_fig7(args) -> Optional[int]:
+    def body() -> None:
+        sizes = args.sizes or list(DEFAULT_MATMULT_SIZES)
+        sweep = _sweep_options(args)
+        machines = (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180)
+        points = [((version, spec.key, n),
+                   {"spec": spec, "n": n, "version": version,
+                    "scale": args.scale})
+                  for version in ("naive", "transposed")
+                  for spec in machines
+                  for n in sizes]
+        outcomes = run_sweep("fig7", points, matmult_point_task,
+                             modules=NODE_SWEEP_MODULES, **sweep)
+        results = {outcome.key: outcome.value for outcome in outcomes}
+        for version in ("naive", "transposed"):
+            series = {spec.key: [results[(version, spec.key, n)].mflops
+                                 for n in sizes]
+                      for spec in machines}
+            _emit(format_series(series, sizes, "N",
+                                title=f"Figure 7 ({version}): MFLOPS"))
+        _report_cache(sweep["cache"])
+
+    return _node_figure(args, body)
+
+
+def cmd_fig8(args) -> Optional[int]:
+    def body() -> None:
+        sizes = args.sizes or [40, 96]
+        sweep = _sweep_options(args)
+        machines = (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180)
+        points = [((spec.key, version, n),
+                   {"spec": spec, "n": n, "version": version,
+                    "scale": args.scale})
+                  for spec in machines
+                  for version in ("naive", "transposed")
+                  for n in sizes]
+        outcomes = run_sweep("fig8", points, smp_point_task,
+                             modules=NODE_SWEEP_MODULES, **sweep)
+        rows = [[key[0], key[1], key[2], round(outcome.value, 3)]
+                for key, outcome in ((o.key, o) for o in outcomes)]
+        _emit(format_table(["machine", "version", "N", "speedup"], rows,
+                           title="Figure 8: dual-processor speedup"))
+        _report_cache(sweep["cache"])
+
+    return _node_figure(args, body)
 
 
 def _fault_plan_from_args(args):
@@ -201,43 +264,54 @@ def _fault_plan_from_args(args):
     return plan
 
 
-def _comm_figure(metric: str, title: str, args) -> None:
+def _comm_figure(metric: str, title: str, args) -> Optional[int]:
     sizes = tuple(args.sizes) if args.sizes else DEFAULT_COMM_SIZES
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics_out", None)
+    timeline_path = getattr(args, "timeline_out", None)
+    interval = _sampling_interval(args)
     plan = _fault_plan_from_args(args)
     options = _sweep_options(args)
-    if trace_path or metrics_path:
-        with observe() as session:
+    rc = 0
+    if trace_path or metrics_path or interval:
+        with observe(sample_interval_ns=interval) as session:
             sweep = comm_sweep(metric, sizes=sizes, fault_plan=plan,
                                **options)
-        _write_session_artifacts(session, trace_path, metrics_path)
+        series = {system: [metric_value(p, metric) for p in points]
+                  for system, points in sweep.items()}
+        _emit(format_series(series, list(sizes), "bytes", title=title))
+        _write_session_artifacts(session, trace_path, metrics_path,
+                                 timeline_path)
+        rc = _check_health(args, session)
     else:
         sweep = comm_sweep(metric, sizes=sizes, fault_plan=plan, **options)
-    series = {system: [metric_value(p, metric) for p in points]
-              for system, points in sweep.items()}
-    _emit(format_series(series, list(sizes), "bytes", title=title))
+        series = {system: [metric_value(p, metric) for p in points]
+                  for system, points in sweep.items()}
+        _emit(format_series(series, list(sizes), "bytes", title=title))
     _report_cache(options["cache"])
+    return rc
 
 
-def cmd_fig9(args) -> None:
-    _comm_figure("latency", "Figure 9: one-way latency (us)", args)
+def cmd_fig9(args) -> Optional[int]:
+    return _comm_figure("latency", "Figure 9: one-way latency (us)", args)
 
 
-def cmd_fig10(args) -> None:
-    _comm_figure("gap", "Figure 10: send gap at saturation (us)", args)
+def cmd_fig10(args) -> Optional[int]:
+    return _comm_figure("gap", "Figure 10: send gap at saturation (us)",
+                        args)
 
 
-def cmd_fig11(args) -> None:
-    _comm_figure("unidir", "Figure 11: unidirectional bandwidth (MB/s)",
-                 args)
+def cmd_fig11(args) -> Optional[int]:
+    return _comm_figure("unidir",
+                        "Figure 11: unidirectional bandwidth (MB/s)", args)
 
 
-def cmd_fig12(args) -> None:
-    _comm_figure("bidir", "Figure 12: bidirectional bandwidth (MB/s)", args)
+def cmd_fig12(args) -> Optional[int]:
+    return _comm_figure("bidir",
+                        "Figure 12: bidirectional bandwidth (MB/s)", args)
 
 
-def cmd_chaos(args) -> None:
+def cmd_chaos(args) -> Optional[int]:
     from repro.faults import FaultPlan, uniform_error_plan
     from repro.faults.chaos import format_report, run_chaos
 
@@ -263,21 +337,27 @@ def cmd_chaos(args) -> None:
                          window=args.window,
                          error_rate=args.error_rate)
 
-    if args.trace or args.metrics_out:
-        with observe() as session:
+    interval = _sampling_interval(args)
+    rc = 0
+    if args.trace or args.metrics_out or interval:
+        with observe(sample_interval_ns=interval) as session:
             report = run()
-        _write_session_artifacts(session, args.trace, args.metrics_out)
+        _emit(format_report(report))
+        _write_session_artifacts(session, args.trace, args.metrics_out,
+                                 getattr(args, "timeline_out", None))
+        rc = _check_health(args, session)
     else:
         report = run()
-    _emit(format_report(report))
+        _emit(format_report(report))
     if args.report_out:
         with open(args.report_out, "w", encoding="utf-8") as handle:
             handle.write(report.to_json())
             handle.write("\n")
         print(f"wrote {args.report_out}")
+    return rc
 
 
-def _chaos_campaign(plan, args) -> None:
+def _chaos_campaign(plan, args) -> Optional[int]:
     """``chaos --seeds N``: a multi-seed campaign over the sweep scheduler."""
     from repro.parallel.campaign import format_campaign, run_campaign
 
@@ -294,19 +374,25 @@ def _chaos_campaign(plan, args) -> None:
                             error_rate=args.error_rate,
                             **options)
 
-    if args.trace or args.metrics_out:
-        with observe() as session:
+    interval = _sampling_interval(args)
+    rc = 0
+    if args.trace or args.metrics_out or interval:
+        with observe(sample_interval_ns=interval) as session:
             report = run()
-        _write_session_artifacts(session, args.trace, args.metrics_out)
+        _emit(format_campaign(report))
+        _write_session_artifacts(session, args.trace, args.metrics_out,
+                                 getattr(args, "timeline_out", None))
+        rc = _check_health(args, session)
     else:
         report = run()
-    _emit(format_campaign(report))
+        _emit(format_campaign(report))
     if args.report_out:
         with open(args.report_out, "w", encoding="utf-8") as handle:
             handle.write(report.to_json())
             handle.write("\n")
         print(f"wrote {args.report_out}")
     _report_cache(options["cache"])
+    return rc
 
 
 def _default_bench_out(quick: bool) -> str:
@@ -401,9 +487,14 @@ def cmd_trace(args) -> None:
     _emit(format_table(
         ["stage", "total (us)", "share"], rows,
         title=f"Critical path across {len(tracer.message_ids())} messages"))
-    dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+    # Drop accounting is always on the summary line — a truncated trace
+    # that looks complete is the worst failure mode of a span budget.
     print(f"wrote {args.out}: {len(tracer.finished_spans())} spans over "
-          f"{len(tracer.message_ids())} messages{dropped}")
+          f"{len(tracer.message_ids())} messages, "
+          f"{tracer.dropped} dropped (span limit {tracer.limit})")
+    if tracer.dropped:
+        print(f"warning: {tracer.dropped} spans were dropped; raise "
+              f"--span-limit to capture the full run", file=sys.stderr)
 
 
 def cmd_metrics(args) -> None:
@@ -418,7 +509,8 @@ def cmd_metrics(args) -> None:
         if inst.kind == "histogram":
             s = inst.summary()
             value = (f"n={s['count']} mean={s['mean']:.1f} "
-                     f"p50={s['p50']:.1f} p99={s['p99']:.1f}")
+                     f"p50={s['p50']:.1f} p99={s['p99']:.1f} "
+                     f"p999={s['p999']:.1f}")
         else:
             value = f"{inst.value:g}"
         rows.append([series, inst.kind, value])
@@ -435,6 +527,70 @@ def cmd_metrics(args) -> None:
         else:
             write_metrics_json(args.out, registry)
         print(f"wrote {args.out}: {len(registry)} series")
+
+
+def cmd_report(args) -> Optional[int]:
+    """Run an experiment under full observation; render the dashboard."""
+    from repro.obs.health import HealthSpec, format_health
+    from repro.obs.report import report_data, write_report
+
+    interval = (float(args.sample_interval) if args.sample_interval
+                else DEFAULT_SAMPLE_INTERVAL_NS)
+    health_path = args.health
+    timeline_path = args.timeline_out
+    trace_path = args.trace
+    metrics_path = args.metrics_out
+    # The wrapped command must not open its own nested session (that
+    # would swap the backends this session is collecting into), so its
+    # copies of the observation flags are cleared before dispatch; any
+    # requested artifacts are written from this session instead.
+    args.sample_interval = None
+    args.timeline_out = None
+    args.health = None
+    args.trace = None
+    args.metrics_out = None
+    if args.nbytes is None:
+        args.nbytes = 1024 if args.experiment == "chaos" else 8
+    if args.experiment == "chaos" and args.error_rate is None:
+        args.error_rate = 0.0
+    with observe(sample_interval_ns=interval,
+                 span_limit=args.span_limit) as session:
+        _COMMANDS[args.experiment](args)
+
+    health = None
+    rc = 0
+    if health_path:
+        health = HealthSpec.load(health_path).evaluate(
+            timeline=session.timeline, metrics=session.metrics)
+        _emit(format_health(health))
+        rc = 0 if health.ok else 1
+    data = report_data(f"repro {args.experiment}",
+                       timeline=session.timeline,
+                       metrics=session.metrics,
+                       tracer=session.tracer,
+                       health=health)
+    write_report(args.out, data)
+    print(f"wrote {args.out}: {len(data['series'])} sampled series, "
+          f"{len(data.get('critical_path', []))} critical-path stages")
+    _write_session_artifacts(session, trace_path, metrics_path,
+                             timeline_path)
+    return rc
+
+
+def _add_sampling_options(parser: argparse.ArgumentParser) -> None:
+    """The shared timeline-sampling/health-gate surface."""
+    parser.add_argument("--sample-interval", type=float, default=None,
+                        metavar="NS",
+                        help="sample component gauges every NS simulated "
+                             "nanoseconds into time-series timelines")
+    parser.add_argument("--timeline-out", metavar="FILE", default=None,
+                        help="write the sampled timelines as JSON "
+                             "(implies --sample-interval "
+                             f"{DEFAULT_SAMPLE_INTERVAL_NS:g})")
+    parser.add_argument("--health", metavar="FILE", default=None,
+                        help="evaluate a HealthSpec JSON against the run; "
+                             "exit 1 on any violated gate (implies "
+                             "sampling)")
 
 
 def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
@@ -470,6 +626,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig6 = sub.add_parser("fig6", help="HINT QUIPS curves")
     fig6.add_argument("--scale", type=int, default=16)
     fig6.add_argument("--subintervals", type=int, default=4096)
+    _add_sampling_options(fig6)
     _add_sweep_options(fig6)
 
     for name, helptext in (("fig7", "MatMult MFLOPS"),
@@ -477,6 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=helptext)
         p.add_argument("--scale", type=int, default=16)
         p.add_argument("--sizes", type=int, nargs="*", default=None)
+        _add_sampling_options(p)
         _add_sweep_options(p)
 
     for name, helptext in (("fig9", "one-way latency"),
@@ -498,6 +656,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(JSON; see the chaos subcommand)")
         p.add_argument("--fault-seed", type=int, default=None,
                        help="override the fault plan's seed")
+        _add_sampling_options(p)
         _add_sweep_options(p)
 
     chaos = sub.add_parser(
@@ -532,6 +691,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="campaign mode: run the experiment under N "
                             "derived seeds and aggregate goodput/reroute "
                             "statistics (mean/p50/p99)")
+    _add_sampling_options(chaos)
     _add_sweep_options(chaos)
 
     logp = sub.add_parser("logp", help="LogP parameters")
@@ -579,6 +739,42 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--top", type=int, default=40,
                          help="series rows to print (<= 0 for all)")
     _add_experiment_options(metrics)
+
+    report = sub.add_parser(
+        "report", help="run an experiment fully observed and render a "
+                       "self-contained HTML dashboard")
+    report.add_argument("experiment", choices=OBSERVABLE + ("chaos",))
+    report.add_argument("--out", default="report.html",
+                        help="dashboard output path (one file, no "
+                             "external dependencies)")
+    report.add_argument("--span-limit", type=int, default=1_000_000)
+    _add_sampling_options(report)
+    # The union of options the wrapped experiments read.  --nbytes stays
+    # None here and is resolved per experiment (8 for the figures/logp,
+    # 1024 for chaos).
+    report.add_argument("--scale", type=int, default=16)
+    report.add_argument("--sizes", type=int, nargs="*", default=None)
+    report.add_argument("--subintervals", type=int, default=4096)
+    report.add_argument("--nbytes", type=int, default=None)
+    _add_sweep_options(report)
+    # The chaos surface (read directly by cmd_chaos).
+    report.add_argument("--plan", metavar="FILE", default=None)
+    report.add_argument("--seed", type=int, default=None)
+    report.add_argument("--seeds", type=int, default=0, metavar="N")
+    report.add_argument("--topology", choices=("cluster", "manna", "grid"),
+                        default="cluster")
+    report.add_argument("--protocol", choices=("sliding", "stopwait"),
+                        default="sliding")
+    report.add_argument("--flows", type=int, default=4)
+    report.add_argument("--messages", type=int, default=8)
+    report.add_argument("--window", type=int, default=8)
+    report.add_argument("--error-rate", type=float, default=None)
+    report.add_argument("--link-error-rate", type=float, default=0.0)
+    report.add_argument("--trace", metavar="FILE", default=None)
+    report.add_argument("--metrics-out", metavar="FILE", default=None)
+    report.add_argument("--report-out", metavar="FILE", default=None)
+    report.add_argument("--fault-plan", metavar="FILE", default=None)
+    report.add_argument("--fault-seed", type=int, default=None)
     return parser
 
 
@@ -597,6 +793,7 @@ _COMMANDS = {
     "bench": cmd_bench,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "report": cmd_report,
 }
 
 

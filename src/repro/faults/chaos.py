@@ -242,6 +242,8 @@ def format_report(report: ChaosReport) -> str:
         injected = ", ".join(f"{k}={v:g}" for k, v in
                              sorted(report.fault_stats.items()))
         lines.append(f"  faults    : {injected}")
+        total = sum(report.fault_stats.values())
+        lines.append(f"  fault events: {total:g} total")
     if report.applied:
         for entry in report.applied:
             lines.append(f"  applied   : {entry}")

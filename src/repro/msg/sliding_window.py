@@ -162,6 +162,14 @@ class SlidingWindowChannel:
             self._deliveries[node] = FifoStore(self.sim,
                                                name=f"slw{node}.deliveries")
             self.sim.process(self._pump(node))
+        if OBS.enabled and OBS.timeline.enabled:
+            probe = OBS.timeline.probe
+            probe(self.sim, "sliding.inflight",
+                  lambda: float(sum(len(f.inflight)
+                                    for f in self._flows.values())))
+            probe(self.sim, "sliding.rto_ns",
+                  lambda: max((f.rto_ns for f in self._flows.values()),
+                              default=0.0))
 
     # -- application API ----------------------------------------------------
 

@@ -89,6 +89,15 @@ class Crossbar:
         self.stats = Counter(name)
         for i in range(config.ports):
             sim.process(self._input_channel(i))
+        if OBS.enabled and OBS.timeline.enabled:
+            probe = OBS.timeline.probe
+            for i in range(config.ports):
+                probe(sim, "xbar.in_fifo_bytes",
+                      lambda f=self.inputs[i]: float(f.level_bytes),
+                      xbar=name, port=str(i))
+                probe(sim, "xbar.out_queue",
+                      lambda a=self._output_arbiters[i]: float(a.queue_length),
+                      xbar=name, port=str(i))
 
     # -- wiring -----------------------------------------------------------
 

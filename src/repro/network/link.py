@@ -247,6 +247,24 @@ class Link:
         self._spans: dict[int, int] = {}
         self._serializer = sim.process(self._serialize())
         self._deliverer = sim.process(self._deliver())
+        if OBS.enabled and OBS.timeline.enabled:
+            probe = OBS.timeline.probe
+            probe(sim, "link.tx_bytes",
+                  lambda: float(self.tx.level_bytes), link=name)
+            probe(sim, "link.flits_in_flight",
+                  lambda: float(self._in_flight.level), link=name)
+            # Occupancy per interval: busy_ns is cumulative, so each
+            # sample reports the busy fraction since the previous one.
+            interval = OBS.timeline.sample_interval_ns
+            last_busy = [0.0]
+
+            def _util() -> float:
+                busy = self.busy_ns
+                delta = busy - last_busy[0]
+                last_busy[0] = busy
+                return min(1.0, delta / interval)
+
+            probe(sim, "link.util", _util, link=name)
 
     def send(self, flit: Flit) -> Event:
         """Stage a flit for transmission; fires when accepted into tx."""

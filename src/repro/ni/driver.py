@@ -90,6 +90,10 @@ class PioDriver:
         # serialise, and a message's flits never interleave on the wire.
         self._send_lock = Resource(sim, capacity=1, name=f"{name}.sendlock")
         self._recv_lock = Resource(sim, capacity=1, name=f"{name}.recvlock")
+        if OBS.enabled and OBS.timeline.enabled:
+            OBS.timeline.probe(
+                sim, "driver.send_backlog",
+                lambda: float(self._send_lock.queue_length), driver=name)
 
     # -- unidirectional send -------------------------------------------------
 

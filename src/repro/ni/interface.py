@@ -79,6 +79,12 @@ class LinkInterface:
         self.message_sent = Signal(sim, name=f"{name}.sent")
         self._crc_by_message: Dict[int, int] = {}
         sim.process(self._drain_send_fifo())
+        if OBS.enabled and OBS.timeline.enabled:
+            probe = OBS.timeline.probe
+            probe(sim, "ni.send_fifo_bytes",
+                  lambda: float(self.send_fifo.level_bytes), ni=name)
+            probe(sim, "ni.rx_fifo_bytes",
+                  lambda: float(self.rx_fifo.level_bytes), ni=name)
 
     # -- send side ----------------------------------------------------------
 

@@ -44,27 +44,38 @@ from repro.obs.spans import (
     SpanNode,
     SpanTracer,
 )
+from repro.obs.timeline import (
+    DEFAULT_SAMPLE_INTERVAL_NS,
+    NULL_TIMELINE,
+    NullTimeline,
+    TimeSeries,
+    Timeline,
+)
 
 
 class Observability:
     """The ambient observability context (one predicate when disabled)."""
 
-    __slots__ = ("enabled", "metrics", "tracer")
+    __slots__ = ("enabled", "metrics", "tracer", "timeline")
 
     def __init__(self):
         self.enabled = False
         self.metrics: MetricsRegistry = NULL_REGISTRY
         self.tracer: SpanTracer = NULL_SPAN_TRACER
+        self.timeline: Timeline = NULL_TIMELINE
 
-    def activate(self, metrics: MetricsRegistry, tracer: SpanTracer) -> None:
+    def activate(self, metrics: MetricsRegistry, tracer: SpanTracer,
+                 timeline: Timeline = NULL_TIMELINE) -> None:
         self.metrics = metrics
         self.tracer = tracer
+        self.timeline = timeline
         self.enabled = True
 
     def deactivate(self) -> None:
         self.enabled = False
         self.metrics = NULL_REGISTRY
         self.tracer = NULL_SPAN_TRACER
+        self.timeline = NULL_TIMELINE
 
     def label_scope(self, **labels):
         """Ambient metric labels for a block; no-op context when disabled."""
@@ -81,10 +92,14 @@ class ObservationSession:
 
     def __init__(self, metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[SpanTracer] = None,
-                 span_limit: int = 1_000_000):
+                 span_limit: int = 1_000_000,
+                 sample_interval_ns: Optional[float] = None):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else SpanTracer(
             limit=span_limit)
+        self.timeline: Timeline = (
+            Timeline(sample_interval_ns) if sample_interval_ns
+            else NULL_TIMELINE)
 
     # -- artifact shortcuts -------------------------------------------------
 
@@ -92,6 +107,11 @@ class ObservationSession:
         from repro.obs.export import write_trace
 
         write_trace(path, self.tracer)
+
+    def write_timeline_json(self, path: str) -> None:
+        from repro.obs.export import write_timeline_json
+
+        write_timeline_json(path, self.timeline)
 
     def write_metrics_json(self, path: str) -> None:
         from repro.obs.export import write_metrics_json
@@ -107,32 +127,45 @@ class ObservationSession:
 @contextmanager
 def observe(metrics: Optional[MetricsRegistry] = None,
             tracer: Optional[SpanTracer] = None,
-            span_limit: int = 1_000_000) -> Iterator[ObservationSession]:
+            span_limit: int = 1_000_000,
+            sample_interval_ns: Optional[float] = None
+            ) -> Iterator[ObservationSession]:
     """Enable instrumentation for the block; restores the prior state
-    afterwards (nesting swaps backends, it does not merge them)."""
+    afterwards (nesting swaps backends, it does not merge them).
+
+    Passing ``sample_interval_ns`` arms periodic simulated-time sampling:
+    every :class:`~repro.sim.engine.Simulator` constructed inside the
+    block samples its registered gauge probes into ``session.timeline``.
+    """
     session = ObservationSession(metrics=metrics, tracer=tracer,
-                                 span_limit=span_limit)
-    previous = (OBS.enabled, OBS.metrics, OBS.tracer)
-    OBS.activate(session.metrics, session.tracer)
+                                 span_limit=span_limit,
+                                 sample_interval_ns=sample_interval_ns)
+    previous = (OBS.enabled, OBS.metrics, OBS.tracer, OBS.timeline)
+    OBS.activate(session.metrics, session.tracer, session.timeline)
     try:
         yield session
     finally:
-        OBS.enabled, OBS.metrics, OBS.tracer = previous
+        OBS.enabled, OBS.metrics, OBS.tracer, OBS.timeline = previous
 
 
 __all__ = [
+    "DEFAULT_SAMPLE_INTERVAL_NS",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NULL_REGISTRY",
     "NULL_SPAN_TRACER",
+    "NULL_TIMELINE",
     "NullMetricsRegistry",
     "NullSpanTracer",
+    "NullTimeline",
     "OBS",
     "Observability",
     "ObservationSession",
     "Span",
     "SpanNode",
     "SpanTracer",
+    "TimeSeries",
+    "Timeline",
     "format_series",
     "observe",
 ]

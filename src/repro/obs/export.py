@@ -136,3 +136,16 @@ def write_metrics_json(path: str, registry: MetricsRegistry) -> None:
 def write_metrics_csv(path: str, registry: MetricsRegistry) -> None:
     with open(path, "w", encoding="utf-8", newline="") as handle:
         handle.write(metrics_csv(registry))
+
+
+# -- timeline dumps --------------------------------------------------------------
+
+
+def timeline_json(timeline) -> str:
+    return json.dumps(timeline.to_dict(), indent=1, sort_keys=True)
+
+
+def write_timeline_json(path: str, timeline) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(timeline_json(timeline))
+        handle.write("\n")

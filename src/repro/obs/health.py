@@ -1,0 +1,245 @@
+"""SLO health gates over sampled timelines and end-of-run metrics.
+
+A :class:`HealthSpec` is a small JSON document of threshold rules::
+
+    {
+      "rules": [
+        {"series": "xbar.out_queue", "stat": "p99", "op": "<", "value": 8},
+        {"series": "link.util", "stat": "mean", "op": "in",
+         "value": [0.0, 0.95], "labels": {"link": "n0.0->plane0.0"}},
+        {"metric": "sliding.retransmissions", "op": "<", "value": 100,
+         "divide_by": "sliding.transmissions"}
+      ]
+    }
+
+evaluated at the end of a run (``--health spec.json`` on the CLI) against
+the session's :class:`~repro.obs.timeline.Timeline` and
+:class:`~repro.obs.metrics.MetricsRegistry`.  Any violated rule fails the
+run with a non-zero exit, which is what lets CI and chaos campaigns gate
+on behaviour ("p99 crossbar queue under 8", "retransmit rate under 1%")
+instead of only on crashes.
+
+Rules name either a ``series`` (a timeline statistic: ``mean``, ``min``,
+``max``, ``p50``, ``p99``, ``last`` — quantiles are over per-interval bin
+means, so a p99 rule reads "in 99% of sampled intervals") or a ``metric``
+(a registry instrument: counters/gauges by value, histograms by any
+summary statistic).  ``divide_by`` turns a counter rule into a rate.
+Missing data violates the rule unless ``allow_missing`` is set: a gate
+that silently passes because sampling was off is worse than a failure.
+"""
+
+from __future__ import annotations
+
+import json
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+_OPS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+}
+
+_SERIES_STATS = ("mean", "min", "max", "p50", "p99", "last")
+
+
+@dataclass(frozen=True)
+class HealthRule:
+    """One threshold: a statistic of a series or metric vs a bound."""
+
+    series: Optional[str] = None
+    metric: Optional[str] = None
+    stat: str = "mean"
+    op: str = "<"
+    value: Any = 0.0
+    labels: Optional[Dict[str, str]] = None
+    divide_by: Optional[str] = None
+    allow_missing: bool = False
+
+    def __post_init__(self):
+        if (self.series is None) == (self.metric is None):
+            raise ValueError(
+                "a health rule names exactly one of 'series' or 'metric'")
+        if self.op != "in" and self.op not in _OPS:
+            raise ValueError(f"unknown health op {self.op!r} "
+                             f"(expected one of {sorted(_OPS)} or 'in')")
+        if self.op == "in":
+            if (not isinstance(self.value, (list, tuple))
+                    or len(self.value) != 2):
+                raise ValueError("'in' rules take a [lo, hi] value")
+        if self.series is not None and self.stat not in _SERIES_STATS:
+            raise ValueError(f"unknown series stat {self.stat!r} "
+                             f"(expected one of {_SERIES_STATS})")
+        if self.divide_by is not None and self.metric is None:
+            raise ValueError("'divide_by' only applies to metric rules")
+
+    @property
+    def target(self) -> str:
+        return self.series if self.series is not None else self.metric
+
+    def describe(self) -> str:
+        kind = "series" if self.series is not None else "metric"
+        label = ""
+        if self.labels:
+            inner = ", ".join(f"{k}={v}"
+                              for k, v in sorted(self.labels.items()))
+            label = "{" + inner + "}"
+        name = f"{self.target}{label}"
+        if self.divide_by:
+            name = f"{name}/{self.divide_by}"
+        if self.op == "in":
+            lo, hi = self.value
+            return f"{self.stat} {kind} {name} in [{lo:g}, {hi:g}]"
+        return f"{self.stat} {kind} {name} {self.op} {self.value:g}"
+
+    def check(self, observed: Optional[float]) -> bool:
+        if observed is None:
+            return self.allow_missing
+        if self.op == "in":
+            lo, hi = self.value
+            return float(lo) <= observed <= float(hi)
+        return _OPS[self.op](observed, float(self.value))
+
+
+@dataclass(frozen=True)
+class RuleResult:
+    rule: HealthRule
+    observed: Optional[float]
+    passed: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule.describe(),
+            "observed": self.observed,
+            "passed": self.passed,
+        }
+
+
+@dataclass
+class HealthReport:
+    """Every rule's verdict; ``ok`` is the gate CI keys its exit on."""
+
+    results: List[RuleResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    @property
+    def violations(self) -> List[RuleResult]:
+        return [r for r in self.results if not r.passed]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"ok": self.ok,
+                "results": [r.to_dict() for r in self.results]}
+
+
+@dataclass(frozen=True)
+class HealthSpec:
+    """An ordered set of health rules loaded from JSON."""
+
+    rules: Tuple[HealthRule, ...] = ()
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "HealthSpec":
+        if not isinstance(payload, dict) or "rules" not in payload:
+            raise ValueError("a health spec is {'rules': [...]}")
+        rules = []
+        for i, entry in enumerate(payload["rules"]):
+            if not isinstance(entry, dict):
+                raise ValueError(f"rule {i} is not an object")
+            known = {"series", "metric", "stat", "op", "value", "labels",
+                     "divide_by", "allow_missing"}
+            unknown = set(entry) - known
+            if unknown:
+                raise ValueError(
+                    f"rule {i} has unknown fields {sorted(unknown)}")
+            rules.append(HealthRule(**entry))
+        return cls(rules=tuple(rules))
+
+    @classmethod
+    def load(cls, path: str) -> "HealthSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def evaluate(self, timeline=None, metrics=None) -> HealthReport:
+        """Check every rule against a timeline and/or metrics registry."""
+        report = HealthReport()
+        for rule in self.rules:
+            if rule.series is not None:
+                observed = _series_value(timeline, rule)
+            else:
+                observed = _metric_value(metrics, rule)
+            report.results.append(
+                RuleResult(rule=rule, observed=observed,
+                           passed=rule.check(observed)))
+        return report
+
+
+def _series_value(timeline, rule: HealthRule) -> Optional[float]:
+    if timeline is None or not getattr(timeline, "enabled", False):
+        return None
+    matches = timeline.series_named(rule.series, rule.labels)
+    matches = [ts for ts in matches if ts.sample_count()]
+    if not matches:
+        return None
+    # Across a label fan-out (every link, every port) the rule gates the
+    # worst offender for upper bounds and the full range for the rest.
+    values = [ts.stat(rule.stat) for ts in matches]
+    if rule.op in ("<", "<="):
+        return max(values)
+    if rule.op in (">", ">="):
+        return min(values)
+    return sum(values) / len(values)
+
+
+def _metric_value(metrics, rule: HealthRule) -> Optional[float]:
+    if metrics is None:
+        return None
+    total = _instrument_total(metrics, rule.metric, rule)
+    if total is None:
+        return None
+    if rule.divide_by is not None:
+        denom = _instrument_total(metrics, rule.divide_by, rule)
+        if not denom:
+            return None
+        return total / denom
+    return total
+
+
+def _instrument_total(metrics, name: str,
+                      rule: HealthRule) -> Optional[float]:
+    want = sorted((str(k), str(v)) for k, v in (rule.labels or {}).items())
+    found = False
+    total = 0.0
+    for inst in metrics.instruments():
+        if inst.name != name:
+            continue
+        if want and not set(want) <= set(inst.labels):
+            continue
+        found = True
+        if inst.kind == "histogram":
+            summary = inst.summary()
+            stat = rule.stat if rule.stat in summary else "mean"
+            total += float(summary[stat])
+        else:
+            total += float(inst.value)
+    return total if found else None
+
+
+def format_health(report: HealthReport) -> str:
+    """The CLI rendering: one line per rule, violations flagged."""
+    lines = ["Health gates:"]
+    for result in report.results:
+        mark = "PASS" if result.passed else "FAIL"
+        observed = ("missing" if result.observed is None
+                    else f"{result.observed:g}")
+        lines.append(f"  [{mark}] {result.rule.describe()} "
+                     f"(observed {observed})")
+    verdict = "healthy" if report.ok else (
+        f"{len(report.violations)} violation(s)")
+    lines.append(f"  => {verdict}")
+    return "\n".join(lines)

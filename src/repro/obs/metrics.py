@@ -307,7 +307,7 @@ class MetricsRegistry:
     # prefixed rather than allowed to clobber the column.
     _RESERVED_COLUMNS = frozenset(
         {"metric", "kind", "value", "count", "mean", "min", "max",
-         "p50", "p99"})
+         "p50", "p99", "p999"})
 
     def rows(self) -> List[Dict[str, Any]]:
         """Flat export rows (labels inlined) for the JSON/CSV exporters."""

@@ -1,0 +1,397 @@
+"""Self-contained HTML dashboard for one observed run.
+
+``python -m repro report fig9 --sample-interval 1000 --out report.html``
+renders the run's sampled timelines (inline SVG sparklines), a crossbar
+per-port congestion heatmap, the span-derived critical-path breakdown,
+the top metric rows and any health-gate verdicts into **one** HTML file
+with zero external dependencies — no JS frameworks, no CDN fetches, no
+image files — so it can be archived as a CI artifact and opened years
+later.
+
+The full structured payload is embedded in the page as
+``<script type="application/json" id="report-data">`` (with ``</``
+escaped so the document cannot be broken out of), which makes the report
+machine-readable after the fact: :func:`validate_report_file` re-extracts
+and schema-checks that payload, and is what the CI smoke job asserts on.
+Nothing in the payload depends on wall-clock time, so two runs of the
+same seeded experiment render byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Any, Dict, List, Optional
+
+REPORT_SCHEMA = "repro.report/1"
+
+#: Sparklines downsample to at most this many points.
+_SPARK_POINTS = 160
+
+#: Heatmaps downsample to at most this many time buckets.
+_HEAT_BUCKETS = 64
+
+#: At most this many individual series render as sparklines (the full
+#: set is always in the embedded JSON).
+_MAX_SPARKS = 48
+
+
+# ---------------------------------------------------------------------------
+# payload assembly
+# ---------------------------------------------------------------------------
+
+
+def _bucketize(points: List[float], limit: int) -> List[float]:
+    """Mean-pool ``points`` down to at most ``limit`` values."""
+    if len(points) <= limit:
+        return points
+    out = []
+    step = len(points) / limit
+    for i in range(limit):
+        lo, hi = int(i * step), max(int(i * step) + 1, int((i + 1) * step))
+        chunk = points[lo:hi]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def _series_entries(timeline) -> List[Dict[str, Any]]:
+    entries = []
+    for ts in timeline.all_series():
+        if not ts.sample_count():
+            continue
+        entries.append({
+            "name": ts.name,
+            "labels": {k: v for k, v in ts.labels},
+            "interval_ns": ts.interval_ns,
+            "samples": ts.sample_count(),
+            "points": [round(v, 6)
+                       for v in _bucketize(ts.values("mean"), _SPARK_POINTS)],
+            "stats": {stat: round(ts.stat(stat), 6)
+                      for stat in ("mean", "max", "p50", "p99")},
+        })
+    return entries
+
+
+def _heatmap(timeline) -> Optional[Dict[str, Any]]:
+    """Crossbar input-FIFO occupancy: one row per (xbar, port)."""
+    rows: List[Dict[str, Any]] = []
+    for ts in timeline.series_named("xbar.in_fifo_bytes"):
+        if not ts.sample_count():
+            continue
+        labels = dict(ts.labels)
+        rows.append({
+            "row": f"{labels.get('xbar', '?')}:{labels.get('port', '?')}",
+            "values": [round(v, 3)
+                       for v in _bucketize(ts.values("mean"),
+                                           _HEAT_BUCKETS)],
+        })
+    if not rows:
+        return None
+    return {"title": "crossbar input-FIFO occupancy (bytes)", "rows": rows}
+
+
+def _critical_path(tracer) -> List[Dict[str, Any]]:
+    """Per-stage totals of every finished message's critical path."""
+    totals: Dict[str, float] = {}
+    messages = 0
+    for message_id in tracer.message_ids():
+        try:
+            stage_totals = tracer.breakdown_totals(message_id)
+        except KeyError:  # unfinished root — fault runs leave these
+            continue
+        messages += 1
+        for stage, duration in stage_totals.items():
+            totals[stage] = totals.get(stage, 0.0) + duration
+    grand = sum(totals.values())
+    return [{"stage": stage,
+             "total_ns": round(duration, 3),
+             "share": round(duration / grand, 6) if grand else 0.0,
+             "messages": messages}
+            for stage, duration in
+            sorted(totals.items(), key=lambda kv: -kv[1])]
+
+
+def report_data(title: str,
+                timeline=None,
+                metrics=None,
+                tracer=None,
+                health=None,
+                extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """The report's full structured payload (also embedded in the HTML)."""
+    data: Dict[str, Any] = {"schema": REPORT_SCHEMA, "title": title}
+    if timeline is not None and getattr(timeline, "enabled", False):
+        data["sample_interval_ns"] = timeline.sample_interval_ns
+        data["series"] = _series_entries(timeline)
+        heat = _heatmap(timeline)
+        if heat:
+            data["heatmap"] = heat
+    else:
+        data["series"] = []
+    if tracer is not None and len(tracer):
+        data["critical_path"] = _critical_path(tracer)
+        data["spans"] = {"recorded": len(tracer), "dropped": tracer.dropped}
+    if metrics is not None:
+        data["metrics"] = metrics.rows()
+    if health is not None:
+        data["health"] = health.to_dict()
+    if extra:
+        data.update(extra)
+    return data
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+_CSS = """
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto;
+       max-width: 70em; color: #1a1a2e; }
+h1 { font-size: 1.4em; border-bottom: 2px solid #1a1a2e; }
+h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; font-size: 13px; }
+td, th { padding: 2px 10px; text-align: right; }
+th { border-bottom: 1px solid #999; }
+td.l, th.l { text-align: left; font-family: ui-monospace, monospace; }
+.spark { vertical-align: middle; }
+.pass { color: #0a7d36; font-weight: 600; }
+.fail { color: #c21807; font-weight: 600; }
+.heat td { padding: 0; width: 9px; height: 14px; }
+.heat th { font-weight: 400; }
+.bar { background: #4466aa; display: inline-block; height: 10px; }
+.muted { color: #667; }
+"""
+
+
+def _sparkline(points: List[float], width: int = 220,
+               height: int = 36) -> str:
+    if not points:
+        return ""
+    vmax = max(points)
+    vmin = min(points)
+    span = (vmax - vmin) or 1.0
+    step = width / max(1, len(points) - 1) if len(points) > 1 else 0.0
+    coords = []
+    for i, v in enumerate(points):
+        x = i * step if len(points) > 1 else width / 2
+        y = height - 2 - (v - vmin) / span * (height - 4)
+        coords.append(f"{x:.1f},{y:.1f}")
+    return (f'<svg class="spark" width="{width}" height="{height}" '
+            f'viewBox="0 0 {width} {height}">'
+            f'<polyline fill="none" stroke="#4466aa" stroke-width="1.3" '
+            f'points="{" ".join(coords)}"/></svg>')
+
+
+def _heat_color(value: float, vmax: float) -> str:
+    share = value / vmax if vmax > 0 else 0.0
+    # White through amber to deep red.
+    red = 255
+    green = int(235 - 175 * share)
+    blue = int(215 - 195 * share)
+    return f"rgb({red},{green},{blue})"
+
+
+def _render_series_section(data: Dict[str, Any]) -> List[str]:
+    series = data.get("series") or []
+    if not series:
+        return ["<p class='muted'>No sampled series (run with "
+                "<code>--sample-interval</code> to record timelines).</p>"]
+    out = ["<h2>Timelines</h2>",
+           "<table><tr><th class='l'>series</th><th>samples</th>"
+           "<th>mean</th><th>p99</th><th>max</th><th class='l'></th></tr>"]
+    for entry in series[:_MAX_SPARKS]:
+        labels = entry.get("labels") or {}
+        label = "".join(f"{k}={v} " for k, v in sorted(labels.items()))
+        stats = entry["stats"]
+        out.append(
+            "<tr>"
+            f"<td class='l'>{html.escape(entry['name'])} "
+            f"<span class='muted'>{html.escape(label.strip())}</span></td>"
+            f"<td>{entry['samples']}</td>"
+            f"<td>{stats['mean']:g}</td><td>{stats['p99']:g}</td>"
+            f"<td>{stats['max']:g}</td>"
+            f"<td class='l'>{_sparkline(entry['points'])}</td></tr>")
+    if len(series) > _MAX_SPARKS:
+        out.append(f"<tr><td class='l muted' colspan='6'>… "
+                   f"{len(series) - _MAX_SPARKS} more series in the "
+                   "embedded JSON payload</td></tr>")
+    out.append("</table>")
+    return out
+
+
+def _render_heatmap_section(data: Dict[str, Any]) -> List[str]:
+    heat = data.get("heatmap")
+    if not heat:
+        return []
+    vmax = max((max(row["values"]) for row in heat["rows"]
+                if row["values"]), default=0.0)
+    out = [f"<h2>Congestion heatmap — {html.escape(heat['title'])}</h2>",
+           "<table class='heat'>"]
+    for row in heat["rows"]:
+        cells = "".join(
+            f"<td style='background:{_heat_color(v, vmax)}' "
+            f"title='{v:g}'></td>" for v in row["values"])
+        out.append(f"<tr><th class='l'>{html.escape(row['row'])}</th>"
+                   f"{cells}</tr>")
+    out.append("</table>")
+    out.append(f"<p class='muted'>time →, white = empty, "
+               f"red = {vmax:g} bytes</p>")
+    return out
+
+
+def _render_critical_path_section(data: Dict[str, Any]) -> List[str]:
+    path = data.get("critical_path")
+    if not path:
+        return []
+    out = ["<h2>Critical path (all messages)</h2>",
+           "<table><tr><th class='l'>stage</th><th>total</th>"
+           "<th>share</th><th class='l'></th></tr>"]
+    for row in path:
+        width = int(round(row["share"] * 260))
+        out.append(
+            f"<tr><td class='l'>{html.escape(row['stage'])}</td>"
+            f"<td>{row['total_ns'] / 1e3:.2f} us</td>"
+            f"<td>{row['share'] * 100:.1f}%</td>"
+            f"<td class='l'><span class='bar' "
+            f"style='width:{width}px'></span></td></tr>")
+    out.append("</table>")
+    spans = data.get("spans")
+    if spans:
+        dropped = (f", {spans['dropped']} dropped"
+                   if spans.get("dropped") else "")
+        out.append(f"<p class='muted'>{spans['recorded']} spans "
+                   f"recorded{dropped}</p>")
+    return out
+
+
+def _render_health_section(data: Dict[str, Any]) -> List[str]:
+    health = data.get("health")
+    if not health:
+        return []
+    verdict = ("<span class='pass'>healthy</span>" if health["ok"]
+               else "<span class='fail'>violations</span>")
+    out = [f"<h2>Health gates — {verdict}</h2>",
+           "<table><tr><th class='l'>rule</th><th>observed</th>"
+           "<th>verdict</th></tr>"]
+    for result in health["results"]:
+        mark = ("<span class='pass'>PASS</span>" if result["passed"]
+                else "<span class='fail'>FAIL</span>")
+        observed = (f"{result['observed']:g}"
+                    if result["observed"] is not None else "missing")
+        out.append(f"<tr><td class='l'>{html.escape(result['rule'])}</td>"
+                   f"<td>{observed}</td><td>{mark}</td></tr>")
+    out.append("</table>")
+    return out
+
+
+def _render_metrics_section(data: Dict[str, Any],
+                            top: int = 20) -> List[str]:
+    rows = data.get("metrics")
+    if not rows:
+        return []
+    def _magnitude(row):
+        return abs(row.get("value") or row.get("count") or 0)
+    ranked = sorted(rows, key=_magnitude, reverse=True)[:top]
+    out = [f"<h2>Top metrics ({len(ranked)} of {len(rows)})</h2>",
+           "<table><tr><th class='l'>metric</th><th class='l'>kind</th>"
+           "<th>value</th></tr>"]
+    for row in ranked:
+        if row["kind"] == "histogram":
+            value = (f"n={row.get('count', 0):g} "
+                     f"p50={row.get('p50', 0.0):g} "
+                     f"p99={row.get('p99', 0.0):g}")
+        else:
+            value = f"{row.get('value', 0):g}"
+        labels = " ".join(f"{k}={v}" for k, v in sorted(row.items())
+                          if k not in ("metric", "kind", "value", "count",
+                                       "mean", "min", "max", "p50", "p99",
+                                       "p999"))
+        out.append(f"<tr><td class='l'>{html.escape(row['metric'])} "
+                   f"<span class='muted'>{html.escape(labels)}</span></td>"
+                   f"<td class='l'>{html.escape(row['kind'])}</td>"
+                   f"<td>{value}</td></tr>")
+    out.append("</table>")
+    return out
+
+
+def render_html(data: Dict[str, Any]) -> str:
+    """One self-contained HTML document for a :func:`report_data` payload."""
+    title = html.escape(data.get("title", "repro report"))
+    parts = ["<!doctype html>", "<html><head>",
+             "<meta charset='utf-8'>",
+             f"<title>{title}</title>",
+             f"<style>{_CSS}</style>", "</head><body>",
+             f"<h1>{title}</h1>"]
+    parts += _render_health_section(data)
+    parts += _render_series_section(data)
+    parts += _render_heatmap_section(data)
+    parts += _render_critical_path_section(data)
+    parts += _render_metrics_section(data)
+    # The machine-readable payload; '</' escaped so embedded strings
+    # cannot terminate the script element.
+    payload = json.dumps(data, sort_keys=True).replace("</", "<\\/")
+    parts.append("<script type='application/json' id='report-data'>"
+                 f"{payload}</script>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_report(path: str, data: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_html(data))
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# validation (CI smoke)
+# ---------------------------------------------------------------------------
+
+_MARKER = "<script type='application/json' id='report-data'>"
+
+
+def extract_report_data(html_text: str) -> Dict[str, Any]:
+    """The embedded JSON payload of a rendered report."""
+    start = html_text.find(_MARKER)
+    if start < 0:
+        raise ValueError("no embedded report-data payload found")
+    start += len(_MARKER)
+    end = html_text.find("</script>", start)
+    if end < 0:
+        raise ValueError("embedded report-data payload is unterminated")
+    return json.loads(html_text[start:end].replace("<\\/", "</"))
+
+
+def validate_report_data(data: Dict[str, Any]) -> int:
+    """Schema-check a payload; returns the number of sampled series."""
+    if not isinstance(data, dict):
+        raise ValueError("report payload is not an object")
+    if data.get("schema") != REPORT_SCHEMA:
+        raise ValueError(f"unexpected report schema {data.get('schema')!r} "
+                         f"(wanted {REPORT_SCHEMA!r})")
+    if "title" not in data:
+        raise ValueError("report payload has no title")
+    series = data.get("series")
+    if not isinstance(series, list):
+        raise ValueError("report payload has no series list")
+    for i, entry in enumerate(series):
+        for field in ("name", "interval_ns", "points", "stats"):
+            if field not in entry:
+                raise ValueError(f"series {i} is missing {field!r}")
+        if not isinstance(entry["points"], list):
+            raise ValueError(f"series {i} points is not a list")
+    heat = data.get("heatmap")
+    if heat is not None:
+        if not heat.get("rows"):
+            raise ValueError("heatmap present but empty")
+        widths = {len(r["values"]) for r in heat["rows"]}
+        if len(widths) > 1:
+            raise ValueError(f"heatmap rows have uneven widths {widths}")
+    health = data.get("health")
+    if health is not None and "ok" not in health:
+        raise ValueError("health section has no verdict")
+    return len(series)
+
+
+def validate_report_file(path: str) -> int:
+    """Extract + schema-check a report file; returns the series count."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_report_data(extract_report_data(handle.read()))

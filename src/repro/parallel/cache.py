@@ -121,10 +121,20 @@ def canonical(value: Any) -> Any:
 
 
 def fingerprint(sweep_id: str, key: Any, config: Dict[str, Any], seed: int,
-                digest: str, capture: bool = False) -> str:
-    """The content address of one sweep point's result."""
-    blob = repr((sweep_id, canonical(key), canonical(config), seed,
-                 bool(capture), digest, _package_version()))
+                digest: str, capture: bool = False,
+                sample_interval_ns: Optional[float] = None) -> str:
+    """The content address of one sweep point's result.
+
+    ``sample_interval_ns`` joins the blob only when sampling is on, so
+    every pre-timeline fingerprint is unchanged — but a sampling run can
+    never replay a cache entry that carries no timeline payload (or one
+    sampled at a different interval).
+    """
+    parts = [sweep_id, canonical(key), canonical(config), seed,
+             bool(capture), digest, _package_version()]
+    if sample_interval_ns:
+        parts.append(("timeline", float(sample_interval_ns)))
+    blob = repr(tuple(parts))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 

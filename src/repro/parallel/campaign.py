@@ -73,6 +73,7 @@ class CampaignReport:
     seeds: List[int]
     runs: List[Dict[str, Any]]
     aggregates: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    timeline_bands: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     @property
     def total_delivered(self) -> int:
@@ -83,7 +84,7 @@ class CampaignReport:
         return int(sum(r.get("undelivered", 0) for r in self.runs))
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "topology": self.topology,
             "protocol": self.protocol,
             "base_seed": self.base_seed,
@@ -91,6 +92,12 @@ class CampaignReport:
             "runs": [dict(r) for r in self.runs],
             "aggregates": {k: dict(v) for k, v in self.aggregates.items()},
         }
+        # Only sampled campaigns carry bands, so unsampled reports keep
+        # their pre-timeline byte format.
+        if self.timeline_bands:
+            payload["timeline_bands"] = {
+                k: dict(v) for k, v in self.timeline_bands.items()}
+        return payload
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
@@ -105,6 +112,7 @@ def _campaign_point(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """
     from repro.faults.chaos import run_chaos
     from repro.faults.plan import FaultPlan
+    from repro.obs import OBS
 
     plan = FaultPlan.from_dict(config["plan"]).with_seed(seed)
     report = run_chaos(plan,
@@ -115,7 +123,17 @@ def _campaign_point(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
                        nbytes=config["nbytes"],
                        window=config["window"],
                        error_rate=config["error_rate"])
-    return report.to_dict()
+    run = report.to_dict()
+    # Under a sampling session, embed this seed's per-name mean curves so
+    # the campaign can band them across seeds (the ambient merge loses
+    # per-seed separation — these compact curves keep it).
+    if OBS.enabled and OBS.timeline.enabled and len(OBS.timeline):
+        run["timeline"] = {
+            name: {"interval_ns": interval,
+                   "means": [round(m, 6) for m in means]}
+            for name, (interval, means)
+            in OBS.timeline.name_curves().items()}
+    return run
 
 
 def run_campaign(plan,
@@ -154,7 +172,44 @@ def run_campaign(plan,
         seeds=[outcome.seed for outcome in outcomes], runs=runs)
     for path in AGGREGATED:
         report.aggregates[path] = aggregate([_lookup(r, path) for r in runs])
+    report.timeline_bands = _timeline_bands(runs)
     return report
+
+
+def _timeline_bands(runs: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Per-interval p50/p99 bands of each series name, across seeds.
+
+    Every sampled run embeds per-name mean curves; seeds may have
+    downsampled to different (power-of-two related) intervals, so finer
+    curves are pairwise-coarsened to the coarsest before ranking each
+    interval across seeds.
+    """
+    curves_by_name: Dict[str, List[Dict[str, Any]]] = {}
+    for run in runs:
+        for name, curve in (run.get("timeline") or {}).items():
+            curves_by_name.setdefault(name, []).append(curve)
+    bands: Dict[str, Dict[str, Any]] = {}
+    for name, curves in sorted(curves_by_name.items()):
+        target = max(c["interval_ns"] for c in curves)
+        aligned = []
+        for curve in curves:
+            means = list(curve["means"])
+            interval = curve["interval_ns"]
+            while interval < target and means:
+                means = [(means[i] + (means[i + 1]
+                                      if i + 1 < len(means) else means[i]))
+                         / 2.0
+                         for i in range(0, len(means), 2)]
+                interval *= 2.0
+            aligned.append(means)
+        length = max((len(m) for m in aligned), default=0)
+        p50s, p99s = [], []
+        for i in range(length):
+            ordered = sorted(m[i] for m in aligned if i < len(m))
+            p50s.append(round(_quantile(ordered, 0.5), 6))
+            p99s.append(round(_quantile(ordered, 0.99), 6))
+        bands[name] = {"interval_ns": target, "p50": p50s, "p99": p99s}
+    return bands
 
 
 def format_campaign(report: CampaignReport) -> str:
@@ -183,4 +238,11 @@ def format_campaign(report: CampaignReport) -> str:
         lines.append(
             f"  {path:<28} mean={agg.get('mean', 0.0):.3f} "
             f"p50={agg.get('p50', 0.0):.3f} p99={agg.get('p99', 0.0):.3f}")
+    if report.timeline_bands:
+        lines.append("  timeline bands across seeds (per-interval):")
+        for name, band in sorted(report.timeline_bands.items()):
+            p50_peak = max(band["p50"], default=0.0)
+            p99_peak = max(band["p99"], default=0.0)
+            lines.append(f"    {name:<26} p50 peak={p50_peak:.3f} "
+                         f"p99 peak={p99_peak:.3f}")
     return "\n".join(lines)

@@ -67,11 +67,12 @@ class PointOutcome:
     cached: bool
 
 
-def _execute_point(payload: Dict[str, Any]) -> Tuple[Any, Any, Any]:
+def _execute_point(payload: Dict[str, Any]) -> Tuple[Any, Any, Any, Any]:
     """Run one point in isolation; module-level so pools can pickle it.
 
-    Returns ``(value, metrics_payload, spans_payload)`` — the payloads are
-    ``None`` unless capture was requested.
+    Returns ``(value, metrics_payload, spans_payload, timeline_payload)``
+    — the payloads are ``None`` unless capture (and, for the timeline,
+    sampling) was requested.
     """
     from repro.network.message import message_id_namespace
 
@@ -79,12 +80,16 @@ def _execute_point(payload: Dict[str, Any]) -> Tuple[Any, Any, Any]:
     config = payload["config"]
     seed = payload["seed"]
     if payload["capture"]:
+        sample_interval = payload.get("sample_interval_ns")
         with message_id_namespace():
-            with observe(span_limit=payload["span_limit"]) as session:
+            with observe(span_limit=payload["span_limit"],
+                         sample_interval_ns=sample_interval) as session:
                 value = fn(config, seed)
-        return value, session.metrics.encode(), session.tracer.encode()
+        timeline = session.timeline.encode() if sample_interval else None
+        return (value, session.metrics.encode(), session.tracer.encode(),
+                timeline)
     with message_id_namespace():
-        return fn(config, seed), None, None
+        return fn(config, seed), None, None, None
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -128,25 +133,34 @@ def run_sweep(sweep_id: str,
     if capture is None:
         capture = OBS.enabled
     span_limit = OBS.tracer.limit if capture else 0
+    # Sampling rides along with capture: when the ambient session has a
+    # live timeline, each point samples at the same interval and its
+    # encoded series merge back like metrics and spans do.
+    sample_interval = (OBS.timeline.sample_interval_ns
+                       if capture and OBS.timeline.enabled else None)
     digest = source_digest(modules) if cache is not None else ""
 
-    slots: List[Optional[Tuple[Any, Any, Any, bool, int]]] = [None] * len(points)
+    slots: List[Optional[Tuple[Any, Any, Any, Any, bool, int]]] = \
+        [None] * len(points)
     prints: List[Optional[str]] = [None] * len(points)
     pending: List[Tuple[int, Dict[str, Any]]] = []
     for index, (key, config) in enumerate(points):
         seed = derive_seed(sweep_id, key, seed_base)
         if cache is not None:
             fp = fingerprint(sweep_id, key, config, seed, digest,
-                             capture=capture)
+                             capture=capture,
+                             sample_interval_ns=sample_interval)
             prints[index] = fp
             hit, stored = cache.get(fp)
             if hit:
                 slots[index] = (stored["value"], stored["metrics"],
-                                stored["spans"], True, seed)
+                                stored["spans"], stored.get("timeline"),
+                                True, seed)
                 continue
         pending.append((index, {"fn": fn, "config": config, "seed": seed,
                                 "capture": capture,
-                                "span_limit": span_limit}))
+                                "span_limit": span_limit,
+                                "sample_interval_ns": sample_interval}))
 
     if pending:
         payloads = [task for _, task in pending]
@@ -158,11 +172,14 @@ def run_sweep(sweep_id: str,
                 produced = pool.map(_execute_point, payloads, chunksize=1)
         else:
             produced = [_execute_point(task) for task in payloads]
-        for (index, task), (value, metrics, spans) in zip(pending, produced):
-            slots[index] = (value, metrics, spans, False, task["seed"])
+        for (index, task), (value, metrics, spans, timeline) in zip(
+                pending, produced):
+            slots[index] = (value, metrics, spans, timeline, False,
+                            task["seed"])
             if cache is not None:
-                cache.put(prints[index], {"value": value, "metrics": metrics,
-                                          "spans": spans})
+                cache.put(prints[index],
+                          {"value": value, "metrics": metrics,
+                           "spans": spans, "timeline": timeline})
 
     # Merge in submission order — the only order both jobs=1 and jobs=N
     # agree on — so span ids, message ids and metric accumulation are
@@ -171,13 +188,15 @@ def run_sweep(sweep_id: str,
     merge_obs = capture and OBS.enabled  # never write into the null session
     message_base = OBS.tracer.max_message_id() if merge_obs else 0
     for (key, _), slot in zip(points, slots):
-        value, metrics, spans, cached, seed = slot
+        value, metrics, spans, timeline, cached, seed = slot
         if merge_obs:
             if metrics:
                 OBS.metrics.merge_encoded(metrics)
             if spans and spans["spans"]:
                 message_base = OBS.tracer.merge_point(
                     spans, message_offset=message_base)
+            if timeline:
+                OBS.timeline.merge_point(timeline)
         outcomes.append(PointOutcome(key=key, value=value, seed=seed,
                                      cached=cached))
     return outcomes

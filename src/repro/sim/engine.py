@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from typing import Any, Callable, Iterable, Optional
 
 _heappush = heapq.heappush
@@ -173,6 +174,17 @@ class Simulator:
         self._running = False
         self._timeout_pool: list[Timeout] = []
         self.events_processed = 0
+        # Periodic telemetry sampling (repro.obs.timeline).  With no
+        # sampler attached ``_sample_due`` stays at +inf, so the run
+        # loops pay one float compare per event and nothing else.  The
+        # import is function-level: repro.obs pulls in sim.stats, which
+        # triggers this module via sim/__init__.
+        self._sampler = None
+        self._sample_due = math.inf
+        from repro.obs import OBS
+
+        if OBS.enabled:
+            OBS.timeline.attach(self)
 
     @property
     def now(self) -> float:
@@ -263,6 +275,8 @@ class Simulator:
         if when < self._now:
             raise SimulationError("time ran backwards")
         self._now = when
+        if when >= self._sample_due:
+            self._sample_due = self._sampler.tick(self._sample_due, when)
         event._processed = True
         callbacks = event.callbacks
         if len(callbacks) == 1:
@@ -306,6 +320,9 @@ class Simulator:
                 if when < self._now:
                     raise SimulationError("time ran backwards")
                 self._now = when
+                if when >= self._sample_due:
+                    self._sample_due = self._sampler.tick(
+                        self._sample_due, when)
                 event._processed = True
                 callbacks = event.callbacks
                 if len(callbacks) == 1:
@@ -351,6 +368,9 @@ class Simulator:
                 if when < self._now:
                     raise SimulationError("time ran backwards")
                 self._now = when
+                if when >= self._sample_due:
+                    self._sample_due = self._sampler.tick(
+                        self._sample_due, when)
                 event._processed = True
                 callbacks = event.callbacks
                 if len(callbacks) == 1:

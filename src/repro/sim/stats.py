@@ -156,6 +156,7 @@ class Histogram:
         self._max: float = -math.inf
         self._p2_p50 = P2Quantile(0.5)
         self._p2_p99 = P2Quantile(0.99)
+        self._p2_p999 = P2Quantile(0.999)
 
     def add(self, value: float) -> None:
         if self._samples and value < self._samples[-1]:
@@ -168,6 +169,7 @@ class Histogram:
             self._max = value
         self._p2_p50.add(value)
         self._p2_p99.add(value)
+        self._p2_p999.add(value)
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -237,6 +239,10 @@ class Histogram:
         """99th percentile via the same incremental fast path as p50."""
         return self._fast_quantile(0.99, self._p2_p99)
 
+    def p999(self) -> float:
+        """99.9th percentile — campaign tail analysis past p99."""
+        return self._fast_quantile(0.999, self._p2_p999)
+
     def merge_sorted(self, samples: Iterable[float]) -> None:
         """Fold another histogram's samples into this one, exactly.
 
@@ -260,9 +266,11 @@ class Histogram:
         self._max = combined[-1]
         self._p2_p50 = P2Quantile(0.5)
         self._p2_p99 = P2Quantile(0.99)
+        self._p2_p999 = P2Quantile(0.999)
         for value in combined:
             self._p2_p50.add(value)
             self._p2_p99.add(value)
+            self._p2_p999.add(value)
 
     def summary(self) -> Dict[str, float]:
         """The exporter-facing digest; never sorts past P2_EXACT_LIMIT."""
@@ -276,6 +284,8 @@ class Histogram:
             else self._p2_p50.value(),
             "p99": self.quantile(0.99) if self._sorted or n <= self.P2_EXACT_LIMIT
             else self._p2_p99.value(),
+            "p999": self.quantile(0.999) if self._sorted or n <= self.P2_EXACT_LIMIT
+            else self._p2_p999.value(),
         }
 
 

@@ -4,6 +4,7 @@ import json
 
 from repro.cli import main
 from repro.obs.export import validate_trace_file
+from repro.obs.report import validate_report_file
 
 
 class TestTraceCommand:
@@ -57,6 +58,116 @@ class TestMetricsCommand:
         assert "cache.miss{" in stdout
         assert "tlb." in stdout
         assert "machine=powermanna" in stdout
+
+
+class TestTraceDropAccounting:
+    def test_summary_line_reports_drops(self, tmp_path, capsys):
+        out = str(tmp_path / "t.json")
+        assert main(["trace", "fig9", "--out", out, "--sizes", "8",
+                     "--span-limit", "50"]) == 0
+        captured = capsys.readouterr()
+        assert "dropped (span limit 50)" in captured.out
+        assert "raise --span-limit" in captured.err
+
+    def test_summary_line_when_nothing_dropped(self, tmp_path, capsys):
+        out = str(tmp_path / "t.json")
+        assert main(["trace", "fig9", "--out", out, "--sizes", "8"]) == 0
+        captured = capsys.readouterr()
+        assert "0 dropped" in captured.out
+        assert "raise --span-limit" not in captured.err
+
+
+class TestHistogramP999:
+    def test_metrics_cli_prints_p999(self, capsys):
+        # fig7 drives node memory, whose access latencies are histograms.
+        assert main(["metrics", "fig7", "--sizes", "8",
+                     "--scale", "16", "--top", "0"]) == 0
+        assert "p999=" in capsys.readouterr().out
+
+    def test_metrics_json_rows_carry_p999_and_count(self, tmp_path):
+        out = str(tmp_path / "m.json")
+        main(["metrics", "fig7", "--sizes", "8", "--scale", "16",
+              "--out", out])
+        hist_rows = [r for r in json.load(open(out))
+                     if r["kind"] == "histogram"]
+        assert hist_rows
+        for row in hist_rows:
+            assert "p999" in row
+            assert "count" in row
+            assert row["p99"] <= row["p999"] <= row["max"]
+
+
+class TestSamplingFlags:
+    def test_fig9_timeline_out(self, tmp_path, capsys):
+        out = str(tmp_path / "tl.json")
+        assert main(["fig9", "--sizes", "8", "--timeline-out", out,
+                     "--no-cache"]) == 0
+        payload = json.load(open(out))
+        names = {s["name"] for s in payload["series"]}
+        assert {"link.util", "xbar.in_fifo_bytes", "ni.send_fifo_bytes",
+                "driver.send_backlog", "des.pending_events"} <= names
+        assert payload["samples_taken"] > 0
+        assert "Figure 9" in capsys.readouterr().out
+
+    def test_jobs_4_timeline_is_byte_identical_to_jobs_1(self, tmp_path):
+        one = str(tmp_path / "j1.json")
+        four = str(tmp_path / "j4.json")
+        assert main(["fig9", "--sizes", "8", "64", "--sample-interval",
+                     "1000", "--timeline-out", one, "--no-cache"]) == 0
+        assert main(["fig9", "--sizes", "8", "64", "--sample-interval",
+                     "1000", "--timeline-out", four, "--no-cache",
+                     "--jobs", "4"]) == 0
+        assert open(one, "rb").read() == open(four, "rb").read()
+
+    def test_health_gate_exit_codes(self, tmp_path, capsys):
+        passing = tmp_path / "pass.json"
+        passing.write_text(json.dumps({"rules": [
+            {"series": "des.pending_events", "stat": "mean",
+             "op": ">", "value": 0.0},
+        ]}))
+        failing = tmp_path / "fail.json"
+        failing.write_text(json.dumps({"rules": [
+            {"series": "des.pending_events", "stat": "mean",
+             "op": "<", "value": 0.0},
+        ]}))
+        assert main(["fig9", "--sizes", "8", "--health", str(passing),
+                     "--no-cache"]) == 0
+        assert "healthy" in capsys.readouterr().out
+        assert main(["fig9", "--sizes", "8", "--health", str(failing),
+                     "--no-cache"]) == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_sampling_leaves_instrumentation_disabled_after(self, tmp_path):
+        from repro.obs import OBS
+        out = str(tmp_path / "tl.json")
+        main(["fig9", "--sizes", "8", "--timeline-out", out, "--no-cache"])
+        assert OBS.enabled is False
+        assert OBS.timeline.enabled is False
+
+
+class TestReportCommand:
+    def test_report_fig9_renders_valid_dashboard(self, tmp_path, capsys):
+        out = str(tmp_path / "report.html")
+        assert main(["report", "fig9", "--sizes", "8", "--out", out,
+                     "--no-cache"]) == 0
+        assert validate_report_file(out) > 0
+        page = open(out).read()
+        assert "<svg" in page
+        assert "report-data" in page
+        assert "wrote" in capsys.readouterr().out
+
+    def test_report_health_violation_exits_nonzero(self, tmp_path):
+        out = str(tmp_path / "report.html")
+        failing = tmp_path / "fail.json"
+        failing.write_text(json.dumps({"rules": [
+            {"series": "link.util", "stat": "max", "op": "<", "value": 0.0},
+        ]}))
+        assert main(["report", "fig9", "--sizes", "8", "--out", out,
+                     "--health", str(failing), "--no-cache"]) == 1
+        # The dashboard is still written, with the failing verdict in it.
+        from repro.obs.report import extract_report_data
+        data = extract_report_data(open(out).read())
+        assert data["health"]["ok"] is False
 
 
 class TestFigureFlags:

@@ -1,0 +1,138 @@
+"""HealthSpec SLO gates: parsing, evaluation, missing-data semantics."""
+
+import json
+
+import pytest
+
+from repro.obs.health import (
+    HealthRule,
+    HealthSpec,
+    format_health,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import NULL_TIMELINE, Timeline
+
+
+def _timeline() -> Timeline:
+    tl = Timeline(sample_interval_ns=10.0)
+    for t in range(10):
+        tl.record("link.util", t * 10.0, 0.1 * t, link="a")
+        tl.record("link.util", t * 10.0, 0.05 * t, link="b")
+        tl.record("queue", t * 10.0, float(t % 4), port="0")
+    return tl
+
+
+def _metrics() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("sent", node="0").incr(100)
+    reg.counter("sent", node="1").incr(100)
+    reg.counter("retx").incr(2)
+    hist = reg.histogram("lat")
+    for v in (1.0, 2.0, 3.0, 50.0):
+        hist.observe(v)
+    return reg
+
+
+class TestHealthRule:
+    def test_requires_exactly_one_target(self):
+        with pytest.raises(ValueError):
+            HealthRule()
+        with pytest.raises(ValueError):
+            HealthRule(series="a", metric="b")
+
+    def test_rejects_unknown_op_and_stat(self):
+        with pytest.raises(ValueError):
+            HealthRule(series="a", op="!=")
+        with pytest.raises(ValueError):
+            HealthRule(series="a", stat="p75")
+        with pytest.raises(ValueError):
+            HealthRule(series="a", op="in", value=1.0)
+        with pytest.raises(ValueError):
+            HealthRule(series="a", divide_by="b")
+
+    def test_describe_is_readable(self):
+        rule = HealthRule(series="link.util", stat="p99", op="<", value=0.9,
+                          labels={"link": "a"})
+        assert rule.describe() == "p99 series link.util{link=a} < 0.9"
+
+
+class TestHealthSpec:
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            HealthSpec.from_dict({"rules": [{"series": "a", "opp": "<"}]})
+        with pytest.raises(ValueError):
+            HealthSpec.from_dict({"thresholds": []})
+
+    def test_load_evaluate_roundtrip(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"rules": [
+            {"series": "link.util", "stat": "max", "op": "<", "value": 1.0},
+            {"metric": "sent", "op": "==", "value": 200},
+        ]}))
+        spec = HealthSpec.load(str(path))
+        report = spec.evaluate(timeline=_timeline(), metrics=_metrics())
+        assert report.ok
+        assert report.to_dict()["ok"] is True
+
+    def test_series_rule_gates_worst_offender(self):
+        # link=a peaks at 0.9, link=b at 0.45; an upper bound across the
+        # label fan-out must judge the worst link, not the average.
+        spec = HealthSpec.from_dict({"rules": [
+            {"series": "link.util", "stat": "max", "op": "<", "value": 0.5},
+        ]})
+        report = spec.evaluate(timeline=_timeline())
+        assert not report.ok
+        assert report.results[0].observed == pytest.approx(0.9)
+        # Scoped to the quiet link the same bound passes.
+        scoped = HealthSpec.from_dict({"rules": [
+            {"series": "link.util", "stat": "max", "op": "<", "value": 0.5,
+             "labels": {"link": "b"}},
+        ]})
+        assert scoped.evaluate(timeline=_timeline()).ok
+
+    def test_in_range_rule(self):
+        spec = HealthSpec.from_dict({"rules": [
+            {"series": "queue", "stat": "mean", "op": "in",
+             "value": [0.0, 4.0]},
+        ]})
+        assert spec.evaluate(timeline=_timeline()).ok
+
+    def test_metric_rate_rule(self):
+        spec = HealthSpec.from_dict({"rules": [
+            {"metric": "retx", "op": "<", "value": 0.05,
+             "divide_by": "sent"},
+        ]})
+        report = spec.evaluate(metrics=_metrics())
+        assert report.ok
+        assert report.results[0].observed == pytest.approx(0.01)
+
+    def test_histogram_rule_uses_requested_stat(self):
+        spec = HealthSpec.from_dict({"rules": [
+            {"metric": "lat", "stat": "max", "op": "<", "value": 10.0},
+        ]})
+        report = spec.evaluate(metrics=_metrics())
+        assert not report.ok
+        assert report.results[0].observed == 50.0
+
+    def test_missing_data_violates_unless_allowed(self):
+        spec = HealthSpec.from_dict({"rules": [
+            {"series": "nope", "op": "<", "value": 1.0},
+        ]})
+        assert not spec.evaluate(timeline=_timeline()).ok
+        # Sampling off entirely (NullTimeline) is also "missing".
+        assert not spec.evaluate(timeline=NULL_TIMELINE).ok
+        lenient = HealthSpec.from_dict({"rules": [
+            {"series": "nope", "op": "<", "value": 1.0,
+             "allow_missing": True},
+        ]})
+        assert lenient.evaluate(timeline=_timeline()).ok
+
+    def test_format_health_flags_violations(self):
+        spec = HealthSpec.from_dict({"rules": [
+            {"series": "link.util", "stat": "max", "op": "<", "value": 1.0},
+            {"series": "link.util", "stat": "max", "op": "<", "value": 0.1},
+        ]})
+        text = format_health(spec.evaluate(timeline=_timeline()))
+        assert "[PASS]" in text
+        assert "[FAIL]" in text
+        assert "1 violation(s)" in text
