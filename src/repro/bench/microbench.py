@@ -123,6 +123,7 @@ def comm_sweep(metric: str, sizes: Sequence[int] = DEFAULT_SIZES,
                jobs: int = 1,
                cache=None,
                fault_plan=None,
+               supervise=None,
                ) -> Dict[str, List[CommPoint]]:
     """One figure's worth of data: metric across sizes and systems.
 
@@ -143,7 +144,8 @@ def comm_sweep(metric: str, sizes: Sequence[int] = DEFAULT_SIZES,
               for n in sizes]
     outcomes = run_sweep(f"comm:{metric}", points, _comm_point_task,
                          jobs=jobs, cache=cache, modules=COMM_SWEEP_MODULES,
-                         seed_base=fault_plan.seed if fault_plan else 0)
+                         seed_base=fault_plan.seed if fault_plan else 0,
+                         supervise=supervise)
     result: Dict[str, List[CommPoint]] = {}
     result["PowerMANNA"] = sweep_values(outcomes)
     if include_comparators:

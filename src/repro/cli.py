@@ -28,11 +28,26 @@ Every sweep-style command farms its independent points over ``--jobs``
 worker processes and consults a content-addressed result cache
 (``~/.cache/repro`` or ``--cache-dir``); output is byte-identical at any
 ``--jobs`` level, and re-running an unchanged figure is a cache hit.
+
+Resilient execution::
+
+    python -m repro fig9 --jobs 4 --point-timeout 60   # hang detection
+    python -m repro chaos --seeds 16 --journal camp.jsonl
+    python -m repro chaos --seeds 16 --resume camp.jsonl
+
+Every sweep run is journaled (``--journal FILE`` to pick the path,
+``--no-journal`` to disable); crashed or hung workers are retried up to
+``--retries`` times, repeatedly-failing points are quarantined and
+reported at the end (exit 3), and Ctrl-C stops cleanly at a point
+boundary (exit 130) with a ``--resume`` hint.  A resumed run skips the
+journaled points and produces byte-identical artifacts to an
+uninterrupted one.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -56,7 +71,13 @@ from repro.obs.export import (
     write_trace,
 )
 from repro.obs.metrics import format_series as format_metric_series
-from repro.parallel import ResultCache, run_sweep
+from repro.parallel import (
+    PoisonedSweepError,
+    ResultCache,
+    SuperviseConfig,
+    SweepInterrupted,
+    run_sweep,
+)
 
 NODE_MACHINES = (POWERMANNA, SUN_ULTRA, PC_CLUSTER_180, PC_CLUSTER_266)
 DEFAULT_COMM_SIZES = (8, 64, 512, 4096, 16384)
@@ -68,13 +89,33 @@ def _emit(text: str) -> None:
     print()
 
 
+def _supervise_config(args) -> Optional[SuperviseConfig]:
+    """The shared --retries/--point-timeout/--journal/--resume surface;
+    ``None`` for commands without the supervised flags."""
+    if not hasattr(args, "retries"):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    return SuperviseConfig(
+        retries=args.retries,
+        point_timeout_s=args.point_timeout,
+        enable_journal=not args.no_journal,
+        journal_path=args.journal,
+        journal_dir=(os.path.join(cache_dir, "journals")
+                     if cache_dir else None),
+        resume_from=args.resume)
+
+
 def _sweep_options(args) -> dict:
     """The shared --jobs/--no-cache/--cache-dir surface as run_sweep
     keywords; commands without the flags fall back to serial, uncached."""
     cache = None
     if hasattr(args, "no_cache") and not args.no_cache:
         cache = ResultCache(getattr(args, "cache_dir", None))
-    return {"jobs": getattr(args, "jobs", 1) or 1, "cache": cache}
+    options = {"jobs": getattr(args, "jobs", 1) or 1, "cache": cache}
+    supervise = _supervise_config(args)
+    if supervise is not None:
+        options["supervise"] = supervise
+    return options
 
 
 def _report_cache(cache: Optional[ResultCache]) -> None:
@@ -84,21 +125,40 @@ def _report_cache(cache: Optional[ResultCache]) -> None:
         print(cache.stats_line(), file=sys.stderr)
 
 
+def _report_supervision(supervise: Optional[SuperviseConfig]) -> None:
+    """Supervision accounting also goes to stderr, and only when the
+    supervisor actually had to do something — a clean run's streams are
+    byte-identical with or without supervision."""
+    if supervise is None or supervise.stats is None:
+        return
+    if supervise.stats.any_events():
+        print(supervise.stats.summary_line(), file=sys.stderr)
+
+
 def _write_session_artifacts(session, trace_path: Optional[str],
                              metrics_path: Optional[str],
-                             timeline_path: Optional[str] = None) -> None:
-    """The one write-and-print block every traced/metered command shares."""
+                             timeline_path: Optional[str] = None,
+                             partial: bool = False) -> None:
+    """The one write-and-print block every traced/metered command shares.
+
+    ``partial`` marks artifacts flushed after an interrupt (the metrics
+    JSON array schema cannot carry a marker, but it is still flushed
+    atomically)."""
+    suffix = " (partial)" if partial else ""
     if trace_path:
-        write_trace(trace_path, session.tracer)
+        write_trace(trace_path, session.tracer, partial=partial)
         print(f"wrote {trace_path}: "
               f"{len(session.tracer.finished_spans())} spans, "
-              f"{len(session.tracer.message_ids())} messages")
+              f"{len(session.tracer.message_ids())} messages{suffix}")
     if metrics_path:
         write_metrics_json(metrics_path, session.metrics)
-        print(f"wrote {metrics_path}: {len(session.metrics)} series")
+        print(f"wrote {metrics_path}: {len(session.metrics)} series"
+              f"{suffix}")
     if timeline_path:
-        write_timeline_json(timeline_path, session.timeline)
-        print(f"wrote {timeline_path}: {len(session.timeline)} series")
+        write_timeline_json(timeline_path, session.timeline,
+                            partial=partial)
+        print(f"wrote {timeline_path}: {len(session.timeline)} series"
+              f"{suffix}")
 
 
 def _sampling_interval(args) -> Optional[float]:
@@ -190,6 +250,7 @@ def cmd_fig6(args) -> Optional[int]:
                 series, marks, "subintervals",
                 title=f"Figure 6 ({data_type.upper()}): QUIPS"))
         _report_cache(sweep["cache"])
+        _report_supervision(sweep.get("supervise"))
 
     return _node_figure(args, body)
 
@@ -215,6 +276,7 @@ def cmd_fig7(args) -> Optional[int]:
             _emit(format_series(series, sizes, "N",
                                 title=f"Figure 7 ({version}): MFLOPS"))
         _report_cache(sweep["cache"])
+        _report_supervision(sweep.get("supervise"))
 
     return _node_figure(args, body)
 
@@ -237,6 +299,7 @@ def cmd_fig8(args) -> Optional[int]:
         _emit(format_table(["machine", "version", "N", "speedup"], rows,
                            title="Figure 8: dual-processor speedup"))
         _report_cache(sweep["cache"])
+        _report_supervision(sweep.get("supervise"))
 
     return _node_figure(args, body)
 
@@ -289,6 +352,7 @@ def _comm_figure(metric: str, title: str, args) -> Optional[int]:
                   for system, points in sweep.items()}
         _emit(format_series(series, list(sizes), "bytes", title=title))
     _report_cache(options["cache"])
+    _report_supervision(options.get("supervise"))
     return rc
 
 
@@ -335,13 +399,27 @@ def cmd_chaos(args) -> Optional[int]:
                          messages=args.messages,
                          nbytes=args.nbytes,
                          window=args.window,
-                         error_rate=args.error_rate)
+                         error_rate=args.error_rate,
+                         ack_error_rate=getattr(args, "ack_error_rate",
+                                                None))
 
     interval = _sampling_interval(args)
     rc = 0
     if args.trace or args.metrics_out or interval:
-        with observe(sample_interval_ns=interval) as session:
-            report = run()
+        session = None
+        try:
+            with observe(sample_interval_ns=interval) as session:
+                report = run()
+        except KeyboardInterrupt:
+            # Flush whatever the session observed before the interrupt,
+            # marked partial, instead of dying with a bare traceback.
+            print("interrupted: flushing partial artifacts",
+                  file=sys.stderr)
+            if session is not None:
+                _write_session_artifacts(
+                    session, args.trace, args.metrics_out,
+                    getattr(args, "timeline_out", None), partial=True)
+            return 130
         _emit(format_report(report))
         _write_session_artifacts(session, args.trace, args.metrics_out,
                                  getattr(args, "timeline_out", None))
@@ -350,9 +428,9 @@ def cmd_chaos(args) -> Optional[int]:
         report = run()
         _emit(format_report(report))
     if args.report_out:
-        with open(args.report_out, "w", encoding="utf-8") as handle:
-            handle.write(report.to_json())
-            handle.write("\n")
+        from repro.atomicio import atomic_write_text
+
+        atomic_write_text(args.report_out, report.to_json() + "\n")
         print(f"wrote {args.report_out}")
     return rc
 
@@ -372,6 +450,8 @@ def _chaos_campaign(plan, args) -> Optional[int]:
                             nbytes=args.nbytes,
                             window=args.window,
                             error_rate=args.error_rate,
+                            ack_error_rate=getattr(args, "ack_error_rate",
+                                                   None),
                             **options)
 
     interval = _sampling_interval(args)
@@ -387,11 +467,12 @@ def _chaos_campaign(plan, args) -> Optional[int]:
         report = run()
         _emit(format_campaign(report))
     if args.report_out:
-        with open(args.report_out, "w", encoding="utf-8") as handle:
-            handle.write(report.to_json())
-            handle.write("\n")
+        from repro.atomicio import atomic_write_text
+
+        atomic_write_text(args.report_out, report.to_json() + "\n")
         print(f"wrote {args.report_out}")
     _report_cache(options["cache"])
+    _report_supervision(options.get("supervise"))
     return rc
 
 
@@ -443,12 +524,35 @@ def cmd_bench(args) -> Optional[int]:
                 return 2
 
     repeats = 1 if args.quick else args.repeats
-    results = run_bench(repeats=repeats, kernels=args.kernels or None,
-                        jobs=getattr(args, "jobs", 1) or 1)
+    supervise = _supervise_config(args)
+    if (supervise is not None and not supervise.enable_journal
+            and not supervise.resume_from
+            and (getattr(args, "jobs", 1) or 1) <= 1):
+        # --no-journal at jobs=1: the legacy measured loop, whose
+        # Ctrl-C path flushes a partial payload below.
+        supervise = None
+    from repro.perf.harness import BenchInterrupted
+
+    try:
+        results = run_bench(repeats=repeats, kernels=args.kernels or None,
+                            jobs=getattr(args, "jobs", 1) or 1,
+                            supervise=supervise)
+    except BenchInterrupted as exc:
+        if exc.results:
+            write_bench_json(out, exc.results, quick=args.quick,
+                             partial=True)
+            print(f"interrupted: wrote partial {out} "
+                  f"({len(exc.results)} kernel(s) finished)",
+                  file=sys.stderr)
+        else:
+            print("interrupted before any kernel finished",
+                  file=sys.stderr)
+        return 130
     _emit(format_bench_table(results))
     write_bench_json(out, results, quick=args.quick)
     print(f"wrote {out}: {len(results)} kernels, "
           f"best of {repeats} repeat(s)")
+    _report_supervision(supervise)
     return 0
 
 
@@ -593,6 +697,30 @@ def _add_sampling_options(parser: argparse.ArgumentParser) -> None:
                              "sampling)")
 
 
+def _add_supervise_options(parser: argparse.ArgumentParser) -> None:
+    """The shared supervision/journaling surface of every sweep run."""
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="retry a crashed/hung/failed point up to N "
+                             "times with exponential backoff before "
+                             "quarantining it (default 2)")
+    parser.add_argument("--point-timeout", type=float, default=None,
+                        metavar="S",
+                        help="presume a point hung after S wall seconds; "
+                             "its worker is restarted and the point "
+                             "retried")
+    parser.add_argument("--journal", metavar="FILE", default=None,
+                        help="write the run journal here (default: an "
+                             "auto-pruned file under the cache dir's "
+                             "journals/, or $REPRO_JOURNAL_DIR)")
+    parser.add_argument("--no-journal", action="store_true",
+                        help="disable run journaling")
+    parser.add_argument("--resume", metavar="JOURNAL", default=None,
+                        help="resume from a run journal: completed points "
+                             "replay their stored results; final "
+                             "artifacts are byte-identical to an "
+                             "uninterrupted run")
+
+
 def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
     """The shared --jobs/--no-cache/--cache-dir surface of every sweep."""
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -603,6 +731,7 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="result cache location (default: "
                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    _add_supervise_options(parser)
 
 
 def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
@@ -677,6 +806,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sliding-window size")
     chaos.add_argument("--error-rate", type=float, default=0.0,
                        help="protocol-level corruption probability")
+    chaos.add_argument("--ack-error-rate", type=float, default=None,
+                       help="decouple the reverse path: probability an "
+                            "acknowledgement is corrupted (default: "
+                            "mirrors --error-rate)")
     chaos.add_argument("--link-error-rate", type=float, default=0.0,
                        help="shorthand: uniform link_corrupt plan at this "
                             "probability (ignored when --plan is given)")
@@ -713,6 +846,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for the (kernel, repeat) "
                             "units; keep 1 when walls are the deliverable")
+    _add_supervise_options(bench)
     bench.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
                        default=None,
                        help="compare two BENCH_perf.json documents instead "
@@ -769,6 +903,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--messages", type=int, default=8)
     report.add_argument("--window", type=int, default=8)
     report.add_argument("--error-rate", type=float, default=None)
+    report.add_argument("--ack-error-rate", type=float, default=None)
     report.add_argument("--link-error-rate", type=float, default=0.0)
     report.add_argument("--trace", metavar="FILE", default=None)
     report.add_argument("--metrics-out", metavar="FILE", default=None)
@@ -799,7 +934,25 @@ _COMMANDS = {
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    rc = _COMMANDS[args.command](args)
+    try:
+        rc = _COMMANDS[args.command](args)
+    except PoisonedSweepError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        if exc.journal_path:
+            print(f"journal: {exc.journal_path} (fix the cause, then "
+                  f"--resume to retry only the quarantined points)",
+                  file=sys.stderr)
+        return 3
+    except SweepInterrupted as exc:
+        print("interrupted: journal flushed, workers shut down",
+              file=sys.stderr)
+        if exc.journal_path:
+            print(f"resume with: --resume {exc.journal_path}",
+                  file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
     return rc or 0
 
 

@@ -35,6 +35,14 @@ from contextlib import contextmanager
 from typing import Iterator, Optional, Union
 
 from repro.faults.engine import FaultEngine, FaultInjection
+from repro.faults.harness import (
+    HARNESS_FAULTS_ENV,
+    HARNESS_KINDS,
+    HarnessFaultError,
+    HarnessFaultPlan,
+    HarnessFaultSpec,
+    load_harness_plan,
+)
 from repro.faults.plan import (
     KINDS,
     SCHEDULED_KINDS,
@@ -73,7 +81,13 @@ __all__ = [
     "FaultPlan",
     "FaultPlanError",
     "FaultSpec",
+    "HARNESS_FAULTS_ENV",
+    "HARNESS_KINDS",
+    "HarnessFaultError",
+    "HarnessFaultPlan",
+    "HarnessFaultSpec",
     "KINDS",
+    "load_harness_plan",
     "SCHEDULED_KINDS",
     "STOCHASTIC_KINDS",
     "inject",

@@ -147,13 +147,17 @@ def run_chaos(plan: FaultPlan,
               messages: int = 8,
               nbytes: int = 1024,
               window: int = 8,
-              error_rate: float = 0.0) -> ChaosReport:
+              error_rate: float = 0.0,
+              ack_error_rate: Optional[float] = None) -> ChaosReport:
     """Run one chaos experiment to completion and report.
 
     ``error_rate`` is the protocol-level injector (corruption drawn at the
-    sender, as the goodput benchmarks use); the *plan* drives the
-    cross-layer hooks (links, crossbars, transceivers, NIs, drivers).
-    Both are active at once so the two injection paths compose.
+    sender, as the goodput benchmarks use); ``ack_error_rate`` optionally
+    decouples the reverse path (``None`` mirrors ``error_rate``), which
+    combined with a scheduled plan fault exercises Karn's rule during a
+    reroute; the *plan* drives the cross-layer hooks (links, crossbars,
+    transceivers, NIs, drivers).  All are active at once so the injection
+    paths compose.
     """
     if protocol not in PROTOCOLS:
         raise ValueError(
@@ -168,10 +172,12 @@ def run_chaos(plan: FaultPlan,
                                      [world.routes])
         if protocol == "sliding":
             channel = SlidingWindowChannel(world, SlidingWindowConfig(
-                window=window, error_rate=error_rate, seed=plan.seed))
+                window=window, error_rate=error_rate,
+                ack_error_rate=ack_error_rate, seed=plan.seed))
         else:
             channel = ReliableChannel(world, ReliableConfig(
-                error_rate=error_rate, seed=plan.seed))
+                error_rate=error_rate, ack_error_rate=ack_error_rate,
+                seed=plan.seed))
 
         def outcome_proc(src: int, dst: int):
             # Inline the protocol generator so its DeliveryError (or a

@@ -183,9 +183,11 @@ class FaultPlan:
                    faults=[FaultSpec.from_dict(f) for f in faults_raw])
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        from repro.atomicio import atomic_write_text
+
+        atomic_write_text(
+            path,
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
 
     @classmethod
     def load(cls, path: str) -> "FaultPlan":

@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
+from repro.atomicio import atomic_write_text
 from repro.bench.export import to_csv, to_json
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanTracer
@@ -67,9 +68,13 @@ def trace_event_json(tracer: SpanTracer) -> Dict[str, Any]:
             "otherData": {"droppedSpans": tracer.dropped}}
 
 
-def write_trace(path: str, tracer: SpanTracer) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(trace_event_json(tracer), handle, indent=1)
+def write_trace(path: str, tracer: SpanTracer, partial: bool = False) -> None:
+    """Atomically write the trace; ``partial`` marks an interrupted run's
+    flush in ``otherData`` (the envelope stays schema-valid)."""
+    payload = trace_event_json(tracer)
+    if partial:
+        payload["otherData"]["partial"] = True
+    atomic_write_text(path, json.dumps(payload, indent=1))
 
 
 def validate_trace_events(payload: Any) -> int:
@@ -129,13 +134,11 @@ def metrics_csv(registry: MetricsRegistry) -> str:
 
 
 def write_metrics_json(path: str, registry: MetricsRegistry) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(metrics_json(registry))
+    atomic_write_text(path, metrics_json(registry))
 
 
 def write_metrics_csv(path: str, registry: MetricsRegistry) -> None:
-    with open(path, "w", encoding="utf-8", newline="") as handle:
-        handle.write(metrics_csv(registry))
+    atomic_write_text(path, metrics_csv(registry))
 
 
 # -- timeline dumps --------------------------------------------------------------
@@ -145,7 +148,9 @@ def timeline_json(timeline) -> str:
     return json.dumps(timeline.to_dict(), indent=1, sort_keys=True)
 
 
-def write_timeline_json(path: str, timeline) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(timeline_json(timeline))
-        handle.write("\n")
+def write_timeline_json(path: str, timeline, partial: bool = False) -> None:
+    payload = timeline.to_dict()
+    if partial:
+        payload["partial"] = True
+    atomic_write_text(
+        path, json.dumps(payload, indent=1, sort_keys=True) + "\n")

@@ -336,9 +336,9 @@ def render_html(data: Dict[str, Any]) -> str:
 
 
 def write_report(path: str, data: Dict[str, Any]) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(render_html(data))
-        handle.write("\n")
+    from repro.atomicio import atomic_write_text
+
+    atomic_write_text(path, render_html(data) + "\n")
 
 
 # ---------------------------------------------------------------------------

@@ -7,6 +7,12 @@ and never recomputes a point whose (source digest, config, seed)
 fingerprint already has a cached result.  See :mod:`repro.parallel.sweep`
 for the scheduler contract and :mod:`repro.parallel.cache` for the
 fingerprinting rules.
+
+Sweeps can additionally run *supervised*: :mod:`repro.parallel.journal`
+gives every run an append-only crash-safe record of its points, and
+:mod:`repro.parallel.supervise` retries crashed/hung workers, quarantines
+poison points, degrades to serial when the pool dies, and turns a
+journal back into a byte-identical ``--resume``.
 """
 
 from repro.parallel.cache import (
@@ -17,6 +23,22 @@ from repro.parallel.cache import (
     default_cache_dir,
     fingerprint,
     source_digest,
+)
+from repro.parallel.journal import (
+    JOURNAL_ENV,
+    JournalState,
+    RunJournal,
+    default_journal_dir,
+    journal_path_for,
+    load_journal,
+    prune_journals,
+)
+from repro.parallel.supervise import (
+    PoisonPoint,
+    PoisonedSweepError,
+    SuperviseConfig,
+    SupervisionStats,
+    SweepInterrupted,
 )
 from repro.parallel.sweep import (
     Point,
@@ -29,15 +51,27 @@ from repro.parallel.sweep import (
 
 __all__ = [
     "CACHE_ENV",
+    "JOURNAL_ENV",
+    "JournalState",
     "Point",
     "PointFn",
     "PointOutcome",
+    "PoisonPoint",
+    "PoisonedSweepError",
     "ResultCache",
+    "RunJournal",
+    "SuperviseConfig",
+    "SupervisionStats",
+    "SweepInterrupted",
     "canonical",
     "clear_digest_memo",
     "default_cache_dir",
+    "default_journal_dir",
     "derive_seed",
     "fingerprint",
+    "journal_path_for",
+    "load_journal",
+    "prune_journals",
     "run_sweep",
     "source_digest",
     "sweep_values",

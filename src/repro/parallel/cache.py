@@ -24,6 +24,7 @@ import dataclasses
 import hashlib
 import os
 import pickle
+import tempfile
 from importlib import import_module
 from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
@@ -146,39 +147,69 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self.quarantined = 0
 
     def path_for(self, fp: str) -> str:
         return os.path.join(self.root, fp[:2], fp + ".pkl")
 
     def get(self, fp: str) -> Tuple[bool, Any]:
-        """(hit, value); unreadable or corrupt entries count as misses."""
+        """(hit, value); unreadable or corrupt entries count as misses.
+
+        A present-but-undecodable entry is additionally **quarantined**:
+        renamed to ``<entry>.corrupt`` so it stops being retried on every
+        sweep, and counted in :meth:`stats_line`.  A merely *absent*
+        entry is a plain miss.
+        """
         path = self.path_for(fp)
         try:
             with open(path, "rb") as handle:
                 value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
             self.misses += 1
+            self._quarantine(path)
             return False, None
         self.hits += 1
         return True, value
 
+    def _quarantine(self, path: str) -> None:
+        try:
+            os.replace(path, path + ".corrupt")
+            self.quarantined += 1
+        except OSError:  # pragma: no cover - raced by a concurrent run
+            pass
+
     def put(self, fp: str, value: Any) -> None:
         path = self.path_for(fp)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = f"{path}.{os.getpid()}.tmp"
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        # mkstemp opens O_EXCL, so runs sharing --cache-dir can never
+        # write through the same temp file; each replace is whole-file.
+        fd, tmp = tempfile.mkstemp(prefix=fp + ".", suffix=".tmp",
+                                   dir=directory)
         try:
-            with open(tmp, "wb") as handle:
+            with os.fdopen(fd, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)  # atomic: concurrent writers race safely
             self.puts += 1
-        finally:
-            if os.path.exists(tmp):  # pragma: no cover - only on error
+        except BaseException:
+            try:
                 os.unlink(tmp)
+            except OSError:  # pragma: no cover - already renamed
+                pass
+            raise
 
     def stats_line(self) -> str:
-        return (f"cache: {self.hits} hit(s), {self.misses} miss(es) "
+        line = (f"cache: {self.hits} hit(s), {self.misses} miss(es) "
                 f"({self.root})")
+        if self.quarantined:
+            line += f", {self.quarantined} corrupt entr(ies) quarantined"
+        return line
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<ResultCache {self.root} +{self.hits}/-{self.misses}>"

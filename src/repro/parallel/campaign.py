@@ -122,7 +122,8 @@ def _campaign_point(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
                        messages=config["messages"],
                        nbytes=config["nbytes"],
                        window=config["window"],
-                       error_rate=config["error_rate"])
+                       error_rate=config["error_rate"],
+                       ack_error_rate=config.get("ack_error_rate"))
     run = report.to_dict()
     # Under a sampling session, embed this seed's per-name mean curves so
     # the campaign can band them across seeds (the ambient merge loses
@@ -146,8 +147,10 @@ def run_campaign(plan,
                  nbytes: int = 1024,
                  window: int = 8,
                  error_rate: float = 0.0,
+                 ack_error_rate: Optional[float] = None,
                  jobs: int = 1,
-                 cache: Optional[ResultCache] = None) -> CampaignReport:
+                 cache: Optional[ResultCache] = None,
+                 supervise=None) -> CampaignReport:
     """Sweep ``seeds`` derived seeds of one chaos plan and aggregate."""
     if seeds < 1:
         raise ValueError(f"a campaign needs >= 1 seed, got {seeds}")
@@ -161,11 +164,15 @@ def run_campaign(plan,
         "window": window,
         "error_rate": error_rate,
     }
+    # Only a decoupled ack path joins the config (and so the cache /
+    # journal fingerprint); default campaigns keep their existing keys.
+    if ack_error_rate is not None:
+        config["ack_error_rate"] = ack_error_rate
     sweep_id = f"chaos-campaign:{topology}:{protocol}"
     points = [(("seed", index), config) for index in range(seeds)]
     outcomes = run_sweep(sweep_id, points, _campaign_point, jobs=jobs,
                          cache=cache, modules=CHAOS_SWEEP_MODULES,
-                         seed_base=plan.seed)
+                         seed_base=plan.seed, supervise=supervise)
     runs = [outcome.value for outcome in outcomes]
     report = CampaignReport(
         topology=topology, protocol=protocol, base_seed=plan.seed,

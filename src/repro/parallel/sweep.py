@@ -26,17 +26,47 @@ callable and configs must pickle.  A :class:`~repro.parallel.cache.ResultCache`
 short-circuits any point whose fingerprint (source digest + config +
 seed) already has a stored result — including its captured metrics and
 spans, so a warm-cache ``--trace`` run still writes the full trace.
+
+Passing a :class:`~repro.parallel.supervise.SuperviseConfig` swaps the
+optimistic ``pool.map`` for the supervised executor: every run is
+journaled (:mod:`repro.parallel.journal`), worker crashes and hangs are
+retried with backoff, repeatedly-failing points are quarantined and
+reported via :class:`~repro.parallel.supervise.PoisonedSweepError`
+*after* the healthy points finish, a dying pool degrades to in-process
+serial execution, SIGINT/SIGTERM stop cleanly at a point boundary, and
+``resume_from`` replays a previous journal so only unfinished points
+recompute.  Because replayed payloads are byte-for-byte what the
+interrupted run produced and the merge is in submission order, a resumed
+run's artifacts are byte-identical to an uninterrupted run's — the same
+contract as ``jobs=N``.
 """
 
 from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import pickle
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.faults.harness import load_harness_plan
 from repro.obs import OBS, observe
 from repro.parallel.cache import ResultCache, fingerprint, source_digest
+from repro.parallel.journal import (
+    RunJournal,
+    journal_path_for,
+    load_journal,
+    prune_journals,
+)
+from repro.parallel.supervise import (
+    PoisonPoint,
+    PoisonedSweepError,
+    SuperviseConfig,
+    SupervisionStats,
+    WorkerSupervisor,
+    interrupt_guard,
+    run_serial_supervised,
+)
 
 #: A sweep point: (hashable key with a deterministic repr, config kwargs).
 Point = Tuple[Any, Dict[str, Any]]
@@ -59,12 +89,20 @@ def derive_seed(sweep_id: str, key: Any, base: int = 0) -> int:
 
 @dataclass(frozen=True)
 class PointOutcome:
-    """One executed (or cache-replayed) sweep point."""
+    """One executed (or cache-/journal-replayed) sweep point.
+
+    ``cached`` covers both cache hits and journal replays; a quarantined
+    point comes back ``failed=True`` with its last error and ``value``
+    ``None`` (and the sweep raises
+    :class:`~repro.parallel.supervise.PoisonedSweepError`).
+    """
 
     key: Any
     value: Any
     seed: int
     cached: bool
+    failed: bool = False
+    error: Optional[str] = None
 
 
 def _execute_point(payload: Dict[str, Any]) -> Tuple[Any, Any, Any, Any]:
@@ -98,6 +136,13 @@ def _pool_context() -> multiprocessing.context.BaseContext:
         "fork" if "fork" in methods else "spawn")
 
 
+def _slot_blob(slot: Tuple[Any, Any, Any, Any, bool, int]) -> bytes:
+    """A slot's result payload pickled exactly as the executor would."""
+    value, metrics, spans, timeline = slot[:4]
+    return pickle.dumps((value, metrics, spans, timeline),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+
+
 def run_sweep(sweep_id: str,
               points: Sequence[Point],
               fn: PointFn,
@@ -106,7 +151,9 @@ def run_sweep(sweep_id: str,
               cache: Optional[ResultCache] = None,
               modules: Sequence[str] = (),
               seed_base: int = 0,
-              capture: Optional[bool] = None) -> List[PointOutcome]:
+              capture: Optional[bool] = None,
+              supervise: Optional[SuperviseConfig] = None
+              ) -> List[PointOutcome]:
     """Run every point of a sweep, possibly in parallel, deterministically.
 
     Args:
@@ -120,14 +167,24 @@ def run_sweep(sweep_id: str,
         cache: optional :class:`ResultCache`; hits skip execution and
             replay the stored value plus any captured metrics/spans.
         modules: module/package names whose source digest keys the cache
-            fingerprint (ignored without ``cache``).
+            fingerprint (ignored without ``cache`` or a journal).
         seed_base: folded into every derived seed (e.g. a fault plan's
             base seed).
         capture: capture per-point metrics/spans and merge them into the
             ambient observability session; defaults to ``OBS.enabled``.
+        supervise: run under the supervised executor — journaled,
+            crash/hang-tolerant, resumable.  ``None`` keeps the legacy
+            optimistic pool.
 
     Returns:
         One :class:`PointOutcome` per input point, in input order.
+
+    Raises:
+        PoisonedSweepError: some points were quarantined after retries
+            (the exception carries every outcome, healthy ones included).
+        SweepInterrupted: SIGINT/SIGTERM (or an injected
+            ``run_interrupt`` fault) stopped the run; the journal named
+            by the exception resumes it.
     """
     points = list(points)
     if capture is None:
@@ -138,7 +195,14 @@ def run_sweep(sweep_id: str,
     # encoded series merge back like metrics and spans do.
     sample_interval = (OBS.timeline.sample_interval_ns
                        if capture and OBS.timeline.enabled else None)
-    digest = source_digest(modules) if cache is not None else ""
+    stats: Optional[SupervisionStats] = None
+    journaling = False
+    if supervise is not None:
+        stats = SupervisionStats()
+        supervise.stats = stats
+        journaling = bool(supervise.enable_journal or supervise.resume_from)
+    need_fp = cache is not None or journaling
+    digest = source_digest(modules) if need_fp else ""
 
     slots: List[Optional[Tuple[Any, Any, Any, Any, bool, int]]] = \
         [None] * len(points)
@@ -146,12 +210,12 @@ def run_sweep(sweep_id: str,
     pending: List[Tuple[int, Dict[str, Any]]] = []
     for index, (key, config) in enumerate(points):
         seed = derive_seed(sweep_id, key, seed_base)
+        if need_fp:
+            prints[index] = fingerprint(sweep_id, key, config, seed, digest,
+                                        capture=capture,
+                                        sample_interval_ns=sample_interval)
         if cache is not None:
-            fp = fingerprint(sweep_id, key, config, seed, digest,
-                             capture=capture,
-                             sample_interval_ns=sample_interval)
-            prints[index] = fp
-            hit, stored = cache.get(fp)
+            hit, stored = cache.get(prints[index])
             if hit:
                 slots[index] = (stored["value"], stored["metrics"],
                                 stored["spans"], stored.get("timeline"),
@@ -162,24 +226,118 @@ def run_sweep(sweep_id: str,
                                 "span_limit": span_limit,
                                 "sample_interval_ns": sample_interval}))
 
-    if pending:
-        payloads = [task for _, task in pending]
-        if jobs > 1 and len(pending) > 1:
-            with _pool_context().Pool(
-                    processes=min(jobs, len(pending))) as pool:
-                # map() preserves input order whatever the completion
-                # order; chunksize=1 keeps long points load-balanced.
-                produced = pool.map(_execute_point, payloads, chunksize=1)
-        else:
-            produced = [_execute_point(task) for task in payloads]
-        for (index, task), (value, metrics, spans, timeline) in zip(
-                pending, produced):
-            slots[index] = (value, metrics, spans, timeline, False,
-                            task["seed"])
-            if cache is not None:
-                cache.put(prints[index],
-                          {"value": value, "metrics": metrics,
-                           "spans": spans, "timeline": timeline})
+    # Resume: points whose journaled fingerprint matches the current one
+    # (same code, config, seed, capture mode) replay their stored
+    # payloads; anything stale, missing or digest-corrupt recomputes.
+    resume_state = None
+    if supervise is not None and supervise.resume_from:
+        resume_state = load_journal(supervise.resume_from)
+        if (resume_state.sweep_id is not None
+                and resume_state.sweep_id != sweep_id):
+            raise ValueError(
+                f"journal {supervise.resume_from} records sweep "
+                f"{resume_state.sweep_id!r}, not {sweep_id!r}")
+        still_pending = []
+        for index, payload in pending:
+            fp = prints[index]
+            if fp is not None and resume_state.completed_fingerprint(
+                    index) == fp:
+                stored = resume_state.payload_for(index)
+                if stored is not None:
+                    value, metrics, spans, timeline = stored
+                    slots[index] = (value, metrics, spans, timeline, True,
+                                    payload["seed"])
+                    stats.resumed += 1
+                    continue
+            still_pending.append((index, payload))
+        pending = still_pending
+
+    journal: Optional[RunJournal] = None
+    errors: Dict[int, str] = {}
+    try:
+        if journaling:
+            if supervise.resume_from:
+                journal_path = supervise.resume_from
+                journal = RunJournal(journal_path, append=True)
+            else:
+                journal_path = supervise.journal_path
+                if journal_path is None:
+                    prune_journals(sweep_id, supervise.journal_dir)
+                    journal_path = journal_path_for(sweep_id,
+                                                    supervise.journal_dir)
+                journal = RunJournal(journal_path)
+            supervise.journal_path_used = journal_path
+            if resume_state is None:
+                journal.record_plan(sweep_id, [key for key, _ in points],
+                                    prints)
+            else:
+                journal.record_event("resume",
+                                     replayed=stats.resumed,
+                                     torn_lines=resume_state.torn_lines)
+            # Journal cache hits too, so a later --resume replays them
+            # without needing the cache to still agree.
+            already = set(resume_state.done) if resume_state else set()
+            for index, slot in enumerate(slots):
+                if slot is not None and index not in already:
+                    journal.record_done(index, prints[index],
+                                        _slot_blob(slot), cached=True)
+
+        if pending:
+            payloads = [task for _, task in pending]
+            if supervise is None:
+                if jobs > 1 and len(pending) > 1:
+                    with _pool_context().Pool(
+                            processes=min(jobs, len(pending))) as pool:
+                        # map() preserves input order whatever the
+                        # completion order; chunksize=1 keeps long points
+                        # load-balanced.
+                        produced = pool.map(_execute_point, payloads,
+                                            chunksize=1)
+                else:
+                    produced = [_execute_point(task) for task in payloads]
+                for (index, task), (value, metrics, spans, timeline) in zip(
+                        pending, produced):
+                    slots[index] = (value, metrics, spans, timeline, False,
+                                    task["seed"])
+                    if cache is not None:
+                        cache.put(prints[index],
+                                  {"value": value, "metrics": metrics,
+                                   "spans": spans, "timeline": timeline})
+            else:
+                harness_plan = load_harness_plan()
+                with interrupt_guard() as flag:
+                    if jobs > 1 and len(pending) > 1:
+                        sup = WorkerSupervisor(
+                            min(jobs, len(pending)), supervise, stats,
+                            journal=journal, fingerprints=prints,
+                            harness_plan=harness_plan, interrupt_flag=flag)
+                        results = sup.run(pending)
+                    else:
+                        results = run_serial_supervised(
+                            pending, supervise, stats, journal=journal,
+                            fingerprints=prints, interrupt_flag=flag,
+                            harness_plan=harness_plan)
+                for index, task in pending:
+                    status, body = results[index]
+                    if status == "ok":
+                        value, metrics, spans, timeline = body
+                        slots[index] = (value, metrics, spans, timeline,
+                                        False, task["seed"])
+                        if cache is not None:
+                            cache.put(prints[index],
+                                      {"value": value, "metrics": metrics,
+                                       "spans": spans,
+                                       "timeline": timeline})
+                    else:
+                        errors[index] = body
+                        slots[index] = (None, None, None, None, False,
+                                        task["seed"])
+
+        if journal is not None:
+            journal.record_end(ok=not errors)
+    finally:
+        if journal is not None:
+            journal.close()
 
     # Merge in submission order — the only order both jobs=1 and jobs=N
     # agree on — so span ids, message ids and metric accumulation are
@@ -187,9 +345,10 @@ def run_sweep(sweep_id: str,
     outcomes: List[PointOutcome] = []
     merge_obs = capture and OBS.enabled  # never write into the null session
     message_base = OBS.tracer.max_message_id() if merge_obs else 0
-    for (key, _), slot in zip(points, slots):
+    for index, ((key, _), slot) in enumerate(zip(points, slots)):
         value, metrics, spans, timeline, cached, seed = slot
-        if merge_obs:
+        failed = index in errors
+        if merge_obs and not failed:
             if metrics:
                 OBS.metrics.merge_encoded(metrics)
             if spans and spans["spans"]:
@@ -198,7 +357,18 @@ def run_sweep(sweep_id: str,
             if timeline:
                 OBS.timeline.merge_point(timeline)
         outcomes.append(PointOutcome(key=key, value=value, seed=seed,
-                                     cached=cached))
+                                     cached=cached, failed=failed,
+                                     error=errors.get(index)))
+    if stats is not None:
+        stats.publish()
+    if errors:
+        poisoned = [PoisonPoint(index=index, key=points[index][0],
+                                attempts=supervise.retries + 1,
+                                error=errors[index])
+                    for index in sorted(errors)]
+        raise PoisonedSweepError(
+            poisoned, outcomes,
+            journal_path=supervise.journal_path_used)
     return outcomes
 
 

@@ -183,9 +183,19 @@ def _bench_unit(config: Dict[str, str], seed: int) -> Tuple[float, int, str,
     return elapsed, work, unit, check
 
 
+class BenchInterrupted(KeyboardInterrupt):
+    """Ctrl-C mid-bench; carries the kernels that did finish, so the CLI
+    can flush a ``"partial": true`` payload before exiting 130."""
+
+    def __init__(self, results: List[KernelResult]):
+        super().__init__("bench interrupted")
+        self.results = results
+
+
 def run_bench(repeats: int = 3,
               kernels: Optional[Sequence[str]] = None,
-              jobs: int = 1) -> List[KernelResult]:
+              jobs: int = 1,
+              supervise=None) -> List[KernelResult]:
     """Time every kernel ``repeats`` times, optionally over ``jobs`` workers.
 
     The (kernel, repeat) units fan out through the sweep scheduler; the
@@ -193,6 +203,12 @@ def run_bench(repeats: int = 3,
     asserted to be), but wall times are host measurements — running
     timing units concurrently trades timing fidelity for throughput, so
     keep ``jobs=1`` when the walls themselves are the deliverable.
+
+    A :class:`~repro.parallel.supervise.SuperviseConfig` routes even
+    ``jobs=1`` through the sweep scheduler, which journals every
+    (kernel, repeat) unit and makes the bench resumable — note that
+    replayed units reuse the interrupted run's wall times, so a resumed
+    bench is *reproducible*, not re-measured.
     """
     names = list(kernels) if kernels else list(KERNELS)
     unknown = [n for n in names if n not in KERNELS]
@@ -200,8 +216,14 @@ def run_bench(repeats: int = 3,
         raise ValueError(f"unknown kernels {unknown}; have {list(KERNELS)}")
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    if jobs <= 1:
-        return [run_kernel(name, repeats=repeats) for name in names]
+    if jobs <= 1 and supervise is None:
+        results: List[KernelResult] = []
+        try:
+            for name in names:
+                results.append(run_kernel(name, repeats=repeats))
+        except KeyboardInterrupt:
+            raise BenchInterrupted(results)
+        return results
 
     from repro.parallel import run_sweep
 
@@ -210,7 +232,7 @@ def run_bench(repeats: int = 3,
     # Timings must always be measured, never replayed: no cache, and no
     # observability capture inside the timed region.
     outcomes = run_sweep("bench", units, _bench_unit, jobs=jobs,
-                         cache=None, capture=False)
+                         cache=None, capture=False, supervise=supervise)
     by_kernel: Dict[str, List[Tuple[float, int, str, float]]] = {}
     for outcome in outcomes:
         by_kernel.setdefault(outcome.key[0], []).append(outcome.value)
@@ -236,8 +258,10 @@ def run_bench(repeats: int = 3,
 
 
 def bench_payload(results: Sequence[KernelResult],
-                  quick: bool = False) -> dict:
-    """The ``BENCH_perf.json`` document."""
+                  quick: bool = False, partial: bool = False) -> dict:
+    """The ``BENCH_perf.json`` document.  ``partial`` marks a payload
+    flushed after an interrupt — some kernels are missing, and no tool
+    should treat it as a comparable baseline."""
     kernels = {}
     for r in results:
         entry = {
@@ -253,7 +277,7 @@ def bench_payload(results: Sequence[KernelResult],
         if speedup is not None:
             entry["speedup_vs_seed"] = speedup
         kernels[r.name] = entry
-    return {
+    payload = {
         "schema": SCHEMA,
         "created_unix": time.time(),
         "python": platform.python_version(),
@@ -262,14 +286,18 @@ def bench_payload(results: Sequence[KernelResult],
         "kernels": kernels,
         "seed_baseline": SEED_BASELINE,
     }
+    if partial:
+        payload["partial"] = True
+    return payload
 
 
 def write_bench_json(path: str, results: Sequence[KernelResult],
-                     quick: bool = False) -> dict:
-    payload = bench_payload(results, quick=quick)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1, sort_keys=True)
-        handle.write("\n")
+                     quick: bool = False, partial: bool = False) -> dict:
+    from repro.atomicio import atomic_write_text
+
+    payload = bench_payload(results, quick=quick, partial=partial)
+    atomic_write_text(
+        path, json.dumps(payload, indent=1, sort_keys=True) + "\n")
     return payload
 
 

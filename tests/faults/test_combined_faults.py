@@ -1,0 +1,71 @@
+"""Combined in-sim faults: ack-path loss during a scheduled reroute.
+
+PR 2 exercised ``ack_error_rate`` (the protocol-level reverse-path
+injector) and ``xbar_port_down`` (a scheduled topology fault) each on
+their own.  Driving them *together* is the interesting case: while the
+port kill forces flows onto longer spine routes, lost acks keep firing
+retransmission timeouts, so the sender's RTT estimator must obey Karn's
+rule (never sample a retransmitted exchange) right when the true RTT is
+shifting under it.  Delivery must still be total, and the run must stay
+bit-reproducible."""
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.faults.chaos import run_chaos
+
+PORT_KILL = dict(kind="xbar_port_down", site="c0.plane0", port=4,
+                 at_ns=100_000.0)
+
+#: High enough that Go-back-N's cumulative acks cannot paper over the
+#: losses — below ~0.3 a later clean ack retires the corrupted one before
+#: the sender's timer fires and no extra retransmission ever happens.
+ACK_LOSS = 0.35
+
+
+def _run(ack_error_rate=ACK_LOSS, seed=3):
+    plan = FaultPlan(seed=seed, faults=[FaultSpec(**PORT_KILL)])
+    return run_chaos(plan, topology="manna", protocol="sliding",
+                     flows=4, messages=6, ack_error_rate=ack_error_rate)
+
+
+class TestCombinedFaults:
+    def test_delivers_everything_through_both_faults(self):
+        report = _run()
+        assert report.undelivered == 0
+        assert report.delivered == report.total_messages == 24
+        assert report.applied == [
+            ("xbar_port_down", "c0.plane0", 4, 100_000.0)]
+        # Both failure modes left their fingerprints on the channel.
+        assert report.channel_stats["reroutes"] > 0
+        assert report.channel_stats["acks_corrupted"] > 0
+        assert report.channel_stats["retransmissions"] > 0
+        assert report.channel_stats["timeouts"] > 0
+
+    def test_ack_loss_adds_recovery_work_beyond_the_reroute(self):
+        reroute_only = _run(ack_error_rate=None)
+        combined = _run()
+        assert combined.undelivered == reroute_only.undelivered == 0
+        # Lost acks force timeout-driven Go-back-N resends on top of the
+        # reroute's, and the receiver sees the duplicates they create.
+        assert (combined.channel_stats["retransmissions"]
+                > reroute_only.channel_stats.get("retransmissions", 0))
+        assert (combined.channel_stats["timeouts"]
+                > reroute_only.channel_stats.get("timeouts", 0))
+        assert combined.channel_stats.get("duplicates", 0) > 0
+        assert combined.duration_ns > reroute_only.duration_ns
+
+    def test_same_seed_is_bit_identical(self):
+        assert _run().to_dict() == _run().to_dict()
+
+    def test_seed_changes_the_recovery_trajectory(self):
+        assert _run(seed=3).to_dict() != _run(seed=4).to_dict()
+
+
+class TestAckRateDefaults:
+    def test_none_mirrors_error_rate(self):
+        from repro.msg.reliable import ReliableConfig
+        from repro.msg.sliding_window import SlidingWindowConfig
+
+        for cls in (SlidingWindowConfig, ReliableConfig):
+            assert cls(error_rate=0.1).effective_ack_error_rate == 0.1
+            assert cls(error_rate=0.1,
+                       ack_error_rate=0.3).effective_ack_error_rate == 0.3

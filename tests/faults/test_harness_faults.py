@@ -1,0 +1,139 @@
+"""Harness fault plans: validation, matching, env loading, corruption."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    HARNESS_FAULTS_ENV,
+    HARNESS_KINDS,
+    HarnessFaultError,
+    HarnessFaultPlan,
+    HarnessFaultSpec,
+    load_harness_plan,
+)
+from repro.faults.harness import corrupt_result
+
+
+class TestSpecValidation:
+    def test_known_kinds_construct(self):
+        for kind in HARNESS_KINDS:
+            HarnessFaultSpec(kind=kind)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(HarnessFaultError):
+            HarnessFaultSpec(kind="meteor_strike")
+
+    def test_negative_hang_raises(self):
+        with pytest.raises(HarnessFaultError):
+            HarnessFaultSpec(kind="worker_hang", hang_s=-1.0)
+
+    def test_negative_after_points_raises(self):
+        with pytest.raises(HarnessFaultError):
+            HarnessFaultSpec(kind="run_interrupt", after_points=-1)
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(HarnessFaultError):
+            HarnessFaultSpec.from_dict({"kind": "worker_crash", "pont": 3})
+
+    def test_missing_kind_raises(self):
+        with pytest.raises(HarnessFaultError):
+            HarnessFaultSpec.from_dict({"point": 3})
+
+
+class TestMatching:
+    def test_default_attempt_hits_only_first_try(self):
+        spec = HarnessFaultSpec(kind="worker_crash", point=1)
+        assert spec.hits(1, 0)
+        assert not spec.hits(1, 1)  # the retry succeeds
+        assert not spec.hits(0, 0)
+
+    def test_wildcard_point_hits_every_point(self):
+        spec = HarnessFaultSpec(kind="worker_crash", point=None)
+        assert spec.hits(0, 0) and spec.hits(7, 0)
+        assert not spec.hits(0, 1)
+
+    def test_wildcard_attempt_hits_every_attempt(self):
+        spec = HarnessFaultSpec(kind="worker_crash", point=2, attempt=None)
+        assert spec.hits(2, 0) and spec.hits(2, 5)
+
+    def test_supervisor_kind_never_matches_workers(self):
+        spec = HarnessFaultSpec(kind="run_interrupt", after_points=2)
+        assert not spec.hits(0, 0)
+        plan = HarnessFaultPlan(faults=[spec])
+        assert plan.worker_faults(0, 0) == []
+        assert plan.interrupt_after() == 2
+
+    def test_interrupt_after_takes_the_minimum(self):
+        plan = HarnessFaultPlan(faults=[
+            HarnessFaultSpec(kind="run_interrupt", after_points=5),
+            HarnessFaultSpec(kind="run_interrupt", after_points=2),
+        ])
+        assert plan.interrupt_after() == 2
+
+    def test_no_interrupt_specs_means_none(self):
+        assert HarnessFaultPlan().interrupt_after() is None
+
+
+class TestPlanSerialization:
+    def test_round_trips(self):
+        plan = HarnessFaultPlan(faults=[
+            HarnessFaultSpec(kind="worker_crash", point=1),
+            HarnessFaultSpec(kind="worker_hang", point=2, hang_s=60.0),
+            HarnessFaultSpec(kind="result_corrupt", point=0, attempt=None),
+            HarnessFaultSpec(kind="run_interrupt", after_points=3),
+        ])
+        again = HarnessFaultPlan.from_dict(json.loads(plan.to_json()))
+        assert again == plan
+
+    def test_unknown_plan_field_raises(self):
+        with pytest.raises(HarnessFaultError):
+            HarnessFaultPlan.from_dict({"faults": [], "retries": 2})
+
+    def test_faults_must_be_a_list(self):
+        with pytest.raises(HarnessFaultError):
+            HarnessFaultPlan.from_dict({"faults": "worker_crash"})
+
+
+class TestEnvLoading:
+    def test_unset_env_means_no_plan(self, monkeypatch):
+        monkeypatch.delenv(HARNESS_FAULTS_ENV, raising=False)
+        assert load_harness_plan() is None
+
+    def test_inline_json(self, monkeypatch):
+        monkeypatch.setenv(HARNESS_FAULTS_ENV, json.dumps(
+            {"faults": [{"kind": "worker_crash", "point": 1}]}))
+        plan = load_harness_plan()
+        assert plan.faults[0].kind == "worker_crash"
+        assert plan.faults[0].point == 1
+
+    def test_file_path(self, monkeypatch, tmp_path):
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps(
+            {"faults": [{"kind": "worker_hang", "hang_s": 5.0}]}))
+        monkeypatch.setenv(HARNESS_FAULTS_ENV, str(path))
+        plan = load_harness_plan()
+        assert plan.faults[0].kind == "worker_hang"
+        assert plan.faults[0].hang_s == 5.0
+
+    def test_memoized_per_raw_value(self, monkeypatch):
+        raw = json.dumps({"faults": [{"kind": "worker_crash"}]})
+        monkeypatch.setenv(HARNESS_FAULTS_ENV, raw)
+        assert load_harness_plan() is load_harness_plan()
+
+
+class TestResultCorruption:
+    def test_flips_the_first_byte_when_hit(self):
+        plan = HarnessFaultPlan(faults=[
+            HarnessFaultSpec(kind="result_corrupt", point=0)])
+        blob = b"\x00rest"
+        assert corrupt_result(plan, 0, 0, blob) == b"\xffrest"
+
+    def test_untouched_when_no_spec_hits(self):
+        plan = HarnessFaultPlan(faults=[
+            HarnessFaultSpec(kind="result_corrupt", point=0)])
+        blob = b"\x00rest"
+        assert corrupt_result(plan, 1, 0, blob) == blob
+        assert corrupt_result(plan, 0, 1, blob) == blob
+        assert corrupt_result(None, 0, 0, blob) == blob
+        assert corrupt_result(plan, 0, 0, b"") == b""

@@ -52,6 +52,40 @@ class TestResultCache:
         assert cache.path_for("beef") == str(tmp_path / "be" / "beef.pkl")
 
 
+class TestCacheHardening:
+    def test_corrupt_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fp = "ee" * 32
+        cache.put(fp, {"value": 1})
+        with open(cache.path_for(fp), "wb") as handle:
+            handle.write(b"garbage")
+        hit, value = cache.get(fp)
+        assert (hit, value) == (False, None)
+        assert cache.quarantined == 1
+        # The bad entry is renamed aside, so it can never poison a later
+        # sweep, and the evidence survives for inspection.
+        assert not os.path.exists(cache.path_for(fp))
+        assert os.path.exists(cache.path_for(fp) + ".corrupt")
+        assert "1 corrupt entr(ies) quarantined" in cache.stats_line()
+
+    def test_plain_absence_is_not_quarantined(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        hit, _ = cache.get("ab" * 32)
+        assert not hit
+        assert cache.quarantined == 0
+        assert "quarantined" not in cache.stats_line()
+
+    def test_put_leaves_no_temp_droppings(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fp = "aa" * 32
+        cache.put(fp, {"value": 2})
+        cache.put(fp, {"value": 3})  # overwrite goes through a fresh temp
+        shard = os.path.dirname(cache.path_for(fp))
+        assert os.listdir(shard) == [fp + ".pkl"]
+        hit, value = cache.get(fp)
+        assert hit and value == {"value": 3}
+
+
 class TestFingerprint:
     def test_stable(self):
         args = ("s", ("n", 3), {"a": 1}, 7, "digest")

@@ -1,0 +1,150 @@
+"""The run journal: append-only records, torn tails, payload replay."""
+
+import json
+import os
+import pickle
+
+from repro.parallel.journal import (
+    KEEP_JOURNALS,
+    RunJournal,
+    default_journal_dir,
+    journal_path_for,
+    load_journal,
+    payload_digest,
+    prune_journals,
+)
+
+
+def _blob(value):
+    return pickle.dumps((value, None, None, None),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _journal_with_done(tmp_path, value=10):
+    path = str(tmp_path / "run.jsonl")
+    with RunJournal(path) as journal:
+        journal.record_plan("sw", [("n", 1)], ["aa"])
+        journal.record_start(0, 0)
+        journal.record_done(0, "aa", _blob(value))
+        journal.record_end(ok=True)
+    return path
+
+
+class TestRunJournal:
+    def test_lifecycle_round_trips(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunJournal(path) as journal:
+            journal.record_plan("sw", [("n", 1), ("n", 2)], ["aa", "bb"])
+            journal.record_start(0, 0)
+            journal.record_done(0, "aa", _blob(10))
+            journal.record_start(1, 0)
+            journal.record_failed(1, 0, "boom")
+            journal.record_event("retry", i=1, attempt=1)
+            journal.record_end(ok=False)
+        state = load_journal(path)
+        assert state.sweep_id == "sw"
+        assert state.plan == {0: {"key": repr(("n", 1)), "fp": "aa"},
+                              1: {"key": repr(("n", 2)), "fp": "bb"}}
+        assert state.completed_fingerprint(0) == "aa"
+        assert state.completed_fingerprint(1) is None
+        assert state.failed == {1: "boom"}
+        assert [e["kind"] for e in state.events] == ["retry"]
+        assert state.ended_ok is False
+        assert state.torn_lines == 0
+
+    def test_done_payload_replays_byte_identically(self, tmp_path):
+        path = _journal_with_done(tmp_path, value=42)
+        state = load_journal(path)
+        assert state.payload_for(0) == (42, None, None, None)
+
+    def test_sidecar_written_before_done_record(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        journal = RunJournal(path)
+        journal.record_done(0, "aa", _blob(1))
+        # The payload must be durable the instant the record names it.
+        assert os.path.exists(os.path.join(path + ".d", "aa.pkl"))
+        journal.close()
+
+    def test_corrupt_sidecar_payload_is_rejected(self, tmp_path):
+        path = _journal_with_done(tmp_path)
+        with open(os.path.join(path + ".d", "aa.pkl"), "wb") as handle:
+            handle.write(b"flipped")
+        assert load_journal(path).payload_for(0) is None
+
+    def test_missing_sidecar_payload_is_rejected(self, tmp_path):
+        path = _journal_with_done(tmp_path)
+        os.unlink(os.path.join(path + ".d", "aa.pkl"))
+        assert load_journal(path).payload_for(0) is None
+
+    def test_done_digest_matches_payload(self, tmp_path):
+        path = _journal_with_done(tmp_path)
+        record = load_journal(path).done[0]
+        assert record["digest"] == payload_digest(_blob(10))
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        path = _journal_with_done(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "done", "i": 1, "dig')  # crash mid-append
+        state = load_journal(path)
+        assert state.torn_lines == 1
+        assert list(state.done) == [0]  # trusted up to the last full record
+
+    def test_done_beats_failed_in_either_order(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunJournal(path) as journal:
+            journal.record_failed(0, 0, "first try died")
+            journal.record_done(0, "aa", _blob(1))
+            journal.record_done(1, "bb", _blob(2))
+            journal.record_failed(1, 3, "stale failure")
+        state = load_journal(path)
+        assert state.failed == {}
+        assert set(state.done) == {0, 1}
+
+    def test_append_mode_extends_existing_journal(self, tmp_path):
+        path = _journal_with_done(tmp_path)
+        with RunJournal(path, append=True) as journal:
+            journal.record_event("resume", replayed=1)
+        state = load_journal(path)
+        assert state.done and state.events[-1]["kind"] == "resume"
+
+    def test_records_are_one_line_each(self, tmp_path):
+        path = _journal_with_done(tmp_path)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 4  # plan, start, done, end
+        for line in lines:
+            json.loads(line)
+
+
+class TestJournalPaths:
+    def test_auto_path_is_slugged_and_pid_unique(self, tmp_path):
+        path = journal_path_for("comm:latency", str(tmp_path))
+        assert path == str(tmp_path / f"comm-latency.{os.getpid()}.jsonl")
+
+    def test_default_dir_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_JOURNAL_DIR", str(tmp_path))
+        assert default_journal_dir() == str(tmp_path)
+
+    def test_prune_keeps_newest(self, tmp_path):
+        for i in range(KEEP_JOURNALS + 3):
+            path = tmp_path / f"sweep.{1000 + i}.jsonl"
+            path.write_text("{}\n")
+            os.utime(path, (i, i))
+        # The oldest journal's sidecar dir must be swept with it.
+        sidecar = tmp_path / "sweep.1000.jsonl.d"
+        sidecar.mkdir()
+        (sidecar / "aa.pkl").write_bytes(b"x")
+        removed = prune_journals("sweep", str(tmp_path))
+        assert removed == 3
+        left = sorted(p.name for p in tmp_path.iterdir())
+        assert f"sweep.{1000 + KEEP_JOURNALS + 2}.jsonl" in left
+        assert "sweep.1000.jsonl" not in left
+        assert not sidecar.exists()
+
+    def test_prune_ignores_other_slugs(self, tmp_path):
+        for i in range(KEEP_JOURNALS + 2):
+            (tmp_path / f"other.{i}.jsonl").write_text("{}\n")
+        assert prune_journals("sweep", str(tmp_path)) == 0
+
+    def test_prune_of_missing_dir_is_harmless(self, tmp_path):
+        assert prune_journals("sweep", str(tmp_path / "nonesuch")) == 0

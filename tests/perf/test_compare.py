@@ -119,7 +119,7 @@ class TestQuickOutSafety:
         result = KernelResult(name="a", wall_s=1.0, mean_s=1.0, repeats=1,
                               work=10, work_unit="events", check=5.0)
         monkeypatch.setattr(repro.perf, "run_bench",
-                            lambda repeats, kernels, jobs: [result])
+                            lambda repeats, kernels, jobs, supervise=None: [result])
 
     def test_quick_defaults_to_its_own_file(self, tmp_path, monkeypatch,
                                             capsys, fake_bench):

@@ -1,0 +1,49 @@
+"""Atomic artifact writes: all-or-nothing replacement, no litter."""
+
+import os
+
+import pytest
+
+from repro.atomicio import atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_writes_bytes(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(str(path), b"\x00\x01payload")
+        assert path.read_bytes() == b"\x00\x01payload"
+
+    def test_writes_text(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(str(path), "héllo\n")
+        assert path.read_text(encoding="utf-8") == "héllo\n"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "er" / "out.json"
+        atomic_write_text(str(path), "{}")
+        assert path.read_text() == "{}"
+
+    def test_overwrite_replaces_whole_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(str(path), "a much longer original body")
+        atomic_write_text(str(path), "new")
+        # os.replace swaps the whole file: no stale tail can survive.
+        assert path.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        atomic_write_text(str(tmp_path / "a.json"), "{}")
+        atomic_write_bytes(str(tmp_path / "b.bin"), b"x")
+        assert sorted(os.listdir(tmp_path)) == ["a.json", "b.bin"]
+
+    def test_failed_write_keeps_target_and_cleans_temp(self, tmp_path):
+        path = tmp_path / "keep.txt"
+        atomic_write_text(str(path), "original")
+        with pytest.raises(TypeError):
+            atomic_write_bytes(str(path), "not bytes")  # type: ignore[arg-type]
+        assert path.read_text() == "original"
+        assert os.listdir(tmp_path) == ["keep.txt"]
+
+    def test_fsync_can_be_skipped(self, tmp_path):
+        path = tmp_path / "fast.txt"
+        atomic_write_text(str(path), "x", fsync=False)
+        assert path.read_text() == "x"
