@@ -47,15 +47,28 @@ def _per_element_ns(spec: MachineSpec) -> float:
 
 
 def distributed_dot(x: np.ndarray, y: np.ndarray, ranks: int = 8,
-                    machine: MachineSpec = POWERMANNA) -> DotProductResult:
-    """Dot(x, y) over ``ranks`` nodes of a fresh cluster."""
+                    machine: MachineSpec = POWERMANNA,
+                    topology=None) -> DotProductResult:
+    """Dot(x, y) over ``ranks`` nodes of a fresh cluster.
+
+    ``topology`` (a flit-fidelity :class:`TopologySpec`) runs the
+    reduction over that fabric instead; ranks map onto its first
+    ``ranks`` node ids.
+    """
     if x.shape != y.shape or x.ndim != 1:
         raise ValueError("x and y must be 1-D arrays of equal length")
     n = len(x)
     if n < ranks:
         raise ValueError(f"{n} elements cannot split over {ranks} ranks")
 
-    _, world = build_cluster_world()
+    if topology is not None:
+        from repro.msg.api import build_topology_world
+
+        _, world = build_topology_world(topology)
+        if world.fidelity != "flit":
+            raise ValueError("distributed_dot needs a flit-fidelity world")
+    else:
+        _, world = build_cluster_world()
     mpi = MiniMpi(world, ranks=list(range(ranks)))
     element_ns = _per_element_ns(machine)
 

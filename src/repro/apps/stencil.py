@@ -80,11 +80,14 @@ def run_stencil(total_cells: int, iterations: int, ranks: int = 8,
                 machine: MachineSpec = POWERMANNA,
                 initial: Optional[np.ndarray] = None,
                 driver_config: Optional[DriverConfig] = None,
+                topology=None,
                 ) -> StencilResult:
     """Distributed Jacobi over ``ranks`` nodes of a fresh cluster.
 
     ``driver_config`` swaps the communication software stack — the
     latency-sensitivity ablation passes a heavier, DMA-NIC-like one.
+    ``topology`` (a flit-fidelity :class:`TopologySpec`) runs the halo
+    exchange over that fabric instead of the 8-node cluster.
     """
     if total_cells < 3 * ranks:
         raise ValueError(f"{total_cells} cells cannot split over {ranks} ranks")
@@ -99,7 +102,15 @@ def run_stencil(total_cells: int, iterations: int, ranks: int = 8,
             raise ValueError("initial condition length mismatch")
         rod = initial.astype(float)
 
-    if driver_config is None:
+    if topology is not None:
+        from repro.msg.api import build_topology_world
+
+        kwargs = ({} if driver_config is None
+                  else {"driver_config": driver_config})
+        _, world = build_topology_world(topology, **kwargs)
+        if world.fidelity != "flit":
+            raise ValueError("run_stencil needs a flit-fidelity world")
+    elif driver_config is None:
         _, world = build_cluster_world()
     else:
         _, world = build_cluster_world(driver_config=driver_config)

@@ -58,6 +58,33 @@ def _streams_count(nbytes: int) -> int:
     return 4
 
 
+def measure_point(world, a: int, b: int, nbytes: int,
+                  metric: str) -> CommPoint:
+    """One metric at one size between nodes ``a`` and ``b`` of ``world``.
+
+    ``world`` is anything with the CommWorld measurement surface — a
+    flit-level :class:`CommWorld` or a flow-level
+    :class:`~repro.network.topo.flow.FlowWorld`.
+    """
+    with OBS.label_scope(system="PowerMANNA", metric=metric):
+        if metric == "latency":
+            value = world.one_way_latency_ns(a, b, nbytes) / 1e3
+            return CommPoint("PowerMANNA", nbytes, latency_us=value)
+        if metric == "gap":
+            value = world.send_gap_ns(a, b, nbytes,
+                                      count=_streams_count(nbytes)) / 1e3
+            return CommPoint("PowerMANNA", nbytes, gap_us=value)
+        if metric == "unidir":
+            value = world.unidirectional_mb_s(a, b, nbytes,
+                                              count=_streams_count(nbytes))
+            return CommPoint("PowerMANNA", nbytes, unidir_mb_s=value)
+        if metric == "bidir":
+            value = world.bidirectional_mb_s(
+                a, b, nbytes, rounds=max(2, _streams_count(nbytes) // 2))
+            return CommPoint("PowerMANNA", nbytes, bidir_mb_s=value)
+    raise ValueError(f"unknown metric {metric!r}")
+
+
 def powermanna_point(nbytes: int, metric: str,
                      fifo_words: int = 32,
                      driver_config: DriverConfig = DriverConfig()) -> CommPoint:
@@ -66,24 +93,28 @@ def powermanna_point(nbytes: int, metric: str,
     A fresh world per point keeps measurements independent (no warm FIFO
     or in-flight state leaks between sizes).
     """
-    world = _fresh_world(fifo_words, driver_config)
-    with OBS.label_scope(system="PowerMANNA", metric=metric):
-        if metric == "latency":
-            value = world.one_way_latency_ns(0, 1, nbytes) / 1e3
-            return CommPoint("PowerMANNA", nbytes, latency_us=value)
-        if metric == "gap":
-            value = world.send_gap_ns(0, 1, nbytes,
-                                      count=_streams_count(nbytes)) / 1e3
-            return CommPoint("PowerMANNA", nbytes, gap_us=value)
-        if metric == "unidir":
-            value = world.unidirectional_mb_s(0, 1, nbytes,
-                                              count=_streams_count(nbytes))
-            return CommPoint("PowerMANNA", nbytes, unidir_mb_s=value)
-        if metric == "bidir":
-            value = world.bidirectional_mb_s(
-                0, 1, nbytes, rounds=max(2, _streams_count(nbytes) // 2))
-            return CommPoint("PowerMANNA", nbytes, bidir_mb_s=value)
-    raise ValueError(f"unknown metric {metric!r}")
+    return measure_point(_fresh_world(fifo_words, driver_config), 0, 1,
+                         nbytes, metric)
+
+
+def topology_point(spec_dict: Dict[str, Any], nbytes: int, metric: str,
+                   fifo_words: int = 32,
+                   driver_config: DriverConfig = DriverConfig()) -> CommPoint:
+    """One metric at one size on a fresh world built from a topology spec.
+
+    The measured pair is the spec world's :meth:`far_pair` — a worst-case
+    route — so figures across topologies compare like for like.  On the
+    default cluster spec the pair degenerates to ``(0, 1)``, matching
+    :func:`powermanna_point`.
+    """
+    from repro.msg.api import build_topology_world
+    from repro.network.topo import TopologySpec
+
+    spec = TopologySpec.from_dict(spec_dict)
+    _, world = build_topology_world(spec, fifo_words=fifo_words,
+                                    driver_config=driver_config)
+    a, b = world.far_pair()
+    return measure_point(world, a, b, nbytes, metric)
 
 
 def comparator_point(model: DmaNicModel, nbytes: int) -> CommPoint:
@@ -111,6 +142,11 @@ def _comm_point_task(config: Dict[str, Any], seed: int) -> CommPoint:
     else:
         fault_ctx = contextlib.nullcontext()
     with fault_ctx:
+        spec_dict = config.get("topology")
+        if spec_dict is not None:
+            return topology_point(spec_dict, config["nbytes"],
+                                  config["metric"], config["fifo_words"],
+                                  config["driver_config"])
         return powermanna_point(config["nbytes"], config["metric"],
                                 config["fifo_words"],
                                 config["driver_config"])
@@ -124,6 +160,7 @@ def comm_sweep(metric: str, sizes: Sequence[int] = DEFAULT_SIZES,
                cache=None,
                fault_plan=None,
                supervise=None,
+               topology=None,
                ) -> Dict[str, List[CommPoint]]:
     """One figure's worth of data: metric across sizes and systems.
 
@@ -133,15 +170,25 @@ def comm_sweep(metric: str, sizes: Sequence[int] = DEFAULT_SIZES,
     ``cache``; the BIP/FM comparator points are closed-form arithmetic
     and stay in-process.  ``fault_plan`` (a :class:`repro.faults.FaultPlan`)
     is armed per point with a seed derived from the point's identity.
+
+    ``topology`` (a :class:`~repro.network.topo.spec.TopologySpec`) runs
+    the PowerMANNA points on that fabric — at flit or flow fidelity per
+    the spec — measuring its far pair.  When ``None`` the points use the
+    default 8-node cluster and their cache fingerprints are exactly what
+    they were before topologies existed (no spurious invalidation).
     """
     from repro.parallel import run_sweep, sweep_values
 
     plan_dict = fault_plan.to_dict() if fault_plan is not None else None
-    points = [((metric, n), {"metric": metric, "nbytes": n,
-                             "fifo_words": fifo_words,
-                             "driver_config": driver_config,
-                             "fault_plan": plan_dict})
-              for n in sizes]
+    points = []
+    for n in sizes:
+        config = {"metric": metric, "nbytes": n,
+                  "fifo_words": fifo_words,
+                  "driver_config": driver_config,
+                  "fault_plan": plan_dict}
+        if topology is not None:
+            config["topology"] = topology.to_dict()
+        points.append(((metric, n), config))
     outcomes = run_sweep(f"comm:{metric}", points, _comm_point_task,
                          jobs=jobs, cache=cache, modules=COMM_SWEEP_MODULES,
                          seed_base=fault_plan.seed if fault_plan else 0,

@@ -196,6 +196,7 @@ def cmd_list(_args) -> None:
         ["fig11", "unidirectional bandwidth"],
         ["fig12", "bidirectional bandwidth"],
         ["chaos", "fault-injection experiment from a plan file"],
+        ["traffic", "offered-load patterns on any topology"],
         ["logp", "LogP parameters of the 8-node cluster"],
         ["trace", "run an experiment under span tracing (Perfetto JSON)"],
         ["metrics", "run an experiment under labeled metrics"],
@@ -327,6 +328,18 @@ def _fault_plan_from_args(args):
     return plan
 
 
+def _topology_spec(args):
+    """The --topology argument as a TopologySpec, or None (the default
+    8-node cluster, whose sweep fingerprints must stay exactly as they
+    were before topologies existed)."""
+    text = getattr(args, "topology", None)
+    if not text:
+        return None
+    from repro.network.topo import parse_topology
+
+    return parse_topology(text)
+
+
 def _comm_figure(metric: str, title: str, args) -> Optional[int]:
     sizes = tuple(args.sizes) if args.sizes else DEFAULT_COMM_SIZES
     trace_path = getattr(args, "trace", None)
@@ -334,12 +347,16 @@ def _comm_figure(metric: str, title: str, args) -> Optional[int]:
     timeline_path = getattr(args, "timeline_out", None)
     interval = _sampling_interval(args)
     plan = _fault_plan_from_args(args)
+    topology = _topology_spec(args)
     options = _sweep_options(args)
+    # The title deliberately stays topology-free: `fig9` and
+    # `fig9 --topology cluster` must be byte-identical (the CI smoke
+    # check pins the spec path to the legacy path this way).
     rc = 0
     if trace_path or metrics_path or interval:
         with observe(sample_interval_ns=interval) as session:
             sweep = comm_sweep(metric, sizes=sizes, fault_plan=plan,
-                               **options)
+                               topology=topology, **options)
         series = {system: [metric_value(p, metric) for p in points]
                   for system, points in sweep.items()}
         _emit(format_series(series, list(sizes), "bytes", title=title))
@@ -347,7 +364,8 @@ def _comm_figure(metric: str, title: str, args) -> Optional[int]:
                                  timeline_path)
         rc = _check_health(args, session)
     else:
-        sweep = comm_sweep(metric, sizes=sizes, fault_plan=plan, **options)
+        sweep = comm_sweep(metric, sizes=sizes, fault_plan=plan,
+                           topology=topology, **options)
         series = {system: [metric_value(p, metric) for p in points]
                   for system, points in sweep.items()}
         _emit(format_series(series, list(sizes), "bytes", title=title))
@@ -553,6 +571,37 @@ def cmd_bench(args) -> Optional[int]:
     print(f"wrote {out}: {len(results)} kernels, "
           f"best of {repeats} repeat(s)")
     _report_supervision(supervise)
+    return 0
+
+
+def cmd_traffic(args) -> Optional[int]:
+    """Offered-load patterns (permutation/random/hotspot) on any spec."""
+    from repro.bench.traffic import run_pattern
+    from repro.msg.api import build_topology_world
+    from repro.network.topo import parse_topology
+
+    spec = parse_topology(args.topology)
+    if spec.fidelity != "flit":
+        print("traffic needs flit fidelity: offered-load contention is "
+              "exactly what the flow tier abstracts away", file=sys.stderr)
+        return 2
+    patterns = args.patterns or ["permutation", "random", "hotspot"]
+    rows = []
+    for pattern in patterns:
+        # A fresh world per pattern: no warm FIFOs or collision counters
+        # leak between patterns.
+        _, world = build_topology_world(spec)
+        result = run_pattern(world, pattern, message_bytes=args.nbytes,
+                             rounds=args.rounds, seed=args.seed)
+        rows.append([pattern, result.nodes, result.messages,
+                     f"{result.elapsed_ns / 1e3:.1f}",
+                     f"{result.aggregate_mb_s:.1f}",
+                     f"{result.per_node_mb_s:.2f}",
+                     result.collisions])
+    _emit(format_table(
+        ["pattern", "nodes", "messages", "elapsed (us)", "aggregate MB/s",
+         "per-node MB/s", "collisions"], rows,
+        title=f"Traffic patterns on {spec.label()}"))
     return 0
 
 
@@ -785,8 +834,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "(JSON; see the chaos subcommand)")
         p.add_argument("--fault-seed", type=int, default=None,
                        help="override the fault plan's seed")
+        p.add_argument("--topology", metavar="NAME_OR_JSON", default=None,
+                       help="measure on this topology instead of the "
+                            "8-node cluster: a generator expression "
+                            "(hypercube:dimensions=8,fidelity=flow), "
+                            "inline spec JSON, or a spec file; the "
+                            "measured pair is the topology's far pair")
         _add_sampling_options(p)
         _add_sweep_options(p)
+
+    traffic = sub.add_parser(
+        "traffic", help="offered-load patterns on any topology")
+    traffic.add_argument("--topology", metavar="NAME_OR_JSON",
+                         default="cluster",
+                         help="topology spec to drive (flit fidelity; "
+                              "default: the 8-node cluster)")
+    traffic.add_argument("--patterns", nargs="*", default=None,
+                         choices=("permutation", "random", "hotspot"),
+                         help="patterns to run (default: all three)")
+    traffic.add_argument("--nbytes", type=int, default=1024)
+    traffic.add_argument("--rounds", type=int, default=4,
+                         help="messages each node sends per pattern")
+    traffic.add_argument("--seed", type=int, default=7,
+                         help="seed for the random pattern's destinations")
 
     chaos = sub.add_parser(
         "chaos", help="run a fault-injection experiment from a plan file")
@@ -794,8 +864,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault plan JSON (seed + fault specs)")
     chaos.add_argument("--seed", type=int, default=None,
                        help="override the plan's seed")
-    chaos.add_argument("--topology", choices=("cluster", "manna", "grid"),
-                       default="cluster")
+    chaos.add_argument("--topology", metavar="NAME_OR_JSON",
+                       default="cluster",
+                       help="cluster, manna, grid (legacy scaled-down "
+                            "systems) or any topology spec expression/"
+                            "JSON/file at flit fidelity")
     chaos.add_argument("--protocol", choices=("sliding", "stopwait"),
                        default="sliding")
     chaos.add_argument("--flows", type=int, default=4)
@@ -895,7 +968,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--plan", metavar="FILE", default=None)
     report.add_argument("--seed", type=int, default=None)
     report.add_argument("--seeds", type=int, default=0, metavar="N")
-    report.add_argument("--topology", choices=("cluster", "manna", "grid"),
+    report.add_argument("--topology", metavar="NAME_OR_JSON",
                         default="cluster")
     report.add_argument("--protocol", choices=("sliding", "stopwait"),
                         default="sliding")
@@ -924,6 +997,7 @@ _COMMANDS = {
     "fig11": cmd_fig11,
     "fig12": cmd_fig12,
     "chaos": cmd_chaos,
+    "traffic": cmd_traffic,
     "logp": cmd_logp,
     "bench": cmd_bench,
     "trace": cmd_trace,

@@ -61,3 +61,28 @@ POWERMANNA_ANCHORS: Tuple[CalibrationPoint, ...] = (
     CalibrationPoint("bandwidth_mb_s", 65536, 60.0, 0.10,
                      _PAPER + " (single-link 60 Mbyte/s ceiling)"),
 )
+
+
+@dataclass(frozen=True)
+class EquivalenceBand:
+    """How closely the flow fidelity tier must track the flit tier.
+
+    ``rel_tol`` is the maximum relative error allowed for ``metric`` at
+    any message size in any small-machine topology of the equivalence
+    suite (``tests/network/test_topo_flow.py``).  The bands were set
+    from the measured worst case across the six generator families at
+    sizes 8..16384 bytes (5.7% latency, 2.6% gap, 6.5% unidirectional,
+    11.1% bidirectional) with ~2x headroom, so a model regression trips
+    them long before the flow tier drifts into a different regime.
+    """
+
+    metric: str
+    rel_tol: float
+
+
+FLOW_EQUIVALENCE: Tuple[EquivalenceBand, ...] = (
+    EquivalenceBand("one_way_latency_ns", 0.10),
+    EquivalenceBand("send_gap_ns", 0.08),
+    EquivalenceBand("unidirectional_mb_s", 0.12),
+    EquivalenceBand("bidirectional_mb_s", 0.18),
+)

@@ -74,20 +74,11 @@ class PowerMannaSystem:
                 driver_config: DriverConfig = DriverConfig(),
                 node_scale: int = 1) -> "PowerMannaSystem":
         """The Figure-5a eight-node desk-side system."""
-        node_rx = fifo_words * 8
+        from repro.network.topology import cluster_spec
 
-        def builder(sim: Simulator) -> Fabric:
-            fabric = Fabric(sim, LinkConfig(), CrossbarConfig(),
-                            node_rx_fifo_bytes=node_rx)
-            for plane in range(2):
-                fabric.add_crossbar(f"plane{plane}")
-                for node in range(8):
-                    fabric.attach_node(node, plane, f"plane{plane}", node)
-            return fabric
-
-        return cls(n_nodes=8, fifo_words=fifo_words,
-                   driver_config=driver_config, node_scale=node_scale,
-                   fabric_builder=builder)
+        return cls.from_spec(cluster_spec(), fifo_words=fifo_words,
+                             driver_config=driver_config,
+                             node_scale=node_scale)
 
     @classmethod
     def system_256(cls, driver_config: DriverConfig = DriverConfig(),
@@ -95,6 +86,32 @@ class PowerMannaSystem:
         """The Figure-5b 256-processor (128-node) configuration."""
         return cls(fabric_builder=lambda sim: build_power_manna_256(sim),
                    driver_config=driver_config)
+
+    @classmethod
+    def from_spec(cls, spec, fifo_words: int = 32,
+                  driver_config: DriverConfig = DriverConfig(),
+                  node_scale: int = 1) -> "PowerMannaSystem":
+        """A system on any flit-fidelity :class:`TopologySpec`.
+
+        The fabric's node receive FIFOs track ``fifo_words`` (the
+        Figure-12 knob) and one CommWorld is stood up per network plane
+        the blueprint wires.
+        """
+        from repro.network.topo import blueprint, build_fabric
+
+        if spec.fidelity != "flit":
+            raise ValueError(
+                f"PowerMannaSystem needs flit fidelity (got "
+                f"{spec.fidelity!r}); FlowWorld covers the flow tier")
+        node_rx = fifo_words * 8
+        planes = blueprint(spec, CrossbarConfig().ports).planes()
+
+        def builder(sim: Simulator) -> Fabric:
+            return build_fabric(sim, spec, node_rx_fifo_bytes=node_rx)
+
+        return cls(fifo_words=fifo_words, driver_config=driver_config,
+                   node_scale=node_scale, planes=planes,
+                   fabric_builder=builder)
 
     # -- accessors --------------------------------------------------------------
 

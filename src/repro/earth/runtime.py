@@ -194,9 +194,20 @@ class EarthMachine:
     def __init__(self, n_nodes: int = 8,
                  config: EarthConfig = EarthConfig(),
                  world: Optional[CommWorld] = None,
-                 sim: Optional[Simulator] = None):
+                 sim: Optional[Simulator] = None,
+                 topology=None):
         self.config = config
-        if world is None:
+        if world is None and topology is not None:
+            # Fibers execute on simulated nodes, so EARTH needs the flit
+            # tier's real endpoints — reject flow specs up front.
+            from repro.msg.api import build_topology_world
+
+            if topology.fidelity != "flit":
+                raise ValueError(
+                    f"EARTH needs flit fidelity (got {topology.fidelity!r})")
+            sim, world = build_topology_world(topology,
+                                              driver_config=config.driver)
+        elif world is None:
             sim, world = build_cluster_world(n_nodes=n_nodes,
                                              driver_config=config.driver)
         elif sim is None:

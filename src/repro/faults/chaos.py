@@ -86,11 +86,15 @@ class ChaosReport:
 
 def build_chaos_world(topology: str = "cluster") -> Tuple[Simulator,
                                                           CommWorld]:
-    """A fresh simulator + CommWorld on one of the chaos topologies.
+    """A fresh simulator + CommWorld on a chaos topology.
 
-    ``manna`` and ``grid`` are scaled-down Figure-5b systems (16 nodes)
-    so a chaos run stays fast while still exercising multi-crossbar
-    routes with path diversity to reroute over.
+    The legacy names stay: ``manna`` and ``grid`` are scaled-down
+    Figure-5b systems (16 nodes) so a chaos run stays fast while still
+    exercising multi-crossbar routes with path diversity to reroute
+    over.  Anything else is handed to
+    :func:`repro.network.topo.parse_topology` (``hypercube:dimensions=4``,
+    inline JSON, a spec file), restricted to flit fidelity — fault
+    injection needs the real discrete-event components to break.
     """
     sim = Simulator()
     if topology == "cluster":
@@ -100,8 +104,20 @@ def build_chaos_world(topology: str = "cluster") -> Tuple[Simulator,
     elif topology == "grid":
         fabric = build_grid_system(sim, rows=2, cols=2, nodes_per_cluster=4)
     else:
-        raise ValueError(
-            f"unknown chaos topology {topology!r}; choose from {TOPOLOGIES}")
+        from repro.network.topo import build_fabric, parse_topology
+
+        try:
+            spec = parse_topology(topology)
+        except ValueError as exc:
+            raise ValueError(
+                f"unknown chaos topology {topology!r}: {exc}; choose from "
+                f"{TOPOLOGIES} or pass a topology spec") from None
+        if spec.fidelity != "flit":
+            raise ValueError(
+                f"chaos needs flit fidelity (got {spec.fidelity!r}): fault "
+                f"injection breaks simulated components, which the flow "
+                f"tier does not build")
+        fabric = build_fabric(sim, spec)
     return sim, CommWorld(sim, fabric)
 
 

@@ -16,7 +16,7 @@ from repro.network.link import LinkConfig
 from repro.network.crossbar import CrossbarConfig
 from repro.network.message import Message
 from repro.network.routing import RouteTable
-from repro.network.topology import Fabric, build_cluster, node_key
+from repro.network.topology import Fabric, node_key
 from repro.ni.driver import DriverConfig, PioDriver
 from repro.ni.interface import LinkInterface, LinkInterfaceConfig
 from repro.obs import OBS
@@ -35,6 +35,8 @@ class Endpoint:
 
 class CommWorld:
     """All endpoints of one network plane plus route computation."""
+
+    fidelity = "flit"
 
     def __init__(self, sim: Simulator, fabric: Fabric, plane: int = 0,
                  ni_config: LinkInterfaceConfig = LinkInterfaceConfig(),
@@ -71,6 +73,29 @@ class CommWorld:
             return self.endpoints[node]
         except KeyError:
             raise KeyError(f"node {node} is not part of this world") from None
+
+    def node_ids(self) -> List[int]:
+        return sorted(self.endpoints)
+
+    def far_pair(self) -> Tuple[int, int]:
+        """The lowest node id and its most distant peer (same rule as
+        :meth:`repro.network.topo.flow.FlowWorld.far_pair`, so the two
+        fidelity tiers measure the same pair)."""
+        import networkx as nx
+
+        nodes = self.node_ids()
+        src = nodes[0]
+        lengths = nx.single_source_shortest_path_length(
+            self.fabric.graph, node_key(src, self.plane))
+        best, best_len = None, -1
+        for node in nodes[1:]:
+            length = lengths.get(node_key(node, self.plane))
+            if length is not None and length > best_len:
+                best, best_len = node, length
+        if best is None:
+            raise ValueError(f"node {src} reaches no peer on plane "
+                             f"{self.plane}")
+        return src, best
 
     # -- process factories --------------------------------------------------------
 
@@ -208,19 +233,42 @@ def build_cluster_world(n_nodes: int = 8,
     Keeps the fabric's node receive FIFOs consistent with the link-interface
     configuration (the ablation knob for Figure 12).
     """
+    from repro.network.topology import cluster_spec
+
+    return build_topology_world(cluster_spec(n_nodes=n_nodes),
+                                fifo_words=fifo_words,
+                                link_config=link_config,
+                                crossbar_config=crossbar_config,
+                                driver_config=driver_config, plane=plane)
+
+
+def build_topology_world(spec,
+                         fifo_words: int = 32,
+                         link_config: LinkConfig = LinkConfig(),
+                         crossbar_config: CrossbarConfig = CrossbarConfig(),
+                         driver_config: DriverConfig = DriverConfig(),
+                         plane: int = 0):
+    """A measurement world for any :class:`TopologySpec`, at its fidelity.
+
+    Returns ``(sim, world)``.  At flit fidelity the world is a
+    :class:`CommWorld` over a fully simulated fabric (the node receive
+    FIFOs track ``fifo_words`` like :func:`build_cluster_world`); at flow
+    fidelity it is a :class:`~repro.network.topo.flow.FlowWorld` and
+    ``sim`` is ``None`` — both expose the same measurement surface.
+    """
+    from repro.network.topo import FlowWorld, build_fabric
+
+    if spec.fidelity == "flow":
+        world = FlowWorld(spec, link_config=link_config,
+                          crossbar_config=crossbar_config,
+                          driver_config=driver_config,
+                          fifo_words=fifo_words, plane=plane)
+        return None, world
     sim = Simulator()
     ni_config = LinkInterfaceConfig(fifo_words=fifo_words)
-    fabric = build_cluster(sim, n_nodes=n_nodes, link_config=link_config,
-                           crossbar_config=crossbar_config)
-    # build_cluster used the default rx FIFO size; rebuild when it differs.
-    if ni_config.fifo_bytes != fabric.node_rx_fifo_bytes:
-        sim = Simulator()
-        fabric = Fabric(sim, link_config, crossbar_config,
-                        node_rx_fifo_bytes=ni_config.fifo_bytes)
-        for p in range(2):
-            fabric.add_crossbar(f"plane{p}")
-            for node in range(n_nodes):
-                fabric.attach_node(node, p, f"plane{p}", node)
+    fabric = build_fabric(sim, spec, link_config=link_config,
+                          crossbar_config=crossbar_config,
+                          node_rx_fifo_bytes=ni_config.fifo_bytes)
     world = CommWorld(sim, fabric, plane=plane, ni_config=ni_config,
                       driver_config=driver_config)
     return sim, world

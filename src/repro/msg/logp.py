@@ -86,3 +86,20 @@ def logp_sweep(world: CommWorld, a: int, b: int,
                sizes: Sequence[int]) -> Dict[int, LogPParameters]:
     """LogP parameters across message sizes (the Figures 9-11 x-axis)."""
     return {size: measure_logp(world, a, b, size) for size in sizes}
+
+
+def flow_logp(world, a: int, b: int, nbytes: int) -> LogPParameters:
+    """LogP parameters of a flow-fidelity world, priced analytically.
+
+    ``world`` is a :class:`repro.network.topo.flow.FlowWorld`; the
+    returned parameters mean exactly what :func:`measure_logp` measures
+    on the flit tier (the equivalence suite holds them together), so
+    LogP-based analyses can run on 1k-4k-node machines.
+    """
+    crossbars, async_hops = world.path_costs(a, b)
+    params = world.params
+    return LogPParameters(
+        latency_ns=params.latency_ns(nbytes, crossbars, async_hops),
+        overhead_send_ns=params.overhead_ns(nbytes),
+        gap_ns=params.gap_ns(nbytes),
+        nbytes=nbytes)

@@ -8,13 +8,36 @@ crossbar on the path, each naming that crossbar's output channel.  The
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 import networkx as nx
 
 
 class NoRouteError(RuntimeError):
-    """No path exists between the requested endpoints."""
+    """No path exists between the requested endpoints.
+
+    Carries the endpoints and the failure state the search ran under
+    (``src``/``dst``/``failed_edges``/``failed_vertices``), and the
+    message summarises them — "no route" with no idea *why* is the least
+    debuggable error a fault experiment can produce.
+    """
+
+    def __init__(self, message: str, src: Hashable = None,
+                 dst: Hashable = None,
+                 failed_edges: Optional[Set[Tuple[Hashable, Hashable]]] = None,
+                 failed_vertices: Optional[Set[Hashable]] = None):
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+        self.failed_edges = set(failed_edges or ())
+        self.failed_vertices = set(failed_vertices or ())
+
+
+def _summarise(items: Set, limit: int = 4) -> str:
+    shown = sorted(items, key=repr)[:limit]
+    text = ", ".join(repr(item) for item in shown)
+    more = len(items) - len(shown)
+    return text + (f", ... {more} more" if more > 0 else "")
 
 
 class RouteTable:
@@ -34,11 +57,16 @@ class RouteTable:
     def __init__(self, graph: nx.DiGraph):
         self.graph = graph
         self._cache: Dict[Tuple[Hashable, Hashable], List[int]] = {}
+        self._path_cache: Dict[Tuple[Hashable, Hashable],
+                               List[Hashable]] = {}
         self._failed_edges: Set[Tuple[Hashable, Hashable]] = set()
         self._failed_vertices: Set[Hashable] = set()
         #: Bumped on every invalidation; protocols compare it to detect
         #: that routes may have moved under them.
         self.version = 0
+        #: Shortest-path searches actually run (cache misses); tests use
+        #: it to prove the memo works and is dropped on invalidation.
+        self.searches = 0
 
     def route_bytes(self, src: Hashable, dst: Hashable) -> List[int]:
         """Route-command bytes for a message from ``src`` to ``dst``.
@@ -68,7 +96,15 @@ class RouteTable:
         Intermediate hops are restricted to crossbars: a wormhole cannot
         pass *through* another node's link interface (that would be a
         software relay, which the hardware route bytes cannot express).
+
+        Memoised until :meth:`invalidate` (which every ``mark_*_failed``
+        and :meth:`clear_failures` calls), so repeated measurements over
+        a large fabric pay one search per pair per failure epoch.
         """
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return list(cached)
 
         def allowed(vertex: Hashable) -> bool:
             if vertex in self._failed_vertices:
@@ -77,10 +113,27 @@ class RouteTable:
 
         view = nx.subgraph_view(self.graph, filter_node=allowed,
                                 filter_edge=self._edge_alive)
+        self.searches += 1
         try:
-            return nx.shortest_path(view, src, dst)
+            path = nx.shortest_path(view, src, dst)
         except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
-            raise NoRouteError(f"no route from {src} to {dst}") from exc
+            detail = ""
+            if self._failed_edges:
+                detail += (f" with {len(self._failed_edges)} failed "
+                           f"edge(s): {_summarise(self._failed_edges)}")
+            if self._failed_vertices:
+                joiner = " and" if detail else " with"
+                detail += (f"{joiner} {len(self._failed_vertices)} failed "
+                           f"vertex(es): "
+                           f"{_summarise(self._failed_vertices)}")
+            if not detail:
+                detail = " (no failures marked; the graph never had one)"
+            raise NoRouteError(
+                f"no route from {src} to {dst}{detail}",
+                src=src, dst=dst, failed_edges=self._failed_edges,
+                failed_vertices=self._failed_vertices) from exc
+        self._path_cache[key] = path
+        return list(path)
 
     def crossbars_on_path(self, src: Hashable, dst: Hashable) -> int:
         """How many crossbars a connection traverses (the paper's metric:
@@ -172,4 +225,5 @@ class RouteTable:
         """Drop cached routes (and bump :attr:`version`) so the next
         :meth:`route_bytes` recomputes against current failure state."""
         self._cache.clear()
+        self._path_cache.clear()
         self.version += 1

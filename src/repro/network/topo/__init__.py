@@ -1,0 +1,47 @@
+"""Pluggable topology layer: spec-driven fabric construction.
+
+* :mod:`repro.network.topo.spec` — :class:`TopologySpec` (JSON
+  round-trip, canonical cache form) and ``--topology`` parsing.
+* :mod:`repro.network.topo.generators` — the generator family (cluster,
+  manna, grid, xbar_tree, hypercube, torus, fat_tree) emitting ordered
+  wiring blueprints, plus the flit realizer :func:`build_fabric` and the
+  graph realizer :func:`build_graph`.
+* :mod:`repro.network.topo.flow` — the calibrated flow-level fidelity
+  tier (:class:`FlowWorld`) for 1k-4k-node sweeps.
+"""
+
+from repro.network.topo.spec import (
+    GENERATORS,
+    TopologySpec,
+    generator_kinds,
+    parse_topology,
+)
+from repro.network.topo.generators import (
+    Blueprint,
+    blueprint,
+    build_fabric,
+    build_graph,
+    diameter_bound_crossbars,
+)
+from repro.network.topo.flow import (
+    FlowParams,
+    FlowWorld,
+    calibrate_flow,
+    clear_calibration_memo,
+)
+
+__all__ = [
+    "Blueprint",
+    "FlowParams",
+    "FlowWorld",
+    "GENERATORS",
+    "TopologySpec",
+    "blueprint",
+    "build_fabric",
+    "build_graph",
+    "calibrate_flow",
+    "clear_calibration_memo",
+    "diameter_bound_crossbars",
+    "generator_kinds",
+    "parse_topology",
+]

@@ -1,0 +1,223 @@
+"""Declarative topology specifications.
+
+A :class:`TopologySpec` names a fabric *shape* — generator kind plus its
+parameters — independently of how it is realised.  The same spec can be
+
+* realised at **flit fidelity** (:func:`repro.network.topo.build_fabric`):
+  a full :class:`~repro.network.topology.Fabric` of discrete-event
+  crossbars, links and transceivers, or
+* realised at **flow fidelity** (:class:`repro.network.topo.flow.FlowWorld`):
+  a wiring graph only, with message costs priced from calibrated
+  link/crossbar constants, which makes 1k-4k-node sweeps tractable.
+
+Specs round-trip through JSON and have a canonical dictionary form for
+the parallel sweep cache: ``to_dict`` emits the *resolved* parameters
+(generator defaults overlaid with the spec's own) with sorted keys, so
+``hypercube`` and ``hypercube:dimensions=4`` fingerprint identically and
+dict ordering cannot leak into a cache key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+FIDELITIES = ("flit", "flow")
+
+#: kind -> (generator, {param: default}).  Populated by
+#: :func:`register_generator`; :mod:`repro.network.topo.generators` fills
+#: it at import time.
+GENERATORS: Dict[str, Tuple[Callable[..., Any], Dict[str, Any]]] = {}
+
+
+def register_generator(kind: str, defaults: Dict[str, Any]):
+    """Class decorator/registration hook for a blueprint generator."""
+
+    def register(fn):
+        GENERATORS[kind] = (fn, dict(defaults))
+        return fn
+
+    return register
+
+
+def generator_kinds() -> Tuple[str, ...]:
+    return tuple(sorted(GENERATORS))
+
+
+def _ensure_generators_loaded() -> None:
+    if not GENERATORS:  # pragma: no cover - import cycle guard
+        import repro.network.topo.generators  # noqa: F401
+
+
+@dataclass(frozen=True, eq=False)
+class TopologySpec:
+    """One declarative fabric description.
+
+    Attributes:
+        kind: generator name (``cluster``, ``manna``, ``grid``,
+            ``xbar_tree``, ``hypercube``, ``torus``, ``fat_tree``).
+        params: generator parameters; unknown keys are rejected, omitted
+            keys take the generator's defaults.
+        fidelity: ``flit`` (full discrete-event fabric, the default and
+            the ground truth) or ``flow`` (calibrated analytic tier).
+    """
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    fidelity: str = "flit"
+
+    def __post_init__(self):
+        _ensure_generators_loaded()
+        if self.kind not in GENERATORS:
+            raise ValueError(
+                f"unknown topology kind {self.kind!r}; choose from "
+                f"{generator_kinds()}")
+        if self.fidelity not in FIDELITIES:
+            raise ValueError(
+                f"unknown fidelity {self.fidelity!r}; choose from "
+                f"{FIDELITIES}")
+        defaults = GENERATORS[self.kind][1]
+        unknown = sorted(set(self.params) - set(defaults))
+        if unknown:
+            raise ValueError(
+                f"unknown parameter(s) {unknown} for topology "
+                f"{self.kind!r}; accepts {sorted(defaults)}")
+
+    def __eq__(self, other: object) -> bool:
+        # Canonical equality: a spec that spells out a default equals one
+        # that omits it (both fingerprint identically too).
+        if not isinstance(other, TopologySpec):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(self.to_json())
+
+    # -- parameters ---------------------------------------------------------
+
+    def resolved_params(self) -> Dict[str, Any]:
+        """Generator defaults overlaid with this spec's parameters."""
+        merged = dict(GENERATORS[self.kind][1])
+        merged.update(self.params)
+        return merged
+
+    def param(self, name: str) -> Any:
+        return self.resolved_params()[name]
+
+    def with_fidelity(self, fidelity: str) -> "TopologySpec":
+        return TopologySpec(self.kind, dict(self.params), fidelity)
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical dictionary form (resolved params, sorted keys).
+
+        Two specs that describe the same fabric — regardless of which
+        parameters were spelled out — produce identical dictionaries, so
+        the sweep cache fingerprint cannot depend on spelling.
+        """
+        params = self.resolved_params()
+        return {
+            "kind": self.kind,
+            "params": {key: params[key] for key in sorted(params)},
+            "fidelity": self.fidelity,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TopologySpec":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"topology spec must be an object, got "
+                             f"{type(data).__name__}")
+        unknown = sorted(set(data) - {"kind", "params", "fidelity"})
+        if unknown:
+            raise ValueError(f"unknown topology spec field(s) {unknown}")
+        if "kind" not in data:
+            raise ValueError("topology spec needs a 'kind'")
+        params = data.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ValueError("'params' must be an object")
+        return cls(kind=str(data["kind"]), params=dict(params),
+                   fidelity=str(data.get("fidelity", "flit")))
+
+    @classmethod
+    def from_json(cls, text: str) -> "TopologySpec":
+        return cls.from_dict(json.loads(text))
+
+    def label(self) -> str:
+        """A short human label: ``hypercube(dimensions=8)``."""
+        shown = ",".join(f"{k}={_label_value(v)}"
+                         for k, v in sorted(self.params.items()))
+        tier = "" if self.fidelity == "flit" else f"@{self.fidelity}"
+        return f"{self.kind}({shown}){tier}"
+
+
+def _label_value(value: Any) -> str:
+    if isinstance(value, (list, tuple)):
+        return "x".join(str(v) for v in value)
+    return str(value)
+
+
+def _parse_scalar(text: str) -> Any:
+    """``4`` -> int, ``0.5`` -> float, ``true`` -> bool, ``4x4x2`` -> list,
+    anything else stays a string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if "x" in text:
+        parts = text.split("x")
+        try:
+            return [int(p) for p in parts]
+        except ValueError:
+            pass
+    for conv in (int, float):
+        try:
+            return conv(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_topology(text: str) -> TopologySpec:
+    """A :class:`TopologySpec` from the CLI ``--topology`` argument.
+
+    Accepted forms::
+
+        hypercube                               # generator defaults
+        hypercube:dimensions=8,nodes_per_router=4
+        torus:dims=4x4x4,fidelity=flow          # NxM[xK] list syntax
+        {"kind": "fat_tree", "params": {"k": 16}, "fidelity": "flow"}
+        path/to/spec.json                       # or @path/to/spec.json
+    """
+    _ensure_generators_loaded()
+    text = text.strip()
+    if not text:
+        raise ValueError("empty --topology argument")
+    if text.startswith("{"):
+        return TopologySpec.from_json(text)
+    path = text[1:] if text.startswith("@") else text
+    if text.startswith("@") or (path.endswith(".json") and
+                                os.path.exists(path)):
+        with open(path, "r", encoding="utf-8") as handle:
+            return TopologySpec.from_json(handle.read())
+    kind, _, rest = text.partition(":")
+    params: Dict[str, Any] = {}
+    fidelity = "flit"
+    if rest:
+        for item in rest.split(","):
+            if not item:
+                continue
+            key, sep, raw = item.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"malformed topology parameter {item!r} (expected "
+                    f"key=value)")
+            if key == "fidelity":
+                fidelity = raw
+            else:
+                params[key] = _parse_scalar(raw)
+    return TopologySpec(kind=kind, params=params, fidelity=fidelity)

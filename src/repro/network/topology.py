@@ -19,7 +19,6 @@ computation.  Builders:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -76,7 +75,7 @@ class Fabric:
         self.crossbars: Dict[str, Crossbar] = {}
         self.attachments: Dict[Tuple[int, int], NodeAttachment] = {}
         self.graph = nx.DiGraph()
-        self._used_ports: Dict[str, set] = {}
+        self._port_claims: Dict[str, Dict[int, str]] = {}
 
     # -- construction -------------------------------------------------------
 
@@ -86,27 +85,44 @@ class Fabric:
         xbar = Crossbar(self.sim, self.crossbar_config, name=name,
                         tracer=self.tracer)
         self.crossbars[name] = xbar
-        self._used_ports[name] = set()
+        self._port_claims[name] = {}
         self.graph.add_node(xbar_key(name))
         return xbar
 
-    def _claim_port(self, xbar_name: str, port: int) -> None:
-        used = self._used_ports[xbar_name]
-        if port in used:
-            raise ValueError(f"{xbar_name} port {port} already wired")
+    def _claims(self, xbar_name: str) -> Dict[int, str]:
+        try:
+            return self._port_claims[xbar_name]
+        except KeyError:
+            known = ", ".join(sorted(self.crossbars)) or "none"
+            raise KeyError(
+                f"no crossbar {xbar_name!r} in this fabric "
+                f"(crossbars: {known})") from None
+
+    def _claim_port(self, xbar_name: str, port: int,
+                    purpose: str = "wired") -> None:
+        claims = self._claims(xbar_name)
+        holder = claims.get(port)
+        if holder is not None:
+            raise ValueError(
+                f"crossbar {xbar_name!r} port {port} already wired "
+                f"({holder}); free ports: {self.free_ports(xbar_name)}")
         self.crossbars[xbar_name]._check_port(port)
-        used.add(port)
+        claims[port] = purpose
 
     def free_ports(self, xbar_name: str) -> List[int]:
-        used = self._used_ports[xbar_name]
+        used = self._claims(xbar_name)
         return [p for p in range(self.crossbar_config.ports) if p not in used]
+
+    def port_claims(self, xbar_name: str) -> Dict[int, str]:
+        """What occupies each wired port of one crossbar (port -> label)."""
+        return dict(self._claims(xbar_name))
 
     def attach_node(self, node_id: int, iface: int, xbar_name: str,
                     port: int) -> NodeAttachment:
         """Wire one node link interface to a crossbar port (both ways)."""
         if (node_id, iface) in self.attachments:
             raise ValueError(f"node {node_id} iface {iface} already attached")
-        self._claim_port(xbar_name, port)
+        self._claim_port(xbar_name, port, f"node {node_id} iface {iface}")
         xbar = self.crossbars[xbar_name]
 
         tx_link = Link(self.sim, self.link_config, xbar.input_fifo(port),
@@ -133,8 +149,10 @@ class Fabric:
         ``asynchronous=True`` inserts the inter-cabinet transceiver stage
         with its 2-KB FIFOs on both directions.
         """
-        self._claim_port(name_a, port_a)
-        self._claim_port(name_b, port_b)
+        self._claim_port(name_a, port_a,
+                         f"dual link to {name_b} port {port_b}")
+        self._claim_port(name_b, port_b,
+                         f"dual link to {name_a} port {port_a}")
         a, b = self.crossbars[name_a], self.crossbars[name_b]
 
         def make(src_name: str, src_port: int, dst: Crossbar,
@@ -167,8 +185,31 @@ class Fabric:
 
 
 # ---------------------------------------------------------------------------
-# Topology builders
+# Topology builders — thin wrappers that express the Figure-5 machines as
+# TopologySpecs and realise them through repro.network.topo.build_fabric.
+# The specs replay the exact historical construction order, so every
+# existing figure and chaos run is bit-identical to the bespoke builders.
 # ---------------------------------------------------------------------------
+
+
+def cluster_spec(n_nodes: int = 8, planes: int = 2):
+    from repro.network.topo import TopologySpec
+
+    return TopologySpec("cluster", {"n_nodes": n_nodes, "planes": planes})
+
+
+def manna_spec(clusters: int = 16, nodes_per_cluster: int = 8):
+    from repro.network.topo import TopologySpec
+
+    return TopologySpec("manna", {"clusters": clusters,
+                                  "nodes_per_cluster": nodes_per_cluster})
+
+
+def grid_spec(rows: int = 4, cols: int = 4, nodes_per_cluster: int = 8):
+    from repro.network.topo import TopologySpec
+
+    return TopologySpec("grid", {"rows": rows, "cols": cols,
+                                 "nodes_per_cluster": nodes_per_cluster})
 
 
 def build_cluster(sim: Simulator, n_nodes: int = 8,
@@ -182,17 +223,11 @@ def build_cluster(sim: Simulator, n_nodes: int = 8,
     leaving ``ports - n_nodes`` free ports per plane for inter-cluster
     (asynchronous) dual links.
     """
-    if n_nodes > crossbar_config.ports:
-        raise ValueError(
-            f"{n_nodes} nodes do not fit a {crossbar_config.ports}-port crossbar")
-    if planes < 1:
-        raise ValueError("need at least one network plane")
-    fabric = Fabric(sim, link_config, crossbar_config, tracer=tracer)
-    for plane in range(planes):
-        fabric.add_crossbar(f"plane{plane}")
-        for node in range(n_nodes):
-            fabric.attach_node(node, plane, f"plane{plane}", node)
-    return fabric
+    from repro.network.topo import build_fabric
+
+    return build_fabric(sim, cluster_spec(n_nodes, planes),
+                        link_config=link_config,
+                        crossbar_config=crossbar_config, tracer=tracer)
 
 
 def build_power_manna_256(sim: Simulator,
@@ -209,28 +244,11 @@ def build_power_manna_256(sim: Simulator,
     crosses at most three crossbars: source cluster, one spine, destination
     cluster.
     """
-    ports = crossbar_config.ports
-    spine_count = ports - nodes_per_cluster  # free ports per cluster xbar
-    if clusters > ports:
-        raise ValueError(
-            f"{clusters} clusters need {clusters} spine ports; the crossbar "
-            f"has {ports}")
-    fabric = Fabric(sim, link_config, crossbar_config, tracer=tracer)
-    for plane in range(2):
-        spine_names = [f"spine{plane}.{s}" for s in range(spine_count)]
-        for name in spine_names:
-            fabric.add_crossbar(name)
-        for cluster in range(clusters):
-            cname = f"c{cluster}.plane{plane}"
-            fabric.add_crossbar(cname)
-            for local in range(nodes_per_cluster):
-                node_id = cluster * nodes_per_cluster + local
-                fabric.attach_node(node_id, plane, cname, local)
-            for s, sname in enumerate(spine_names):
-                fabric.connect_crossbars(
-                    cname, nodes_per_cluster + s, sname, cluster,
-                    asynchronous=True)
-    return fabric
+    from repro.network.topo import build_fabric
+
+    return build_fabric(sim, manna_spec(clusters, nodes_per_cluster),
+                        link_config=link_config,
+                        crossbar_config=crossbar_config, tracer=tracer)
 
 
 def build_grid_system(sim: Simulator,
@@ -246,44 +264,8 @@ def build_grid_system(sim: Simulator,
     reach each other in three crossbars; others must relay (the bench
     quantifies this against :func:`build_power_manna_256`).
     """
-    fabric = Fabric(sim, link_config, crossbar_config, tracer=tracer)
-    ports = crossbar_config.ports
-    free = ports - nodes_per_cluster
-    links_per_cluster = min(free, max(1, ports // max(rows, cols)))
+    from repro.network.topo import build_fabric
 
-    def cluster_index(r: int, c: int) -> int:
-        return r * cols + c
-
-    # Cluster crossbars and node attachments, both planes.
-    for r in range(rows):
-        for c in range(cols):
-            cluster = cluster_index(r, c)
-            for plane in range(2):
-                cname = f"c{cluster}.plane{plane}"
-                fabric.add_crossbar(cname)
-                for local in range(nodes_per_cluster):
-                    node_id = cluster * nodes_per_cluster + local
-                    fabric.attach_node(node_id, plane, cname, local)
-
-    # Row networks on plane 0, column networks on plane 1.
-    for r in range(rows):
-        rname = f"row{r}"
-        fabric.add_crossbar(rname)
-        row_port = itertools.count()
-        for c in range(cols):
-            cname = f"c{cluster_index(r, c)}.plane0"
-            for k in range(links_per_cluster):
-                fabric.connect_crossbars(cname, nodes_per_cluster + k,
-                                         rname, next(row_port),
-                                         asynchronous=True)
-    for c in range(cols):
-        colname = f"col{c}"
-        fabric.add_crossbar(colname)
-        col_port = itertools.count()
-        for r in range(rows):
-            cname = f"c{cluster_index(r, c)}.plane1"
-            for k in range(links_per_cluster):
-                fabric.connect_crossbars(cname, nodes_per_cluster + k,
-                                         colname, next(col_port),
-                                         asynchronous=True)
-    return fabric
+    return build_fabric(sim, grid_spec(rows, cols, nodes_per_cluster),
+                        link_config=link_config,
+                        crossbar_config=crossbar_config, tracer=tracer)

@@ -13,6 +13,8 @@ has to beat:
 * ``fig9_pingpong`` — one-way latency ping-pongs over the full DES stack
   (driver -> NI -> link -> crossbar -> drain): the event-kernel hot loop.
 * ``fig11_unidir`` — back-to-back streaming bandwidth (DES under load).
+* ``topo_hypercube_1k`` — 1024-node hypercube fabric construction (the
+  topology generator + realizer path at sweep scale).
 
 Kernel sizes are identical in ``--quick`` and full mode (only the repeat
 count differs) so every ``BENCH_perf.json`` is comparable with every
@@ -120,11 +122,27 @@ def _kernel_fig11_unidir() -> Tuple[int, str, float]:
     return events, "events", bw
 
 
+def _kernel_topo_hypercube_1k() -> Tuple[int, str, float]:
+    """Stand up a 1024-node hypercube flit fabric: the generator +
+    realizer construction path at sweep scale (no simulation run)."""
+    from repro.network.topo import TopologySpec, build_fabric
+    from repro.sim.engine import Simulator
+
+    spec = TopologySpec("hypercube",
+                        {"dimensions": 8, "nodes_per_router": 4})
+    sim = Simulator()
+    fabric = build_fabric(sim, spec)
+    work = (fabric.graph.number_of_nodes()
+            + fabric.graph.number_of_edges())
+    return work, "components", float(len(fabric.crossbars))
+
+
 KERNELS: Dict[str, Callable[[], Tuple[int, str, float]]] = {
     "fig6_hint": _kernel_fig6_hint,
     "fig7_matmult": _kernel_fig7_matmult,
     "fig9_pingpong": _kernel_fig9_pingpong,
     "fig11_unidir": _kernel_fig11_unidir,
+    "topo_hypercube_1k": _kernel_topo_hypercube_1k,
 }
 
 
@@ -139,6 +157,7 @@ def _warm_imports() -> None:
     import repro.bench.matmult  # noqa: F401
     import repro.core.specs  # noqa: F401
     import repro.msg.api  # noqa: F401
+    import repro.network.topo  # noqa: F401
 
 
 def run_kernel(name: str, repeats: int = 3) -> KernelResult:

@@ -31,9 +31,22 @@ class TestHarnessBasics:
 
     def test_unknown_topology_and_protocol(self):
         with pytest.raises(ValueError):
-            run_chaos(FaultPlan(), topology="torus")
+            run_chaos(FaultPlan(), topology="moebius")
         with pytest.raises(ValueError):
             run_chaos(FaultPlan(), protocol="carrier-pigeon")
+
+    def test_flow_fidelity_topology_rejected(self):
+        # Fault injection breaks simulated components; the flow tier
+        # does not build any, so chaos must refuse it up front.
+        with pytest.raises(ValueError, match="flit fidelity"):
+            run_chaos(FaultPlan(),
+                      topology="hypercube:dimensions=3,fidelity=flow")
+
+    def test_spec_expression_topology_builds(self):
+        report = run_chaos(FaultPlan(seed=2), topology="torus:dims=2x2",
+                           flows=2, messages=2)
+        assert report.topology == "torus:dims=2x2"
+        assert report.delivered > 0
 
     def test_report_round_trips_to_json(self):
         report = run_chaos(FaultPlan(seed=2), flows=2, messages=2)

@@ -1,0 +1,143 @@
+"""Flow fidelity tier: calibration, flit equivalence, 1k-node sweeps."""
+
+import math
+
+import pytest
+
+from repro.bench.microbench import comm_sweep, measure_point, metric_value
+from repro.comparators.calibration import FLOW_EQUIVALENCE
+from repro.msg.api import build_topology_world
+from repro.msg.logp import flow_logp
+from repro.network.topo import (
+    FlowWorld,
+    TopologySpec,
+    calibrate_flow,
+    clear_calibration_memo,
+    parse_topology,
+)
+
+# Small enough to run at flit fidelity, diverse enough to exercise
+# multi-crossbar and asynchronous-hop pricing.
+EQUIVALENCE_TOPOLOGIES = [
+    TopologySpec("cluster"),
+    TopologySpec("manna", {"clusters": 4, "nodes_per_cluster": 4}),
+    TopologySpec("hypercube", {"dimensions": 3}),
+]
+
+METRIC_BANDS = {band.metric: band.rel_tol for band in FLOW_EQUIVALENCE}
+METRIC_NAMES = {
+    "one_way_latency_ns": "latency",
+    "send_gap_ns": "gap",
+    "unidirectional_mb_s": "unidir",
+    "bidirectional_mb_s": "bidir",
+}
+
+
+def _rel_err(flit: float, flow: float) -> float:
+    return abs(flow - flit) / flit
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("spec", EQUIVALENCE_TOPOLOGIES,
+                             ids=lambda s: s.label())
+    @pytest.mark.parametrize("nbytes", [8, 1024, 8192])
+    def test_flow_matches_flit_within_bands(self, spec, nbytes):
+        _, flit_world = build_topology_world(spec)
+        _, flow_world = build_topology_world(spec.with_fidelity("flow"))
+
+        # Identical worst-case pair and identical route shape: the flow
+        # tier must price the same path the flit tier simulates.
+        pair = flit_world.far_pair()
+        assert flow_world.far_pair() == pair
+        a, b = pair
+
+        for metric_attr, metric in METRIC_NAMES.items():
+            flit_point = measure_point(flit_world, a, b, nbytes, metric)
+            flow_point = measure_point(flow_world, a, b, nbytes, metric)
+            flit_value = metric_value(flit_point, metric)
+            flow_value = metric_value(flow_point, metric)
+            err = _rel_err(flit_value, flow_value)
+            assert err <= METRIC_BANDS[metric_attr], (
+                f"{spec.label()} {metric} at {nbytes}B: flit={flit_value} "
+                f"flow={flow_value} err={err:.3f} > "
+                f"band={METRIC_BANDS[metric_attr]}")
+            # Flit measurements perturb world state; rebuild for the
+            # next metric to keep points independent.
+            _, flit_world = build_topology_world(spec)
+
+    def test_cluster_far_pair_degenerates(self):
+        _, flow = build_topology_world(
+            TopologySpec("cluster").with_fidelity("flow"))
+        assert flow.far_pair() == (0, 1)
+
+    def test_flow_path_costs_track_topology(self):
+        flow = FlowWorld(TopologySpec(
+            "manna", {"clusters": 4, "nodes_per_cluster": 4},
+            fidelity="flow"))
+        same_cluster = flow.path_costs(0, 1)
+        cross_cluster = flow.path_costs(0, 12)
+        assert same_cluster[0] == 1
+        assert cross_cluster[0] == 3  # cluster, spine, cluster
+        assert cross_cluster[1] > 0  # spine hops are asynchronous
+
+
+class TestCalibration:
+    def test_calibration_is_memoised_and_deterministic(self):
+        clear_calibration_memo()
+        first = calibrate_flow()
+        second = calibrate_flow()
+        assert first is second  # memo hit, no re-simulation
+        clear_calibration_memo()
+        third = calibrate_flow()
+        assert third == first  # DES is deterministic
+
+    def test_gap_model_has_two_regimes(self):
+        params = calibrate_flow()
+        # Small messages sit on the per-message floor, not the
+        # bandwidth line; a single affine fit cannot hold both.
+        assert params.gap_ns(8) > params.gap0 + params.gap1 * 8
+        assert params.gap_ns(8192) == pytest.approx(
+            params.gap0 + params.gap1 * 8192)
+
+    def test_flow_logp_parameters_are_finite(self):
+        _, world = build_topology_world(TopologySpec(
+            "hypercube", {"dimensions": 4}, fidelity="flow"))
+        a, b = world.far_pair()
+        logp = flow_logp(world, a, b, 1024)
+        assert logp.latency_ns > 0
+        assert logp.gap_ns > 0
+        assert math.isfinite(logp.bandwidth_mb_s)
+        # A worst-case hypercube route is strictly slower than a
+        # neighbour route.
+        assert logp.latency_ns > flow_logp(world, 0, 1, 1024).latency_ns
+
+
+class TestLargeSweeps:
+    def test_1024_node_flow_sweep_under_run_sweep(self):
+        spec = parse_topology(
+            "hypercube:dimensions=8,nodes_per_router=4,fidelity=flow")
+        result = comm_sweep("latency", sizes=(64, 4096),
+                            include_comparators=False, topology=spec)
+        points = result["PowerMANNA"]
+        assert len(points) == 2
+        assert all(p.latency_us > 0 for p in points)
+        # Longer messages take longer end to end.
+        assert points[1].latency_us > points[0].latency_us
+
+    def test_flow_sweep_is_deterministic(self):
+        spec = parse_topology("torus:dims=8x8,nodes_per_router=4,"
+                              "fidelity=flow")
+        first = comm_sweep("bidir", sizes=(256,),
+                           include_comparators=False, topology=spec)
+        second = comm_sweep("bidir", sizes=(256,),
+                            include_comparators=False, topology=spec)
+        assert [p.bidir_mb_s for p in first["PowerMANNA"]] == \
+            [p.bidir_mb_s for p in second["PowerMANNA"]]
+
+    def test_flow_world_scales_to_4k_nodes(self):
+        world = FlowWorld(TopologySpec(
+            "hypercube", {"dimensions": 10, "nodes_per_router": 4},
+            fidelity="flow"))
+        assert len(world.node_ids()) == 4096
+        a, b = world.far_pair()
+        assert world.one_way_latency_ns(a, b, 1024) > 0

@@ -185,6 +185,119 @@ class TestRouteTable:
             table.route_bytes(node_key(0, 0), node_key(99, 0))
 
 
+class TestPathMemo:
+    """The path memo must never serve a route computed under a stale
+    failure epoch — satellite: cache correctness under failure/clear."""
+
+    @staticmethod
+    def _manna_table():
+        fabric = build_power_manna_256(Simulator())
+        return RouteTable(fabric.graph)
+
+    def test_repeat_lookups_hit_the_memo(self):
+        table = self._manna_table()
+        src, dst = node_key(0, 0), node_key(127, 0)
+        first = table.path(src, dst)
+        searched = table.searches
+        assert table.path(src, dst) == first
+        assert table.path(src, dst) == first
+        assert table.searches == searched  # no further searches ran
+
+    def test_memoed_path_is_a_copy(self):
+        table = self._manna_table()
+        src, dst = node_key(0, 0), node_key(1, 0)
+        path = table.path(src, dst)
+        path.append("garbage")
+        assert "garbage" not in table.path(src, dst)
+
+    def test_failure_drops_memo_and_reroutes(self):
+        table = self._manna_table()
+        src, dst = node_key(0, 0), node_key(127, 0)
+        original = table.path(src, dst)
+        # Kill the spine crossbar the original route used.
+        spine = next(hop for hop in original[1:-1]
+                     if "spine" in hop[1])
+        table.mark_vertex_failed(spine)
+        rerouted = table.path(src, dst)
+        assert spine not in rerouted
+        assert rerouted != original
+        assert table.searches == 2  # memo was dropped, search re-ran
+
+    def test_clear_failures_restores_original_route(self):
+        table = self._manna_table()
+        src, dst = node_key(0, 0), node_key(127, 0)
+        original = table.path(src, dst)
+        spine = next(hop for hop in original[1:-1]
+                     if "spine" in hop[1])
+        table.mark_vertex_failed(spine)
+        table.path(src, dst)
+        table.clear_failures()
+        # Deterministic shortest path: the repaired fabric routes
+        # exactly as before the failure epoch.
+        assert table.path(src, dst) == original
+        assert table.searches == 3
+
+    def test_route_bytes_follow_the_memo_epoch(self):
+        table = self._manna_table()
+        src, dst = node_key(0, 0), node_key(127, 0)
+        before = table.route_bytes(src, dst)
+        spine = next(hop for hop in table.path(src, dst)[1:-1]
+                     if "spine" in hop[1])
+        table.mark_vertex_failed(spine)
+        after = table.route_bytes(src, dst)
+        assert after != before
+        table.clear_failures()
+        assert table.route_bytes(src, dst) == before
+
+
+class TestNoRouteContext:
+    """Satellite: NoRouteError must say which failures cut the route."""
+
+    def test_error_carries_endpoints_and_failures(self):
+        fabric = build_cluster(Simulator(), n_nodes=4)
+        table = RouteTable(fabric.graph)
+        src, dst = node_key(0, 0), node_key(3, 0)
+        table.mark_vertex_failed(xbar_key("plane0"))
+        with pytest.raises(NoRouteError) as exc:
+            table.path(src, dst)
+        error = exc.value
+        assert error.src == src
+        assert error.dst == dst
+        assert error.failed_vertices == {xbar_key("plane0")}
+        assert error.failed_edges == set()
+        message = str(error)
+        assert "1 failed vertex(es)" in message
+        assert "plane0" in message
+
+    def test_error_summarises_failed_edges(self):
+        fabric = build_cluster(Simulator(), n_nodes=2)
+        table = RouteTable(fabric.graph)
+        src, dst = node_key(0, 0), node_key(1, 0)
+        table.mark_edge_failed(src, xbar_key("plane0"))
+        with pytest.raises(NoRouteError) as exc:
+            table.path(src, dst)
+        assert exc.value.failed_edges == {(src, xbar_key("plane0"))}
+        assert "1 failed edge(s)" in str(exc.value)
+
+    def test_pristine_graph_says_so(self):
+        fabric = build_cluster(Simulator())
+        table = RouteTable(fabric.graph)
+        with pytest.raises(NoRouteError, match="no failures marked"):
+            table.path(node_key(0, 0), node_key(99, 0))
+
+    def test_many_failures_truncate_with_count(self):
+        fabric = build_power_manna_256(Simulator())
+        table = RouteTable(fabric.graph)
+        src = node_key(0, 0)
+        for xbar in list(table.graph.nodes):
+            if xbar[0] == "xbar":
+                table.mark_vertex_failed(xbar)
+        with pytest.raises(NoRouteError) as exc:
+            table.path(src, node_key(127, 0))
+        assert "... " in str(exc.value)
+        assert " more" in str(exc.value)
+
+
 class TestTransceiver:
     def test_config_validation(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,97 @@
+"""Property-based tests on topology generators and their route bounds.
+
+The headline property is the paper's: a connection in a manna-family
+machine crosses *at most three crossbars*, whatever the cluster count or
+cluster size.  The other generators get the analogous check against
+their documented :func:`diameter_bound_crossbars`.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.routing import RouteTable
+from repro.network.topo import (
+    TopologySpec,
+    build_graph,
+    diameter_bound_crossbars,
+)
+from repro.network.topology import node_key
+
+
+def _sampled_worst_crossbars(spec, plane=0, sample=4):
+    """Worst crossbars-on-route over a deterministic endpoint sample."""
+    graph = build_graph(spec)
+    routes = RouteTable(graph)
+    nodes = sorted(k[1] for k in graph.nodes if k[0] == "node")
+    picks = sorted({nodes[0], nodes[len(nodes) // 3],
+                    nodes[2 * len(nodes) // 3], nodes[-1]})[:sample]
+    worst = 0
+    for a in picks:
+        for b in picks:
+            if a != b:
+                worst = max(worst, routes.crossbars_on_path(
+                    node_key(a, plane), node_key(b, plane)))
+    return worst
+
+
+@given(clusters=st.integers(min_value=2, max_value=14),
+       npc=st.integers(min_value=1, max_value=8))
+@settings(max_examples=25, deadline=None)
+def test_manna_family_routes_at_most_three_crossbars(clusters, npc):
+    """The paper's claim holds across the whole manna family, not just
+    the 256-processor build: cluster -> spine -> cluster and no more."""
+    spec = TopologySpec("manna", {"clusters": clusters,
+                                  "nodes_per_cluster": npc})
+    assert diameter_bound_crossbars(spec) == 3
+    for plane in (0, 1):
+        assert _sampled_worst_crossbars(spec, plane=plane) <= 3
+
+
+@given(levels=st.integers(min_value=1, max_value=3),
+       arity=st.integers(min_value=2, max_value=4),
+       npl=st.integers(min_value=1, max_value=8))
+@settings(max_examples=20, deadline=None)
+def test_xbar_tree_within_documented_bound(levels, arity, npl):
+    spec = TopologySpec("xbar_tree", {"levels": levels, "arity": arity,
+                                      "nodes_per_leaf": npl})
+    assert _sampled_worst_crossbars(spec) <= 2 * levels - 1
+
+
+@given(d=st.integers(min_value=1, max_value=6),
+       npr=st.integers(min_value=1, max_value=4))
+@settings(max_examples=20, deadline=None)
+def test_hypercube_within_documented_bound(d, npr):
+    spec = TopologySpec("hypercube", {"dimensions": d,
+                                      "nodes_per_router": npr})
+    assert _sampled_worst_crossbars(spec) <= d + 1
+
+
+@given(dims=st.lists(st.integers(min_value=2, max_value=5),
+                     min_size=2, max_size=3),
+       npr=st.integers(min_value=1, max_value=2))
+@settings(max_examples=20, deadline=None)
+def test_torus_within_documented_bound(dims, npr):
+    spec = TopologySpec("torus", {"dims": dims, "nodes_per_router": npr})
+    assert _sampled_worst_crossbars(spec) <= 1 + sum(d // 2 for d in dims)
+
+
+@given(k=st.sampled_from([2, 4, 6]),
+       npe=st.integers(min_value=1, max_value=3))
+@settings(max_examples=12, deadline=None)
+def test_fat_tree_within_documented_bound(k, npe):
+    # nodes_per_edge is capped at k/2 down-ports per edge switch.
+    spec = TopologySpec("fat_tree", {"k": k,
+                                     "nodes_per_edge": min(npe, k // 2)})
+    assert _sampled_worst_crossbars(spec) <= 5
+
+
+@given(clusters=st.integers(min_value=2, max_value=8),
+       npc=st.integers(min_value=1, max_value=8))
+@settings(max_examples=15, deadline=None)
+def test_manna_blueprint_round_trips_through_json(clusters, npc):
+    """Spec identity (and hence cache fingerprints) survives JSON."""
+    spec = TopologySpec("manna", {"clusters": clusters,
+                                  "nodes_per_cluster": npc})
+    again = TopologySpec.from_json(spec.to_json())
+    assert again == spec
+    assert hash(again) == hash(spec)
