@@ -47,6 +47,7 @@ uninterrupted one.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Optional, Sequence
@@ -574,10 +575,73 @@ def cmd_bench(args) -> Optional[int]:
     return 0
 
 
+def _traffic_qos(args):
+    """QosConfig from --arbiter/--classes, or None — the legacy path.
+
+    None keeps the crossbars on the original ``Resource`` arbiters, so
+    the default invocation stays byte-identical to the pre-QoS CLI.
+    """
+    from repro.bench.traffic import parse_classes
+    from repro.network.qos import QosConfig
+
+    classes_text = getattr(args, "classes", None)
+    arbiter = getattr(args, "arbiter", None) or "fifo"
+    if not classes_text and arbiter == "fifo":
+        return None
+    if classes_text:
+        return QosConfig(arbiter=arbiter, classes=parse_classes(classes_text))
+    return QosConfig(arbiter=arbiter)
+
+
+def _traffic_load(args, spec) -> Optional[int]:
+    """The offered-load surface: --load sweeps under run_sweep."""
+    from repro.bench.traffic import load_sweep, parse_loads, parse_mix
+    from repro.network.qos import AdaptiveConfig
+
+    qos = _traffic_qos(args)
+    mix = parse_mix(args.pattern_mix) if args.pattern_mix else None
+    loads = parse_loads(args.load)
+    adaptive = (AdaptiveConfig(depth_threshold=args.adaptive_depth)
+                if args.adaptive else None)
+    plan = _fault_plan_from_args(args)
+    options = _sweep_options(args)
+    results = load_sweep(
+        spec, loads, qos=qos, mix=mix, messages=args.messages,
+        message_bytes=args.nbytes, seed=args.seed,
+        closed_loop=args.closed_loop, window=args.window,
+        adaptive=adaptive, fault_plan=plan,
+        jobs=options["jobs"], cache=options["cache"],
+        supervise=options.get("supervise"))
+    rows = []
+    for result in results:
+        for cls in result["classes"]:
+            rows.append([f"{result['load']:.2f}", cls["name"],
+                         f"{cls['offered_mb_s']:.1f}",
+                         f"{cls['goodput_mb_s']:.1f}",
+                         f"{cls['latency_p50_ns'] / 1e3:.1f}",
+                         f"{cls['latency_p99_ns'] / 1e3:.1f}",
+                         result["collisions"], result["reroutes"]])
+    arbiter = results[0]["arbiter"] if results else "fifo"
+    _emit(format_table(
+        ["load", "class", "offered MB/s", "goodput MB/s", "p50 (us)",
+         "p99 (us)", "collisions", "reroutes"], rows,
+        title=f"Offered load vs goodput/latency on {spec.label()} "
+              f"({arbiter} arbiter)"))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    _report_cache(options["cache"])
+    _report_supervision(options.get("supervise"))
+    return 0
+
+
 def cmd_traffic(args) -> Optional[int]:
     """Offered-load patterns (permutation/random/hotspot) on any spec."""
     from repro.bench.traffic import run_pattern
     from repro.msg.api import build_topology_world
+    from repro.network.crossbar import CrossbarConfig
     from repro.network.topo import parse_topology
 
     spec = parse_topology(args.topology)
@@ -585,12 +649,18 @@ def cmd_traffic(args) -> Optional[int]:
         print("traffic needs flit fidelity: offered-load contention is "
               "exactly what the flow tier abstracts away", file=sys.stderr)
         return 2
+    if args.load:
+        return _traffic_load(args, spec)
+    qos = _traffic_qos(args)
+    crossbar_config = (CrossbarConfig(qos=qos) if qos is not None
+                       else CrossbarConfig())
     patterns = args.patterns or ["permutation", "random", "hotspot"]
     rows = []
     for pattern in patterns:
         # A fresh world per pattern: no warm FIFOs or collision counters
         # leak between patterns.
-        _, world = build_topology_world(spec)
+        _, world = build_topology_world(spec,
+                                        crossbar_config=crossbar_config)
         result = run_pattern(world, pattern, message_bytes=args.nbytes,
                              rounds=args.rounds, seed=args.seed)
         rows.append([pattern, result.nodes, result.messages,
@@ -857,6 +927,46 @@ def build_parser() -> argparse.ArgumentParser:
                          help="messages each node sends per pattern")
     traffic.add_argument("--seed", type=int, default=7,
                          help="seed for the random pattern's destinations")
+    traffic.add_argument("--arbiter", default="fifo",
+                         choices=("fifo", "priority", "wdrr"),
+                         help="output-port arbitration policy (fifo with "
+                              "no --classes keeps the legacy arbiters and "
+                              "byte-identical output)")
+    traffic.add_argument("--classes", metavar="SPEC", default=None,
+                         help="service classes, e.g. 'urgent:prio=0:"
+                              "weight=4,bulk:prio=1:rate=30:burst=4096'")
+    traffic.add_argument("--pattern-mix", metavar="SPEC", default=None,
+                         help="per-class load shape, e.g. 'urgent=incast:"
+                              "0.2:odd,bulk=hotspot:0.8:even' "
+                              "(pattern[:fraction[:senders[:burst_len]]])")
+    traffic.add_argument("--load", metavar="SWEEP", default=None,
+                         help="offered-load sweep as a fraction of line "
+                              "rate: '0.2,0.5,0.8' or start:stop:step; "
+                              "switches from fixed patterns to the "
+                              "load/goodput/latency surface")
+    traffic.add_argument("--messages", type=int, default=32,
+                         help="messages per sender per load point")
+    traffic.add_argument("--closed-loop", action="store_true",
+                         help="self-clocked senders (at most --window "
+                              "undelivered messages each) instead of "
+                              "open-loop planned injection times")
+    traffic.add_argument("--window", type=int, default=4,
+                         help="closed-loop in-flight window per sender")
+    traffic.add_argument("--adaptive", action="store_true",
+                         help="congestion-aware adaptive routing: detour "
+                              "around output ports whose arbiter queue "
+                              "reaches --adaptive-depth")
+    traffic.add_argument("--adaptive-depth", type=int, default=4,
+                         help="queue depth at which an output port "
+                              "counts as congested")
+    traffic.add_argument("--fault-plan", metavar="FILE", default=None,
+                         help="run the load sweep under this fault plan "
+                              "(JSON; see the chaos subcommand)")
+    traffic.add_argument("--fault-seed", type=int, default=None,
+                         help="override the fault plan's seed")
+    traffic.add_argument("--json-out", metavar="FILE", default=None,
+                         help="write the load-sweep results as JSON")
+    _add_sweep_options(traffic)
 
     chaos = sub.add_parser(
         "chaos", help="run a fault-injection experiment from a plan file")

@@ -48,6 +48,11 @@ class CommWorld:
         self.driver_config = driver_config
         self.registry: Dict[int, Message] = {}
         self.routes = RouteTable(fabric.graph)
+        #: Route provider consulted by :meth:`make_message`; normally the
+        #: RouteTable itself, swapped for an
+        #: :class:`~repro.network.qos.AdaptiveRouter` by
+        #: :meth:`enable_adaptive`.
+        self.router = self.routes
         self.endpoints: Dict[int, Endpoint] = {}
         for node in fabric.node_ids():
             attachment = fabric.attachment(node, plane)
@@ -60,13 +65,28 @@ class CommWorld:
     # -- message construction ---------------------------------------------------
 
     def make_message(self, src: int, dst: int, nbytes: int,
-                     tag: Optional[object] = None) -> Message:
+                     tag: Optional[object] = None,
+                     sclass: int = 0) -> Message:
         if src == dst:
             raise ValueError(f"node {src} cannot send to itself over the network")
-        route = self.routes.route_bytes(node_key(src, self.plane),
+        route = self.router.route_bytes(node_key(src, self.plane),
                                         node_key(dst, self.plane))
         return Message(source=src, dest=dst, payload_bytes=nbytes,
-                       route=tuple(route), tag=tag)
+                       route=tuple(route), tag=tag, sclass=sclass)
+
+    def enable_adaptive(self, config=None):
+        """Swap congestion-aware routing in front of the route table.
+
+        Future :meth:`make_message` calls route around output ports the
+        :class:`~repro.network.qos.AdaptiveRouter` judges congested.
+        Returns the router (for its ``reroutes``/``fallbacks`` counters).
+        """
+        from repro.network.qos import AdaptiveConfig, AdaptiveRouter
+
+        router = AdaptiveRouter(self.routes, self.fabric,
+                                config or AdaptiveConfig())
+        self.router = router
+        return router
 
     def endpoint(self, node: int) -> Endpoint:
         try:
@@ -100,8 +120,8 @@ class CommWorld:
     # -- process factories --------------------------------------------------------
 
     def send(self, src: int, dst: int, nbytes: int,
-             tag: Optional[object] = None) -> Process:
-        message = self.make_message(src, dst, nbytes, tag=tag)
+             tag: Optional[object] = None, sclass: int = 0) -> Process:
+        message = self.make_message(src, dst, nbytes, tag=tag, sclass=sclass)
         return self.sim.process(self.endpoint(src).driver.send_message(message))
 
     def recv(self, node: int) -> Process:

@@ -20,6 +20,7 @@ from typing import List, Optional, Set
 from repro.faults import FAULTS
 from repro.network.link import ByteFifo, Link
 from repro.network.message import Flit, FlitKind
+from repro.network.qos import ClassedArbiter, QosConfig
 from repro.obs import OBS
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
@@ -43,6 +44,9 @@ class CrossbarConfig:
             fault injection; without it, killing an upstream port mid-
             wormhole would leave the downstream connection (and its output
             arbiter) held forever, wedging all traffic behind it.
+        qos: per-class arbitration at the output ports.  ``None`` (the
+            default) keeps the hardware's plain FIFO arbiters and is
+            byte-identical to the pre-QoS simulator.
     """
 
     ports: int = 16
@@ -50,6 +54,7 @@ class CrossbarConfig:
     route_setup_ns: float = 200.0
     forward_ns: float = 16.7  # one 60 MHz cycle through the switch core
     teardown_ns: float = 500_000.0
+    qos: Optional[QosConfig] = None
 
     def __post_init__(self):
         if self.ports < 2:
@@ -81,10 +86,20 @@ class Crossbar:
             for i in range(config.ports)
         ]
         self.output_links: List[Optional[Link]] = [None] * config.ports
-        self._output_arbiters = [
-            Resource(sim, capacity=1, name=f"{name}.out{i}")
-            for i in range(config.ports)
-        ]
+        # With a QosConfig the bare FIFO Resource at each output is
+        # replaced by the pluggable classed arbiter; without one the
+        # legacy arbiters (and their exact event sequence) are kept.
+        self._classed = config.qos is not None
+        if self._classed:
+            self._output_arbiters = [
+                ClassedArbiter(sim, config.qos, name=f"{name}.out{i}")
+                for i in range(config.ports)
+            ]
+        else:
+            self._output_arbiters = [
+                Resource(sim, capacity=1, name=f"{name}.out{i}")
+                for i in range(config.ports)
+            ]
         self._failed_outputs: Set[int] = set()
         self.stats = Counter(name)
         for i in range(config.ports):
@@ -98,6 +113,13 @@ class Crossbar:
                 probe(sim, "xbar.out_queue",
                       lambda a=self._output_arbiters[i]: float(a.queue_length),
                       xbar=name, port=str(i))
+            if self._classed:
+                for i in range(config.ports):
+                    for ci, tc in enumerate(config.qos.classes):
+                        probe(sim, "xbar.class_queue",
+                              lambda a=self._output_arbiters[i], c=ci:
+                              float(a.class_queue_length(c)),
+                              xbar=name, port=str(i), cls=tc.name)
 
     # -- wiring -----------------------------------------------------------
 
@@ -149,6 +171,7 @@ class Crossbar:
         forward_ns = self.config.forward_ns
         close_kind = FlitKind.CLOSE
         failed = self._failed_outputs
+        classed = self._classed
         resync = False
         while True:
             flit = yield fifo_get()
@@ -172,17 +195,26 @@ class Crossbar:
                                                     flit.message_id)
                 continue
             arbiter = self._output_arbiters[out_port]
+            sclass = flit.sclass
             arb_span = 0
             if OBS.enabled:
                 arb_span = OBS.tracer.begin(
                     "xbar.arbitrate", self.name, self.sim.now,
                     category="network", message=flit.message_id,
                     in_port=port, out_port=out_port)
-            waited = yield arbiter.acquire()
+            if classed:
+                waited = yield arbiter.acquire(sclass)
+            else:
+                waited = yield arbiter.acquire()
             if waited > 0:
                 stats_incr("collisions")
                 if OBS.enabled:
-                    OBS.metrics.incr("xbar.collisions", xbar=self.name)
+                    if classed:
+                        OBS.metrics.incr(
+                            "xbar.collisions", xbar=self.name,
+                            cls=self.config.qos.classes[sclass].name)
+                    else:
+                        OBS.metrics.incr("xbar.collisions", xbar=self.name)
             # Collision-free through-routing costs route_setup_ns; the route
             # byte is consumed here and never forwarded.
             yield pooled_timeout(route_setup_ns)
@@ -201,6 +233,7 @@ class Crossbar:
             link = self.output_links[out_port]
             link_send = link.tx.put_pooled
             message_id = flit.message_id
+            conn_bytes = 0
             try:
                 while True:
                     if FAULTS.enabled:
@@ -226,10 +259,14 @@ class Crossbar:
                     yield pooled_timeout(forward_ns)
                     yield link_send(flit)
                     stats_incr("forwarded_bytes", flit.nbytes)
+                    conn_bytes += flit.nbytes
                     if flit.kind == close_kind:
                         break
             finally:
-                arbiter.release()
+                if classed:
+                    arbiter.release(sclass, conn_bytes)
+                else:
+                    arbiter.release()
                 self.tracer.record(sim.now, self.name, "close",
                                    (port, out_port, message_id))
                 if OBS.enabled:

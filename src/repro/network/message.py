@@ -60,6 +60,8 @@ class Flit:
         message_id: id of the owning message.
         route_port: for ROUTE flits, the output channel it addresses.
         seq: payload word index (DATA flits) for ordering checks.
+        sclass: service-class index of the owning message; the crossbar's
+            classed output arbiters read it off the ROUTE flit.
     """
 
     kind: FlitKind
@@ -67,6 +69,7 @@ class Flit:
     message_id: int
     route_port: Optional[int] = None
     seq: int = 0
+    sclass: int = 0
 
     def __post_init__(self):
         if self.nbytes <= 0:
@@ -91,6 +94,8 @@ class Message:
         crc_ok: set False by the receiving link interface when the CRC
             check failed (injected in-flight corruption); the reliable
             protocols discard such deliveries and retransmit.
+        sclass: service-class index (0 = best effort); carried by every
+            flit so classed arbiters can tell wormholes apart.
     """
 
     source: int
@@ -102,6 +107,7 @@ class Message:
     delivered_at: Optional[float] = None
     tag: Optional[object] = None
     crc_ok: bool = True
+    sclass: int = 0
 
     def __post_init__(self):
         if self.payload_bytes < 0:
@@ -120,18 +126,21 @@ class Message:
 
 def build_wire_format(message: Message) -> List[Flit]:
     """Expand a message into its flit sequence (header, payload, close)."""
+    sclass = message.sclass
     flits: List[Flit] = [
-        Flit(FlitKind.ROUTE, 1, message.message_id, route_port=port)
+        Flit(FlitKind.ROUTE, 1, message.message_id, route_port=port,
+             sclass=sclass)
         for port in message.route
     ]
     remaining = message.payload_bytes
     seq = 0
     while remaining > 0:
         chunk = min(PAYLOAD_FLIT_BYTES, remaining)
-        flits.append(Flit(FlitKind.DATA, chunk, message.message_id, seq=seq))
+        flits.append(Flit(FlitKind.DATA, chunk, message.message_id, seq=seq,
+                          sclass=sclass))
         remaining -= chunk
         seq += 1
-    flits.append(Flit(FlitKind.CLOSE, 1, message.message_id))
+    flits.append(Flit(FlitKind.CLOSE, 1, message.message_id, sclass=sclass))
     return flits
 
 

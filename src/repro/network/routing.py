@@ -61,6 +61,11 @@ class RouteTable:
                                List[Hashable]] = {}
         self._failed_edges: Set[Tuple[Hashable, Hashable]] = set()
         self._failed_vertices: Set[Hashable] = set()
+        #: Soft failures: edges the adaptive router wants avoided while
+        #: their output port is congested.  They participate in the
+        #: same liveness filter as failed edges but are owned by
+        #: :meth:`set_congested_edges`, never by the fault API.
+        self._congested_edges: Set[Tuple[Hashable, Hashable]] = set()
         #: Bumped on every invalidation; protocols compare it to detect
         #: that routes may have moved under them.
         self.version = 0
@@ -191,7 +196,8 @@ class RouteTable:
     # -- failure reporting -------------------------------------------------
 
     def _edge_alive(self, u: Hashable, v: Hashable) -> bool:
-        return (u, v) not in self._failed_edges
+        return ((u, v) not in self._failed_edges
+                and (u, v) not in self._congested_edges)
 
     def mark_edge_failed(self, u: Hashable, v: Hashable) -> None:
         """Report a directed wiring edge as dead; future routes avoid it."""
@@ -212,6 +218,25 @@ class RouteTable:
         self._failed_edges.clear()
         self._failed_vertices.clear()
         self.invalidate()
+
+    def set_congested_edges(self,
+                            edges: Set[Tuple[Hashable, Hashable]]) -> bool:
+        """Replace the congested-edge set (soft failures).
+
+        Invalidates the route/path memo only when the set actually
+        changes, so an adaptive router re-asserting the same verdict
+        between scans costs nothing.  Returns whether it changed.
+        """
+        edges = set(edges)
+        if edges == self._congested_edges:
+            return False
+        self._congested_edges = edges
+        self.invalidate()
+        return True
+
+    @property
+    def congested_edges(self) -> Set[Tuple[Hashable, Hashable]]:
+        return set(self._congested_edges)
 
     @property
     def failed_edges(self) -> Set[Tuple[Hashable, Hashable]]:

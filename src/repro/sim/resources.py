@@ -224,9 +224,22 @@ class Resource:
         self.total_wait_time += waited
         event.trigger(waited)
 
-    def _account(self) -> None:
-        self.busy_time += self.in_use * (self.sim.now - self._last_change)
-        self._last_change = self.sim.now
+    def _account(self, now: Optional[float] = None) -> None:
+        now = self.sim.now if now is None else now
+        self.busy_time += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def sync(self, now: Optional[float] = None) -> None:
+        """Fold occupancy forward so the raw ``busy_time`` attribute is
+        current.
+
+        ``busy_time`` is otherwise only accounted on state changes
+        (acquire/release), so reading it at end of run while a slot is
+        still held reports a stale value — :meth:`utilization` corrects
+        for that in its own arithmetic, but any consumer of the raw
+        counter must call this first.
+        """
+        self._account(now)
 
     def utilization(self, now: Optional[float] = None) -> float:
         """Time-averaged fraction of capacity in use."""
@@ -235,6 +248,14 @@ class Resource:
             return 0.0
         busy = self.busy_time + self.in_use * (now - self._last_change)
         return busy / (now * self.capacity)
+
+    def wait_pressure(self, now: Optional[float] = None) -> float:
+        """Granted wait time plus the wait accrued by still-queued
+        requests — a live congestion signal that grows while waiters sit
+        in the queue, not only when they are finally granted."""
+        now = self.sim.now if now is None else now
+        queued = sum(now - requested_at for _, requested_at in self._waiters)
+        return self.total_wait_time + queued
 
 
 class Signal:

@@ -179,6 +179,49 @@ class TestResource:
         with pytest.raises(SimulationError):
             Resource(sim, capacity=0)
 
+    def test_busy_time_stale_until_synced(self, sim):
+        """Regression: ``busy_time`` is only folded forward on state
+        changes, so reading the raw counter at end of run while a slot
+        is still held was stale; :meth:`Resource.sync` closes the gap."""
+        res = Resource(sim)
+
+        def worker():
+            yield res.acquire()
+            yield sim.timeout(100.0)
+            # Never releases: the run ends with the slot held.
+
+        sim.process(worker())
+        sim.run()
+        assert sim.now == pytest.approx(100.0)
+        # The raw counter is stale (this line fails on the pre-fix code
+        # only through sync(); utilization always corrected for it)...
+        assert res.busy_time == pytest.approx(0.0)
+        assert res.utilization() == pytest.approx(1.0)
+        # ...and sync() folds the held time forward.
+        res.sync()
+        assert res.busy_time == pytest.approx(100.0)
+        assert res.utilization() == pytest.approx(1.0)
+
+    def test_wait_pressure_counts_queued_waiters(self, sim):
+        res = Resource(sim)
+
+        def holder():
+            yield res.acquire()
+            yield sim.timeout(40.0)
+            # Holds to end of run; the waiter below stays queued.
+
+        def waiter():
+            yield sim.timeout(10.0)
+            yield res.acquire()
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run()
+        # The queued waiter has accrued 30 ns by t=40 even though it was
+        # never granted (total_wait_time alone would report 0).
+        assert res.total_wait_time == pytest.approx(0.0)
+        assert res.wait_pressure(40.0) == pytest.approx(30.0)
+
 
 class TestSignal:
     def test_fire_wakes_all_waiters(self, sim):
