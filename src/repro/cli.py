@@ -509,6 +509,23 @@ def cmd_bench(args) -> Optional[int]:
         write_bench_json,
     )
 
+    if args.list:
+        from repro.perf.harness import KERNELS
+
+        for name in KERNELS:
+            print(name)
+        return 0
+
+    if args.kernels:
+        from repro.perf.harness import KERNELS
+
+        unknown = [n for n in args.kernels if n not in KERNELS]
+        if unknown:
+            print(f"unknown kernel(s) {', '.join(unknown)}; "
+                  f"known: {', '.join(KERNELS)} (see bench --list)",
+                  file=sys.stderr)
+            return 2
+
     if args.compare:
         old_path, new_path = args.compare
         deltas, regressions = compare_payloads(
@@ -1022,6 +1039,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timing repeats per kernel (best is reported)")
     bench.add_argument("--kernels", nargs="*", default=None,
                        help="subset of kernels to run (default: all)")
+    bench.add_argument("--list", action="store_true",
+                       help="print the known kernel names and exit")
     bench.add_argument("--out", default=None,
                        help="where to write the benchmark document "
                             "(default: BENCH_perf.json, or "

@@ -360,11 +360,45 @@ _SHARED_INT = int(MESIState.SHARED)
 _MODIFIED_INT = int(MESIState.MODIFIED)
 
 
+def _trace_pairs(trace):
+    """Adapt a trace to ``(int, AccessType)`` pairs.
+
+    Structured ``(addr, is_write)`` arrays (see ``repro.memory.trace_gen``
+    array emitters) are accepted by every backend; plain iterables pass
+    through untouched.
+    """
+    if hasattr(trace, "dtype"):
+        read = AccessType.READ
+        write = AccessType.WRITE
+        return ((addr, write if is_write else read)
+                for addr, is_write in zip(trace["addr"].tolist(),
+                                          trace["is_write"].tolist()))
+    return trace
+
+
+def _try_vec(memory, trace, compute_ns, stall):
+    """Attempt the numpy backend; on any unmet precondition return the
+    (already materialised) trace so the scalar path can still consume it."""
+    try:
+        from repro.memory import vec
+    except ImportError:
+        return None, trace
+    try:
+        arr = vec.coerce_trace(trace)
+    except (OverflowError, ValueError):
+        return None, trace
+    return vec.replay_traces_vec(memory, arr, compute_ns, stall), arr
+
+
+REPLAY_BACKENDS = ("fast", "numpy")
+
+
 def replay_traces(memory: MultiprocessorMemory,
                   traces: Sequence[Iterable[Tuple[int, AccessType]]],
                   compute_ns: float,
                   stall_models: Sequence[StallModel],
-                  use_fast_path: bool = True) -> List[CpuRunResult]:
+                  use_fast_path: bool = True,
+                  backend: str = "fast") -> List[CpuRunResult]:
     """Replay raw ``(addr, AccessType)`` streams, one per CPU.
 
     Semantically identical to wrapping each stream in
@@ -372,20 +406,38 @@ def replay_traces(memory: MultiprocessorMemory,
     :func:`run_interleaved`; ``use_fast_path=False`` forces exactly that,
     and is the reference implementation the equivalence tests compare
     against.
+
+    ``backend="numpy"`` routes single-trace replays through the
+    vectorized engine in :mod:`repro.memory.vec`, falling back to the
+    scalar fast path whenever the engine's preconditions do not hold
+    (multiple traces, SHARED lines resident, warm sibling CPUs, numpy
+    unavailable).  Every backend accepts structured ``(addr, is_write)``
+    array traces as well as iterables, and ``OBS.enabled`` still forces
+    the reference path so per-access metric streams are preserved.
     """
+    if backend not in REPLAY_BACKENDS:
+        raise ValueError(f"unknown replay backend {backend!r}; "
+                         f"have {list(REPLAY_BACKENDS)}")
     if len(traces) != len(stall_models):
         raise ValueError("need one stall model per trace")
     if len(traces) > memory.num_cpus:
         raise ValueError(
             f"{len(traces)} traces for a {memory.num_cpus}-CPU node")
     if not use_fast_path or OBS.enabled:
-        steps = [(TraceStep(compute_ns, addr, access) for addr, access in t)
-                 for t in traces]
+        steps = [(TraceStep(compute_ns, addr, access)
+                  for addr, access in _trace_pairs(t)) for t in traces]
         return run_interleaved(memory, steps, stall_models)
     if len(traces) == 1:
-        return [_replay_fast_single(memory, traces[0], compute_ns,
+        trace = traces[0]
+        if backend == "numpy":
+            result, trace = _try_vec(memory, trace, compute_ns,
+                                     stall_models[0])
+            if result is not None:
+                return [result]
+        return [_replay_fast_single(memory, _trace_pairs(trace), compute_ns,
                                     stall_models[0])]
-    return _replay_fast_merged(memory, traces, compute_ns, stall_models)
+    return _replay_fast_merged(memory, [_trace_pairs(t) for t in traces],
+                               compute_ns, stall_models)
 
 
 def _replay_fast_single(memory: MultiprocessorMemory,

@@ -4,12 +4,25 @@ Generators yield ``(address, AccessType)`` pairs; the CPU timing models
 attach per-access compute time from the kernel's instruction mix.  MatMult
 traces follow the paper's *odd-stride* allocation (rows padded to an odd
 element count so successive rows never map to the same cache sets).
+
+Each generator also has an ``*_array`` twin producing the same reference
+stream as a structured ``(addr, is_write)`` numpy array (the
+``repro.memory.vec`` trace representation), element-for-element equal to
+the iterator.  The regular kernels build their arrays with broadcasting;
+the RNG-driven ones (:func:`random_array`, :func:`hint_sweep_array`)
+materialise the iterator so the random call order — and hence the exact
+address sequence — is preserved.
 """
 
 from __future__ import annotations
 
 import random
 from typing import Iterator, Tuple
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is a baked-in dependency
+    np = None
 
 from repro.memory.cache import AccessType
 
@@ -133,3 +146,120 @@ def hint_sweep_trace(base: int, records: int, record_bytes: int,
     for _ in range(writes):
         rec = rng.randrange(max(1, records))
         yield base + rec * record_bytes, AccessType.WRITE
+
+# ---------------------------------------------------------------------------
+# Array-native emitters (repro.memory.vec trace representation)
+# ---------------------------------------------------------------------------
+
+
+def _ref_array(size: int):
+    if np is None:  # pragma: no cover - numpy is a baked-in dependency
+        raise RuntimeError("array-native trace emitters require numpy")
+    from repro.memory.vec import REF_DTYPE
+    return np.empty(size, dtype=REF_DTYPE)
+
+
+def matmult_naive_array(base_a: int, base_b: int, base_c: int, n: int,
+                        elem_bytes: int = 8,
+                        row_range: range | None = None):
+    """Array twin of :func:`matmult_naive_trace`."""
+    ld = odd_stride(n)
+    rows = range(n) if row_range is None else row_range
+    i_idx = np.asarray(list(rows), dtype=np.int64)
+    nr = len(i_idx)
+    blk = 2 * n + 1
+    out = _ref_array(nr * n * blk)
+    addr = out["addr"].reshape(nr, n, blk)
+    k = np.arange(n, dtype=np.int64)
+    j = np.arange(n, dtype=np.int64)
+    a_row = base_a + i_idx * (ld * elem_bytes)
+    addr[:, :, 0:2 * n:2] = a_row[:, None, None] + k * elem_bytes
+    addr[:, :, 1:2 * n:2] = (base_b + j * elem_bytes)[None, :, None] \
+        + k * (ld * elem_bytes)
+    addr[:, :, 2 * n] = base_c + (i_idx[:, None] * ld + j) * elem_bytes
+    is_write = out["is_write"].reshape(nr, n, blk)
+    is_write[:, :, :2 * n] = False
+    is_write[:, :, 2 * n] = True
+    return out
+
+
+def transpose_array(base_src: int, base_dst: int, n: int,
+                    elem_bytes: int = 8):
+    """Array twin of :func:`transpose_trace`."""
+    ld = odd_stride(n)
+    out = _ref_array(n * n * 2)
+    addr = out["addr"].reshape(n, n, 2)
+    i = np.arange(n, dtype=np.int64)[:, None]
+    j = np.arange(n, dtype=np.int64)[None, :]
+    addr[:, :, 0] = base_src + (i * ld + j) * elem_bytes
+    addr[:, :, 1] = base_dst + (j * ld + i) * elem_bytes
+    is_write = out["is_write"].reshape(n, n, 2)
+    is_write[:, :, 0] = False
+    is_write[:, :, 1] = True
+    return out
+
+
+def matmult_transposed_array(base_a: int, base_bt: int, base_c: int, n: int,
+                             elem_bytes: int = 8,
+                             row_range: range | None = None):
+    """Array twin of :func:`matmult_transposed_trace`."""
+    ld = odd_stride(n)
+    rows = range(n) if row_range is None else row_range
+    i_idx = np.asarray(list(rows), dtype=np.int64)
+    nr = len(i_idx)
+    blk = 2 * n + 1
+    out = _ref_array(nr * n * blk)
+    addr = out["addr"].reshape(nr, n, blk)
+    k = np.arange(n, dtype=np.int64)
+    j = np.arange(n, dtype=np.int64)
+    a_row = base_a + i_idx * (ld * elem_bytes)
+    addr[:, :, 0:2 * n:2] = a_row[:, None, None] + k * elem_bytes
+    addr[:, :, 1:2 * n:2] = (base_bt + j * (ld * elem_bytes))[None, :, None] \
+        + k * elem_bytes
+    addr[:, :, 2 * n] = base_c + (i_idx[:, None] * ld + j) * elem_bytes
+    is_write = out["is_write"].reshape(nr, n, blk)
+    is_write[:, :, :2 * n] = False
+    is_write[:, :, 2 * n] = True
+    return out
+
+
+def stream_array(base: int, nbytes: int, elem_bytes: int = 8,
+                 access: AccessType = AccessType.READ,
+                 repeats: int = 1):
+    """Array twin of :func:`stream_trace`."""
+    count = nbytes // elem_bytes
+    out = _ref_array(count * repeats)
+    addrs = base + np.arange(count, dtype=np.int64) * elem_bytes
+    out["addr"].reshape(max(repeats, 0), count)[:] = addrs
+    out["is_write"] = access == AccessType.WRITE
+    return out
+
+
+def stride_array(base: int, count: int, stride_bytes: int,
+                 access: AccessType = AccessType.READ):
+    """Array twin of :func:`stride_trace`."""
+    out = _ref_array(count)
+    out["addr"] = base + np.arange(count, dtype=np.int64) * stride_bytes
+    out["is_write"] = access == AccessType.WRITE
+    return out
+
+
+def random_array(base: int, nbytes: int, count: int, elem_bytes: int = 8,
+                 write_fraction: float = 0.0, seed: int = 42):
+    """Array twin of :func:`random_trace` (materialises the iterator so
+    the RNG call order, hence the address sequence, is identical)."""
+    from repro.memory.vec import coerce_trace
+    return coerce_trace(random_trace(base, nbytes, count, elem_bytes,
+                                     write_fraction, seed))
+
+
+def hint_sweep_array(base: int, records: int, record_bytes: int,
+                     touched_fraction: float = 1.0,
+                     write_fraction: float = 0.25,
+                     seed: int = 7):
+    """Array twin of :func:`hint_sweep_trace` (materialised, see
+    :func:`random_array`)."""
+    from repro.memory.vec import coerce_trace
+    return coerce_trace(hint_sweep_trace(base, records, record_bytes,
+                                         touched_fraction, write_fraction,
+                                         seed))

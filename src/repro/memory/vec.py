@@ -1,0 +1,862 @@
+"""Numpy-vectorized trace replay: whole-trace array kernels.
+
+``replay_traces(..., backend="numpy")`` routes single-CPU replays through
+this module.  The contract is the PR 3 one, unchanged: the replay must be
+*access-for-access identical* to the reference ``run_interleaved`` path —
+same hit/miss/evict/upgrade/TLB counters, same float operation order,
+hence bit-identical timing.  The representation changes, the semantics
+do not.
+
+How a dict-LRU simulation becomes array code
+--------------------------------------------
+
+The scalar paths juggle one dict entry per reference.  Here a trace is a
+contiguous ``(addr, is_write)`` structured array and each structure gets
+its own whole-trace oracle:
+
+* **L1 (chunked lockstep LRU).**  Per-set access streams are split into
+  fixed-length chunks and simulated as parallel numpy *lanes*: the state
+  is a ``lanes x ways`` tag/dirty/age matrix advanced one vectorized step
+  per chunk position (hit detect via an equality matrix, LRU victim via
+  ``argmin`` over ages).  Chunk 0 of every set is seeded from the true
+  cache state, so it is exact from the start.  Later chunks start empty
+  and rely on the LRU *convergence* property: once a chunk has touched
+  ``ways`` distinct tags (position ``v``), set content and recency order
+  are independent of the initial state.  A short scalar warmup replays
+  ``[0, v]`` from the true state to fix up the pre-convergence outcomes,
+  and the only post-``v`` divergence — dirty bits inherited across the
+  chunk boundary — is repaired sparsely (flip the affected victim's
+  writeback flag, or carry the bit into the final state).
+* **TLB (previous-occurrence filter).**  An access whose page recurred
+  within the last ``capacity`` accesses is a guaranteed LRU hit, so one
+  argsort of the page column proves almost the whole trace; only the
+  remaining *candidates* (first occurrences, wide recurrence gaps) run
+  scalar, with exact victim selection keyed by last-occurrence lookups.
+* **L2 (derived op stream).**  Every L2 side effect of both scalar routes
+  is a plain ``Cache.access`` with ``fill_state=EXCLUSIVE`` semantics,
+  from exactly three sources: a write L1-hit (dirtiness sync), a dirty L1
+  victim writeback, and a refill of the missed line.  The op stream is
+  scattered from the L1 outcomes, split per L2 set, and run through the
+  same lockstep engine — one lane per set, seeded from the true L2 state,
+  so no fixup is needed.
+* **Timing (segmented cumsum).**  The local-clock recurrence
+  ``issue = local + compute; local = issue + stall`` is an interleaved
+  prefix sum, and ``np.cumsum`` is bit-identical to sequential float
+  adds.  Stall values of non-refill-miss accesses take one of four
+  precomputed constants (TLB hit/miss x L1 hit/L2 refill); only refill
+  *misses* — which serialize through the address-phase sequencer and the
+  DRAM banks — run scalar, calling the real sequencer/DRAM/data-bus
+  objects between cumsum segments.
+
+The engine falls back (returns ``None``) whenever its preconditions do
+not hold: more than one active trace, SHARED lines resident anywhere in
+the active CPU's caches, or non-empty caches on the other CPUs.  Callers
+then take the scalar fast path, which is always available.  Stall models
+must be pure functions of ``(latency_ns, compute_ns)`` — every model in
+:mod:`repro.cpu.pipeline` is.
+
+``replay_batch`` stacks many independent replays (one isolated
+``MultiprocessorMemory`` each, e.g. many sweep points) into *one* padded
+lane matrix per lockstep pass, so the per-step numpy dispatch overhead is
+amortised across all of them — the batched mode behind the
+``replay_backend`` sweep option.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.memory.cache import AccessType, MESIState
+
+#: Structured dtype of an array-native trace (see repro.memory.trace_gen).
+REF_DTYPE = np.dtype([("addr", np.int64), ("is_write", np.bool_)])
+
+_EXCLUSIVE = int(MESIState.EXCLUSIVE)
+_MODIFIED = int(MESIState.MODIFIED)
+_SHARED = int(MESIState.SHARED)
+
+#: L1 lane length.  Shorter chunks mean fewer lockstep steps (more lanes
+#: in flight per step, amortising numpy dispatch) but more warmup
+#: fixups; 256 balances the two on the fig7 geometry.
+_L1_CHUNK = 256
+
+# ---------------------------------------------------------------------------
+# Trace coercion
+# ---------------------------------------------------------------------------
+
+
+def coerce_trace(trace) -> np.ndarray:
+    """Materialise any ``(addr, AccessType)`` iterable as a REF_DTYPE array.
+
+    Structured arrays pass through untouched.  Raises ``OverflowError``
+    for addresses outside int64 (callers fall back to the scalar paths).
+    """
+    if isinstance(trace, np.ndarray):
+        if trace.dtype == REF_DTYPE:
+            return trace
+        if trace.dtype.names == ("addr", "is_write"):
+            return trace.astype(REF_DTYPE)
+    write = AccessType.WRITE
+    return np.fromiter(((addr, access == write) for addr, access in trace),
+                       dtype=REF_DTYPE)
+
+
+def iter_refs(arr: np.ndarray) -> Iterator[Tuple[int, AccessType]]:
+    """Adapt an array trace back to ``(int, AccessType)`` pairs for the
+    scalar replay paths (INSTR collapses to READ, as everywhere else)."""
+    read = AccessType.READ
+    write = AccessType.WRITE
+    addrs = arr["addr"].tolist()
+    writes = arr["is_write"].tolist()
+    for addr, is_write in zip(addrs, writes):
+        yield addr, (write if is_write else read)
+
+
+# ---------------------------------------------------------------------------
+# The lockstep LRU engine
+# ---------------------------------------------------------------------------
+
+
+def _lockstep(lane_tags: np.ndarray, lane_write: np.ndarray,
+              lane_len: np.ndarray, ways: int,
+              init_tags: np.ndarray, init_dirty: np.ndarray):
+    """Advance many independent LRU sets one access per step, in lockstep.
+
+    ``lane_tags``/``lane_write`` are ``(lanes, width)`` matrices padded
+    with ``-1``/False past each lane's length; ``init_tags`` is
+    ``(lanes, ways)`` in LRU->MRU order, ``-1`` marking empty ways.
+
+    Returns per-position ``(hit, victim_tag, victim_dirty)`` matrices and
+    the final ``(tags, dirty, age)`` state, all in input lane order.
+    Empty ways are seeded with the lowest ages so misses fill them before
+    evicting, exactly like ``Cache.access``.
+    """
+    nl = lane_tags.shape[0]
+    if nl == 0:
+        empty = np.empty((0, 0))
+        return empty, empty, empty, init_tags, init_dirty, init_tags
+    order = np.argsort(-lane_len, kind="stable")
+    inv = np.empty(nl, dtype=np.int64)
+    inv[order] = np.arange(nl)
+    # Transposed (step, lane) layout: each step reads/writes one
+    # contiguous row instead of a strided column.
+    tags_t = np.ascontiguousarray(lane_tags[order].T)
+    writes_t = np.ascontiguousarray(lane_write[order].T)
+    lens = lane_len[order]
+    lmax = int(lens[0])
+
+    slot = np.arange(ways, dtype=np.int64)
+    st_tags = lane_tags.dtype.type(0) + init_tags[order]  # fresh C copy
+    st_dirty = init_dirty[order] | False
+    st_age = np.ascontiguousarray(
+        np.where(st_tags >= 0, slot + ways, slot - ways))
+    flat_tags = st_tags.reshape(-1)
+    flat_dirty = st_dirty.reshape(-1)
+    flat_age = st_age.reshape(-1)
+
+    out_hit_t = np.zeros((lmax, nl), dtype=bool)
+    out_vt_t = np.full((lmax, nl), -1, dtype=np.int64)
+    out_vd_t = np.zeros((lmax, nl), dtype=bool)
+    active = np.searchsorted(-lens, -np.arange(lmax), side="left")
+    row_base = np.arange(nl, dtype=np.int64) * ways
+    base_age = 2 * ways
+    # A matching way outranks every age (ages are >= -ways), so one
+    # masked argmin picks the hit way *or* the LRU victim, and the score
+    # value at the pick says which it was.  Victim tag/dirty are stored
+    # raw and masked by the hit matrix after the loop, off the hot path.
+    sentinel = np.int64(-2 * ways - 1)
+    for t in range(lmax):
+        a = int(active[t])
+        cur = tags_t[t, :a]
+        eq = st_tags[:a] == cur[:, None]
+        score = np.where(eq, sentinel, st_age[:a])
+        way = score.argmin(axis=1)
+        idx = row_base[:a] + way
+        hit = score.reshape(-1)[idx] == sentinel
+        vd = flat_dirty[idx]
+        out_hit_t[t, :a] = hit
+        out_vt_t[t, :a] = flat_tags[idx]
+        out_vd_t[t, :a] = vd
+        flat_tags[idx] = cur
+        flat_dirty[idx] = (vd & hit) | writes_t[t, :a]
+        flat_age[idx] = base_age + t
+    hit_m = out_hit_t.T[inv]
+    vt_m = out_vt_t.T[inv]
+    vd_m = out_vd_t.T[inv]
+    vt_m[hit_m] = -1
+    vd_m &= ~hit_m
+    return hit_m, vt_m, vd_m, st_tags[inv], st_dirty[inv], st_age[inv]
+
+
+def _state_dicts(fin_tags, fin_dirty, fin_age) -> List[Dict[int, bool]]:
+    """Engine state rows -> ordered ``tag -> dirty`` dicts (LRU first)."""
+    orders = np.argsort(fin_age, axis=1, kind="stable")
+    sorted_tags = np.take_along_axis(fin_tags, orders, axis=1).tolist()
+    sorted_dirty = np.take_along_axis(fin_dirty, orders, axis=1).tolist()
+    return [{tag: dirty for tag, dirty in zip(row_t, row_d) if tag >= 0}
+            for row_t, row_d in zip(sorted_tags, sorted_dirty)]
+
+
+# ---------------------------------------------------------------------------
+# Lane planning
+# ---------------------------------------------------------------------------
+
+
+class _LanePlan:
+    """One cache structure's lane decomposition plus lockstep results."""
+
+    __slots__ = ("ways", "order", "lane_set", "lane_start", "lane_len",
+                 "lane_first", "width", "idx_flat", "tags", "writes",
+                 "init_tags", "init_dirty", "hit", "vtag", "vdirty", "final")
+
+
+def _plan_lanes(values, writes, sidx, n_sets: int, cache_sets, ways: int,
+                chunk) -> _LanePlan:
+    """Sort a tag stream by set index, cut per-set runs into lanes of at
+    most ``chunk`` accesses (``None`` = one lane per set), build padded
+    lane matrices, and seed each set's first lane from the true state.
+
+    Lanes are contiguous slices of the sorted stream, so ``idx_flat``
+    maps sorted positions to flattened ``(lane, pos)`` cells both for the
+    scatter here and the outcome gather later.
+    """
+    plan = _LanePlan()
+    plan.ways = ways
+    # Set indices are tiny ints; int32 halves the radix passes of the
+    # stable argsort that groups the stream by set.
+    order = np.argsort(sidx.astype(np.int32, copy=False), kind="stable")
+    plan.order = order
+    counts = np.bincount(sidx, minlength=n_sets)
+    set_starts = np.concatenate(([0], np.cumsum(counts)))
+    lane_set: List[int] = []
+    lane_start: List[int] = []
+    lane_len: List[int] = []
+    lane_first: List[bool] = []
+    for s in np.nonzero(counts)[0]:
+        count = int(counts[s])
+        start = int(set_starts[s])
+        step = count if chunk is None else chunk
+        for off in range(0, count, step):
+            lane_set.append(int(s))
+            lane_start.append(start + off)
+            lane_len.append(min(step, count - off))
+            lane_first.append(off == 0)
+    nl = len(lane_set)
+    plan.lane_set = lane_set
+    plan.lane_first = lane_first
+    starts = np.asarray(lane_start, dtype=np.int64)
+    lens = np.asarray(lane_len, dtype=np.int64)
+    plan.lane_start = starts
+    plan.lane_len = lens
+    width = int(lens.max()) if nl else 0
+    plan.width = width
+    n = len(sidx)
+    elem_lane = np.repeat(np.arange(nl, dtype=np.int64), lens)
+    elem_pos = np.arange(n, dtype=np.int64) - np.repeat(starts, lens)
+    plan.idx_flat = elem_lane * width + elem_pos
+    plan.tags = np.full((nl, width), -1, dtype=np.int64)
+    plan.writes = np.zeros((nl, width), dtype=bool)
+    plan.tags.reshape(-1)[plan.idx_flat] = values[order]
+    plan.writes.reshape(-1)[plan.idx_flat] = writes[order]
+    init_tags = np.full((nl, ways), -1, dtype=np.int64)
+    init_dirty = np.zeros((nl, ways), dtype=bool)
+    for j in range(nl):
+        if not lane_first[j]:
+            continue
+        line_set = cache_sets[lane_set[j]]
+        if line_set:
+            keys = list(line_set.keys())
+            init_tags[j, :len(keys)] = keys
+            init_dirty[j, :len(keys)] = [int(v) == _MODIFIED
+                                         for v in line_set.values()]
+    plan.init_tags = init_tags
+    plan.init_dirty = init_dirty
+    return plan
+
+
+def _pooled_lockstep(plans: Sequence[_LanePlan]) -> None:
+    """Run one lockstep pass over many plans' lanes, pooled by way count,
+    and land results back on each plan (sliced to its own width)."""
+    groups: Dict[int, List[_LanePlan]] = {}
+    for plan in plans:
+        groups.setdefault(plan.ways, []).append(plan)
+    for ways, members in groups.items():
+        width = max(p.width for p in members)
+
+        def pad(mat, fill):
+            if mat.shape[1] == width:
+                return mat
+            out = np.full((mat.shape[0], width), fill, dtype=mat.dtype)
+            out[:, :mat.shape[1]] = mat
+            return out
+
+        tags = np.concatenate([pad(p.tags, -1) for p in members])
+        writes = np.concatenate([pad(p.writes, False) for p in members])
+        lens = np.concatenate([p.lane_len for p in members])
+        init_t = np.concatenate([p.init_tags for p in members])
+        init_d = np.concatenate([p.init_dirty for p in members])
+        hit, vt, vd, ft, fd, fa = _lockstep(tags, writes, lens, ways,
+                                            init_t, init_d)
+        row = 0
+        for plan in members:
+            nl = plan.tags.shape[0]
+            sl = slice(row, row + nl)
+            plan.hit = np.ascontiguousarray(hit[sl, :plan.width])
+            plan.vtag = np.ascontiguousarray(vt[sl, :plan.width])
+            plan.vdirty = np.ascontiguousarray(vd[sl, :plan.width])
+            plan.final = (ft[sl], fd[sl], fa[sl])
+            row += nl
+
+
+# ---------------------------------------------------------------------------
+# Per-job phases
+# ---------------------------------------------------------------------------
+
+
+class _Job:
+    """One replay being vectorized (its own memory/trace/stall model)."""
+
+    __slots__ = (
+        "index", "memory", "arr", "compute_ns", "stall", "n",
+        "addr", "is_write",
+        "l1_plan", "l1_hit", "l1_vtag", "l1_vdirty", "l1_final",
+        "tlb_miss", "tlb_evictions", "tlb_final",
+        "op_addr", "op_write", "op_refill", "op_src",
+        "l2_plan", "op_hit", "op_vtag", "op_vdirty", "l2_final",
+    )
+
+    def __init__(self, index, memory, arr, compute_ns, stall):
+        self.index = index
+        self.memory = memory
+        self.arr = arr
+        self.compute_ns = compute_ns
+        self.stall = stall
+        self.n = len(arr)
+        self.addr = np.ascontiguousarray(arr["addr"], dtype=np.int64)
+        self.is_write = np.ascontiguousarray(arr["is_write"], dtype=bool)
+
+
+def _supported(memory) -> bool:
+    """Vec preconditions over the *state* of the node (CPU 0 active)."""
+    for l1, l2 in zip(memory.l1s[1:], memory.l2s[1:]):
+        if l1.occupancy() or l2.occupancy():
+            return False
+    for cache in (memory.l1s[0], memory.l2s[0]):
+        for line_set in cache._sets:
+            for state in line_set.values():
+                if int(state) == _SHARED:
+                    return False
+    return True
+
+
+def _plan_l1(job: _Job) -> None:
+    l1 = job.memory.l1s[0]
+    tag = job.addr >> l1._set_shift
+    sidx = tag & l1._set_mask
+    job.l1_plan = _plan_lanes(tag, job.is_write, sidx, len(l1._sets),
+                              l1._sets, l1._ways, _L1_CHUNK)
+
+
+def _fixup_l1(job: _Job) -> None:
+    """Make chunked-lane outcomes exact, then scatter to trace order.
+
+    Walks each set's chunks in order, carrying the true state across the
+    chunk boundary: chunk 0 is exact by seeding; later chunks get a
+    scalar warmup over ``[0, v]`` (``v`` = position of the ``ways``-th
+    distinct tag) plus sparse dirty-bit repairs past ``v``.  The warmup
+    loop simultaneously finds ``v``, replays the prefix from the true
+    state, and tracks which tags the from-empty engine lane marked dirty
+    (before convergence the engine cannot evict, so its dirty bit is
+    exactly "was written in ``[0, v]``").
+    """
+    plan = job.l1_plan
+    ways = plan.ways
+    hit, vtag, vdirty = plan.hit, plan.vtag, plan.vdirty
+    fin_tags, fin_dirty, fin_age = plan.final
+    states = _state_dicts(fin_tags, fin_dirty, fin_age)
+    # Convergence point per lane, found vectorially: in a from-empty
+    # engine lane every pre-convergence miss is a new distinct tag, so
+    # ``v`` is exactly the position of the ``ways``-th engine miss.
+    # Padding counts as misses, but ``v >= length`` is treated as
+    # non-converged anyway.
+    miss_rank = np.cumsum(~hit, axis=1)
+    v_arr = (miss_rank < ways).sum(axis=1).tolist()
+    final_states: Dict[int, Dict[int, bool]] = {}
+    state: Dict[int, bool] = {}
+    for j, s in enumerate(plan.lane_set):
+        length = int(plan.lane_len[j])
+        if plan.lane_first[j]:
+            state = states[j]
+            final_states[s] = state
+            continue
+        v = v_arr[j] if v_arr[j] < length else None
+        upto_v = length if v is None else v + 1
+        tags_l = plan.tags[j, :upto_v].tolist()
+        writes_l = plan.writes[j, :upto_v].tolist()
+        written = set()
+        o_hit: List[bool] = []
+        o_vt: List[int] = []
+        o_vd: List[bool] = []
+        for tg, w in zip(tags_l, writes_l):
+            if tg in state:
+                dirty = state.pop(tg)
+                state[tg] = dirty or w
+                o_hit.append(True)
+                o_vt.append(-1)
+                o_vd.append(False)
+            else:
+                if len(state) >= ways:
+                    victim = next(iter(state))
+                    victim_dirty = state.pop(victim)
+                else:
+                    victim, victim_dirty = -1, False
+                state[tg] = w
+                o_hit.append(False)
+                o_vt.append(victim)
+                o_vd.append(victim_dirty)
+            if w:
+                written.add(tg)
+        upto = len(o_hit)
+        hit[j, :upto] = o_hit
+        vtag[j, :upto] = o_vt
+        vdirty[j, :upto] = o_vd
+        if v is None:
+            # Fewer than `ways` distinct tags: the whole lane was just
+            # replayed scalar and `state` (aliased by final_states[s])
+            # already holds the true final state.
+            continue
+        carried: Dict[int, bool] = {}
+        row_vt = None
+        for tg, true_dirty in state.items():
+            if (tg in written) == true_dirty:
+                continue
+            if row_vt is None:
+                row_tags = plan.tags[j, :length]
+                row_writes = plan.writes[j, :length]
+                row_vt = vtag[j, :length]
+            occ = np.nonzero((row_tags == tg) & row_writes)[0]
+            occ = occ[occ > v]
+            evs = np.nonzero(row_vt == tg)[0]
+            evs = evs[evs > v]
+            first_write = int(occ[0]) if occ.size else length
+            first_evict = int(evs[0]) if evs.size else length
+            if first_evict < first_write:
+                vdirty[j, first_evict] = true_dirty
+            elif first_write == length and first_evict == length:
+                carried[tg] = true_dirty
+        state = states[j]
+        state.update(carried)
+        final_states[s] = state
+
+    n = job.n
+    flat = plan.idx_flat
+    job.l1_hit = np.empty(n, dtype=bool)
+    job.l1_vtag = np.empty(n, dtype=np.int64)
+    job.l1_vdirty = np.empty(n, dtype=bool)
+    job.l1_hit[plan.order] = hit.reshape(-1)[flat]
+    job.l1_vtag[plan.order] = vtag.reshape(-1)[flat]
+    job.l1_vdirty[plan.order] = vdirty.reshape(-1)[flat]
+    job.l1_final = final_states
+
+
+# ---------------------------------------------------------------------------
+# TLB phase
+# ---------------------------------------------------------------------------
+
+
+def _run_tlb_scalar(job: _Job, pages, resident: Dict[int, None],
+                    capacity: int) -> None:
+    """Plain dict-LRU TLB replay (``Tlb.access`` semantics, evict before
+    insert) — the fallback when the trace is miss-dominated."""
+    miss = np.zeros(job.n, dtype=bool)
+    evictions = 0
+    for i, page in enumerate(pages.tolist()):
+        if page in resident:
+            del resident[page]
+            resident[page] = None
+        else:
+            if len(resident) >= capacity:
+                del resident[next(iter(resident))]
+                evictions += 1
+            resident[page] = None
+            miss[i] = True
+    job.tlb_miss = miss
+    job.tlb_evictions = evictions
+    job.tlb_final = resident
+
+
+def _run_tlb(job: _Job) -> None:
+    """Fully-associative LRU TLB oracle via a previous-occurrence filter.
+
+    An access whose page recurred within the last ``capacity`` accesses
+    touched at most ``capacity - 1`` other pages in between, so it is a
+    guaranteed hit — no residency bookkeeping needed.  Only *candidate*
+    accesses (first occurrences, or recurrence gaps wider than the
+    capacity) can change the resident set, and all of those run scalar:
+    a membership test, plus on a miss an exact LRU victim search keyed by
+    each resident page's last occurrence (pages untouched since the
+    initial state are older than every touched page, in their original
+    dict order).  Recency between candidates never needs materialising.
+    """
+    tlb = job.memory.tlbs[0]
+    pages = job.addr >> tlb._page_shift
+    capacity = tlb.config.entries
+    resident: Dict[int, None] = dict(tlb._entries)
+    n = job.n
+
+    sort_key = pages
+    if int(pages.max()) < 2 ** 31:
+        sort_key = pages.astype(np.int32)
+    order = np.argsort(sort_key, kind="stable")
+    sorted_pages = pages[order]
+    same = np.empty(n, dtype=bool)
+    same[0] = False
+    same[1:] = sorted_pages[1:] == sorted_pages[:-1]
+    # Candidate detection directly in sorted space: within a page group
+    # consecutive entries of ``order`` are that page's successive
+    # occurrence positions, so the recurrence distance is their diff.
+    dist_ok = np.zeros(n, dtype=bool)
+    dist_ok[1:] = same[1:] & ((order[1:] - order[:-1]) <= capacity)
+    cand_pos = order[~dist_ok]
+    if len(cand_pos) > n // 8:
+        _run_tlb_scalar(job, pages, resident, capacity)
+        return
+    cand_pos.sort()
+
+    # Page-group bounds into ``order`` (ascending occurrence positions),
+    # for last-touch lookups; one shared list avoids per-page tolist().
+    starts = np.nonzero(~same)[0]
+    ends = np.append(starts[1:], n)
+    bounds: Dict[int, Tuple[int, int]] = {}
+    for b, e in zip(starts.tolist(), ends.tolist()):
+        bounds[int(sorted_pages[b])] = (b, e)
+    order_list = order.tolist()
+    init_rank = {page: rank - capacity
+                 for rank, page in enumerate(resident)}
+
+    miss = np.zeros(n, dtype=bool)
+    evictions = 0
+    from bisect import bisect_left
+    for i, page in zip(cand_pos.tolist(), pages[cand_pos].tolist()):
+        if page in resident:
+            continue
+        miss[i] = True
+        if len(resident) >= capacity:
+            victim = None
+            victim_key = None
+            for q in resident:
+                be = bounds.get(q)
+                if be is None:
+                    last = init_rank[q]
+                else:
+                    b, e = be
+                    k = bisect_left(order_list, i, b, e)
+                    last = order_list[k - 1] if k > b else init_rank[q]
+                if victim_key is None or last < victim_key:
+                    victim_key = last
+                    victim = q
+            del resident[victim]
+            evictions += 1
+        resident[page] = None
+
+    # Final recency order: initial pages never touched keep their original
+    # relative order and precede everything touched; touched resident
+    # pages order by overall last occurrence.
+    untouched = []
+    touched = []
+    for q in resident:
+        be = bounds.get(q)
+        if be is None:
+            untouched.append(q)
+        else:
+            touched.append((order_list[be[1] - 1], q))
+    touched.sort()
+    final: Dict[int, None] = {q: None for q in untouched}
+    for _, q in touched:
+        final[q] = None
+    job.tlb_miss = miss
+    job.tlb_evictions = evictions
+    job.tlb_final = final
+
+
+# ---------------------------------------------------------------------------
+# L2 phase: derived op stream
+# ---------------------------------------------------------------------------
+
+
+def _plan_l2(job: _Job) -> None:
+    """Scatter the three L2 op sources out of the L1 outcomes.
+
+    Per access, in reference order: a write L1-hit syncs dirtiness (WH); an
+    L1 miss first writes back a dirty victim (VWB), then refills the line
+    (REFILL).  Every op is a plain ``Cache.access`` on the private L2.
+    """
+    l1 = job.memory.l1s[0]
+    l2 = job.memory.l2s[0]
+    addr, is_write = job.addr, job.is_write
+    l1_hit, vdirty = job.l1_hit, job.l1_vdirty
+
+    wh = l1_hit & is_write
+    l1_miss = ~l1_hit
+    vwb = l1_miss & vdirty
+    counts = wh.astype(np.int64) + l1_miss + vwb
+    cum = np.cumsum(counts)
+    total = int(cum[-1])
+    offsets = cum
+    offsets -= counts
+    op_addr = np.empty(total, dtype=np.int64)
+    op_write = np.empty(total, dtype=bool)
+    op_refill = np.zeros(total, dtype=bool)
+    op_src = np.empty(total, dtype=np.int64)
+
+    # Position lists once per source; every later access is a short
+    # gather instead of another O(n) boolean-mask pass.
+    wh_pos = np.nonzero(wh)[0]
+    vwb_pos = np.nonzero(vwb)[0]
+    miss_pos = np.nonzero(l1_miss)[0]
+    idx = offsets[wh_pos]
+    op_addr[idx] = addr[wh_pos]
+    op_write[idx] = True
+    op_src[idx] = wh_pos
+    idx = offsets[vwb_pos]
+    op_addr[idx] = job.l1_vtag[vwb_pos] << l1._set_shift
+    op_write[idx] = True
+    op_src[idx] = vwb_pos
+    idx = offsets[miss_pos] + vwb[miss_pos]
+    op_addr[idx] = addr[miss_pos]
+    op_write[idx] = is_write[miss_pos]
+    op_refill[idx] = True
+    op_src[idx] = miss_pos
+
+    job.op_addr, job.op_write = op_addr, op_write
+    job.op_refill, job.op_src = op_refill, op_src
+
+    tag = op_addr >> l2._set_shift
+    sidx = tag & l2._set_mask
+    job.l2_plan = _plan_lanes(tag, op_write, sidx, len(l2._sets), l2._sets,
+                              l2._ways, None)
+
+
+def _gather_l2(job: _Job) -> None:
+    """Per-set L2 lanes are exact (true seed, no chunking): just scatter
+    outcomes back to op order and keep the final states for the commit."""
+    plan = job.l2_plan
+    total = len(job.op_addr)
+    fin_tags, fin_dirty, fin_age = plan.final
+    states = _state_dicts(fin_tags, fin_dirty, fin_age)
+    job.l2_final = {s: states[j] for j, s in enumerate(plan.lane_set)}
+    flat = plan.idx_flat
+    job.op_hit = np.empty(total, dtype=bool)
+    job.op_vtag = np.empty(total, dtype=np.int64)
+    job.op_vdirty = np.empty(total, dtype=bool)
+    job.op_hit[plan.order] = plan.hit.reshape(-1)[flat]
+    job.op_vtag[plan.order] = plan.vtag.reshape(-1)[flat]
+    job.op_vdirty[plan.order] = plan.vdirty.reshape(-1)[flat]
+
+
+# ---------------------------------------------------------------------------
+# Timing, stats, commit
+# ---------------------------------------------------------------------------
+
+
+def _finish(job: _Job):
+    from repro.memory.mp import CpuRunResult
+
+    memory = job.memory
+    config = memory.config
+    n = job.n
+    compute_ns = job.compute_ns
+    stall = job.stall
+    l1_hit_ns = config.l1_hit_ns
+    l2_hit_ns = config.l2_hit_ns
+    tlb_miss_ns = config.tlb_miss_ns
+    line = config.l1.line_bytes
+    l2_shift = memory.l2s[0]._set_shift
+
+    refill = job.op_refill
+    refill_src = job.op_src[refill]
+    refill_hit = np.zeros(n, dtype=bool)
+    refill_hit[refill_src] = job.op_hit[refill]
+    refill_wb = np.zeros(n, dtype=bool)
+    refill_wb[refill_src] = ~job.op_hit[refill] & (
+        job.op_vtag[refill] >= 0) & job.op_vdirty[refill]
+    refill_wb_addr = np.zeros(n, dtype=np.int64)
+    refill_wb_addr[refill_src] = job.op_vtag[refill] << l2_shift
+
+    l1_hit, tlb_miss = job.l1_hit, job.tlb_miss
+    slow = ~l1_hit & ~refill_hit
+
+    # The four fast stall constants, argument grouping per the reference.
+    stall_consts = np.array([
+        stall(0.0 + l1_hit_ns, compute_ns),
+        stall((0.0 + l1_hit_ns) + l2_hit_ns, compute_ns),
+        stall(tlb_miss_ns + l1_hit_ns, compute_ns),
+        stall((tlb_miss_ns + l1_hit_ns) + l2_hit_ns, compute_ns),
+    ])
+    key = tlb_miss.astype(np.int64) * 2 + ~l1_hit
+    stall_arr = stall_consts[key]
+
+    interleaved = np.empty(2 * n)
+    interleaved[0::2] = compute_ns
+    interleaved[1::2] = stall_arr
+
+    sequencer = memory.sequencer
+    memory_fetch = memory._memory_fetch
+    addr_col = job.addr
+    local = 0.0
+    queueing_total = 0.0
+    seg_start = 0
+    buf = np.empty(2 * n + 1)
+    for si in np.nonzero(slow)[0]:
+        si = int(si)
+        if si > seg_start:
+            m = 2 * (si - seg_start) + 1
+            seg = buf[:m]
+            seg[0] = local
+            seg[1:] = interleaved[2 * seg_start:2 * si]
+            np.cumsum(seg, out=seg)
+            local = float(seg[-1])
+        issue = local + compute_ns
+        translation = tlb_miss_ns if tlb_miss[si] else 0.0
+        latency = translation + l1_hit_ns
+        issue_bus = issue + latency + l2_hit_ns
+        grant, phase_done = sequencer.occupy(issue_bus)
+        queueing = grant - issue_bus
+        latency += l2_hit_ns + (phase_done - issue_bus)
+        start, done = memory_fetch(phase_done, int(addr_col[si]), line)
+        queueing += start - phase_done
+        latency += done - phase_done
+        if refill_wb[si]:
+            memory_fetch(phase_done, int(refill_wb_addr[si]), line)
+        stall_ns = stall(latency, compute_ns)
+        stall_arr[si] = stall_ns
+        interleaved[2 * si + 1] = stall_ns
+        local = issue + stall_ns
+        queueing_total += queueing
+        seg_start = si + 1
+    if seg_start < n:
+        m = 2 * (n - seg_start) + 1
+        seg = buf[:m]
+        seg[0] = local
+        seg[1:] = interleaved[2 * seg_start:]
+        np.cumsum(seg, out=seg)
+        local = float(seg[-1])
+
+    _commit(job, refill, refill_wb)
+    compute_total = float(np.cumsum(np.full(n, compute_ns))[-1])
+    stall_total = float(np.cumsum(stall_arr)[-1])
+    return CpuRunResult(finish_ns=local, steps=n, compute_ns=compute_total,
+                        stall_ns=stall_total, queueing_ns=queueing_total)
+
+
+def _commit(job: _Job, refill: np.ndarray, refill_wb: np.ndarray) -> None:
+    """Fold the oracle outcomes into the real caches and counters, with
+    the same per-key attribution as the scalar routes."""
+    memory = job.memory
+    l1, l2, tlb = memory.l1s[0], memory.l2s[0], memory.tlbs[0]
+    is_write, l1_hit = job.is_write, job.l1_hit
+    vtag, vdirty = job.l1_vtag, job.l1_vdirty
+    op_write, op_hit = job.op_write, job.op_hit
+    op_vtag, op_vdirty = job.op_vtag, job.op_vdirty
+
+    def count(mask) -> int:
+        return int(np.count_nonzero(mask))
+
+    def incr(counter, key, value) -> None:
+        if value:
+            counter.incr(key, value)
+
+    incr(l1.stats, "read_hit", count(l1_hit & ~is_write))
+    incr(l1.stats, "write_hit", count(l1_hit & is_write))
+    incr(l1.stats, "read_miss", count(~l1_hit & ~is_write))
+    incr(l1.stats, "write_miss", count(~l1_hit & is_write))
+    incr(l1.stats, "writeback", count(vdirty))
+    incr(l1.stats, "clean_evict", count((vtag >= 0) & ~vdirty))
+
+    incr(l2.stats, "read_hit", count(op_hit & ~op_write))
+    incr(l2.stats, "write_hit", count(op_hit & op_write))
+    incr(l2.stats, "read_miss", count(~op_hit & ~op_write))
+    incr(l2.stats, "write_miss", count(~op_hit & op_write))
+    incr(l2.stats, "writeback", count((op_vtag >= 0) & op_vdirty))
+    incr(l2.stats, "clean_evict", count((op_vtag >= 0) & ~op_vdirty))
+
+    tlb_misses = count(job.tlb_miss)
+    incr(tlb.stats, "hits", job.n - tlb_misses)
+    incr(tlb.stats, "misses", tlb_misses)
+    incr(tlb.stats, "evictions", job.tlb_evictions)
+
+    refill_hits = count(refill & op_hit)
+    incr(memory.domain.stats, "hit", refill_hits)
+    incr(memory.domain.stats, "miss", count(refill & ~op_hit))
+    incr(memory.stats, "l1_hits", count(l1_hit))
+    incr(memory.stats, "tlb_misses", tlb_misses)
+    incr(memory.stats, "l2_hits", refill_hits)
+    incr(memory.stats, "memory_accesses", count(refill & ~op_hit))
+    incr(memory.stats, "writebacks", count(refill_wb))
+
+    for cache, finals in ((l1, job.l1_final), (l2, job.l2_final)):
+        for s, state in finals.items():
+            line_set = cache._sets[s]
+            line_set.clear()
+            for tag, dirty in state.items():
+                line_set[tag] = _MODIFIED if dirty else _EXCLUSIVE
+    tlb._entries.clear()
+    for page in job.tlb_final:
+        tlb._entries[int(page)] = None
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def replay_batch(specs: Sequence[Tuple]) -> List:
+    """Vectorize many independent replays through shared lockstep passes.
+
+    ``specs`` is a sequence of ``(memory, trace, compute_ns, stall_model)``
+    tuples, each with its *own* ``MultiprocessorMemory`` (sweep points are
+    isolated; batching shares host work, never simulated state).  Returns
+    one entry per spec: a ``CpuRunResult``, or ``None`` when that spec's
+    preconditions fail and the caller must use the scalar path instead —
+    the trace is left unconsumed in that case only if it was an array.
+    """
+    from repro.memory.mp import CpuRunResult
+
+    results: List = [None] * len(specs)
+    jobs: List[_Job] = []
+    for index, (memory, trace, compute_ns, stall) in enumerate(specs):
+        try:
+            arr = coerce_trace(trace)
+        except (OverflowError, ValueError):
+            continue
+        if len(arr) and int(arr["addr"].min()) < 0:
+            continue
+        if not _supported(memory):
+            continue
+        if len(arr) == 0:
+            results[index] = CpuRunResult(finish_ns=0.0, steps=0,
+                                          compute_ns=0.0, stall_ns=0.0,
+                                          queueing_ns=0.0)
+            continue
+        jobs.append(_Job(index, memory, arr, compute_ns, stall))
+    if not jobs:
+        return results
+    for job in jobs:
+        _plan_l1(job)
+    _pooled_lockstep([job.l1_plan for job in jobs])
+    for job in jobs:
+        _fixup_l1(job)
+        _run_tlb(job)
+        _plan_l2(job)
+    _pooled_lockstep([job.l2_plan for job in jobs])
+    for job in jobs:
+        _gather_l2(job)
+        results[job.index] = _finish(job)
+    return results
+
+
+def replay_traces_vec(memory, trace, compute_ns: float, stall_model):
+    """Single-replay wrapper over :func:`replay_batch` (may return None)."""
+    return replay_batch([(memory, trace, compute_ns, stall_model)])[0]

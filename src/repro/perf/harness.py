@@ -10,6 +10,13 @@ has to beat:
 * ``fig6_hint`` — HINT refinement + checkpoint scan replays (DOUBLE).
 * ``fig7_matmult`` — full naive MatMult address-trace replay (N=48,
   caches scaled 1/16): the cache/TLB hot loop.
+* ``fig7_matmult_vec`` — the same replay through the numpy backend
+  (``replay_backend="numpy"``): identical work/check by the equivalence
+  contract, so its wall-time ratio to ``fig7_matmult`` *is* the
+  vectorization speedup.
+* ``replay_batch_vec`` — many independent sweep-point replays stacked
+  into single padded lockstep passes via ``vec.replay_batch``: the
+  batched multi-point mode behind ``run_sweep(replay_backend="numpy")``.
 * ``fig9_pingpong`` — one-way latency ping-pongs over the full DES stack
   (driver -> NI -> link -> crossbar -> drain): the event-kernel hot loop.
 * ``fig11_unidir`` — back-to-back streaming bandwidth (DES under load).
@@ -102,6 +109,42 @@ def _kernel_fig7_matmult() -> Tuple[int, str, float]:
     return accesses, "accesses", result.mflops
 
 
+def _kernel_fig7_matmult_vec() -> Tuple[int, str, float]:
+    from repro.bench.matmult import run_matmult
+    from repro.core.specs import POWERMANNA
+
+    node = POWERMANNA.node(scale=16)
+    result = run_matmult(node, 48, version="naive",
+                         machine_key="powermanna", replay_backend="numpy")
+    accesses = sum(l1.access_count() for l1 in node.memory.l1s)
+    return accesses, "accesses", result.mflops
+
+
+def _kernel_replay_batch_vec() -> Tuple[int, str, float]:
+    """Batched multi-point replay: several independent MatMult points
+    (one isolated memory each, as under ``run_sweep``) through one
+    ``vec.replay_batch`` call, so the padded lockstep passes are shared
+    across all of them."""
+    from repro.bench.matmult import _alloc_matrices, _per_access_compute_ns
+    from repro.core.specs import POWERMANNA
+    from repro.memory import vec
+    from repro.memory.trace_gen import matmult_naive_array
+
+    specs = []
+    for n in (16, 20, 24, 28, 32, 36):
+        node = POWERMANNA.node(scale=16)
+        node.reset()
+        base_a, base_b, _, base_c = _alloc_matrices(0, n)
+        trace = matmult_naive_array(base_a, base_b, base_c, n)
+        compute = _per_access_compute_ns(node, n, "naive")
+        specs.append((node.memory, trace, compute, node._stall))
+    results = vec.replay_batch(specs)
+    if any(r is None for r in results):
+        raise AssertionError("replay_batch fell back on a supported spec")
+    work = sum(len(spec[1]) for spec in specs)
+    return work, "accesses", sum(r.finish_ns for r in results)
+
+
 def _kernel_fig9_pingpong() -> Tuple[int, str, float]:
     from repro.msg.api import build_cluster_world
 
@@ -140,6 +183,8 @@ def _kernel_topo_hypercube_1k() -> Tuple[int, str, float]:
 KERNELS: Dict[str, Callable[[], Tuple[int, str, float]]] = {
     "fig6_hint": _kernel_fig6_hint,
     "fig7_matmult": _kernel_fig7_matmult,
+    "fig7_matmult_vec": _kernel_fig7_matmult_vec,
+    "replay_batch_vec": _kernel_replay_batch_vec,
     "fig9_pingpong": _kernel_fig9_pingpong,
     "fig11_unidir": _kernel_fig11_unidir,
     "topo_hypercube_1k": _kernel_topo_hypercube_1k,
@@ -155,6 +200,7 @@ def _warm_imports() -> None:
     """
     import repro.bench.hint  # noqa: F401
     import repro.bench.matmult  # noqa: F401
+    import repro.memory.vec  # noqa: F401
     import repro.core.specs  # noqa: F401
     import repro.msg.api  # noqa: F401
     import repro.network.topo  # noqa: F401

@@ -62,3 +62,19 @@ class TestExecution:
         assert main(["fig6", "--scale", "64", "--subintervals", "512"]) == 0
         out = capsys.readouterr().out
         assert "DOUBLE" in out and "INT" in out
+
+
+class TestBenchKernelSelection:
+    def test_bench_list_prints_kernels(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig7_matmult", "fig7_matmult_vec", "replay_batch_vec"):
+            assert name in out
+
+    def test_bench_unknown_kernel_clean_error(self, capsys):
+        assert main(["bench", "--kernels", "no_such_kernel"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown kernel(s) no_such_kernel" in captured.err
+        assert "bench --list" in captured.err
+        # one clean line on stderr, no traceback
+        assert "Traceback" not in captured.err

@@ -88,11 +88,13 @@ class TestRunBench:
 
     def test_default_covers_every_figure_family(self):
         assert set(KERNELS) == {
-            "fig6_hint", "fig7_matmult", "fig9_pingpong", "fig11_unidir",
+            "fig6_hint", "fig7_matmult", "fig7_matmult_vec",
+            "replay_batch_vec", "fig9_pingpong", "fig11_unidir",
             "topo_hypercube_1k"}
         # Every figure kernel has a recorded seed baseline to beat;
-        # kernels born after the seed (the topology layer) have none and
-        # report no speedup_vs_seed.
+        # kernels born after the seed (the topology layer, the
+        # vectorized replay backend) have none and report no
+        # speedup_vs_seed.
         figure_kernels = {"fig6_hint", "fig7_matmult", "fig9_pingpong",
                           "fig11_unidir"}
         assert figure_kernels <= set(SEED_BASELINE["kernels"])
